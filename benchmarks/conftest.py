@@ -1,0 +1,108 @@
+"""Shared fixtures and helpers for the per-figure benchmarks.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation: it runs the experiment once (via ``benchmark.pedantic`` so
+pytest-benchmark records the wall time without re-running a multi-minute
+simulation dozens of times), prints the rows/series the paper reports,
+and asserts the qualitative *shape* — who wins and by roughly what
+factor.  Absolute numbers differ from the paper (our substrate is a
+simulator, not AWS), and ``EXPERIMENTS.md`` records paper-vs-measured
+for every entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import HOUR, aws1, aws2, aws3, cpu_trace, gcp1
+from repro.workloads import arena_workload
+
+#: Duration of the end-to-end comparison runs (§5.1 ran ~22 h total
+#: across all setups; 4 simulated hours per system keeps the full bench
+#: suite under a few minutes while spanning many preemption cycles).
+E2E_DURATION = 4 * HOUR
+
+
+def fig9_workload(seed: int = 11):
+    """The Arena-replay workload used for the Fig. 9/10/12 experiments.
+
+    Calibrated so that N_Tar = 4 Llama-2-70B replicas carry the load
+    with headroom while a single surviving replica is overloaded —
+    matching the regime in which the paper's failure rates separate.
+    Output lengths are capped so compute alone cannot exceed the 100 s
+    timeout.
+    """
+    return arena_workload(
+        E2E_DURATION,
+        base_rate=1.0,
+        diurnal_amplitude=0.4,
+        burst_multiplier=1.8,
+        burst_mean_duration=180.0,
+        max_output_tokens=800,
+        seed=seed,
+    )
+
+
+def fig13_workload(seed: int = 12):
+    """Arena workload for the Fig. 13 SpotServe experiment (OPT-6.7B,
+    20 s timeout): shorter outputs, higher rate (smaller model)."""
+    return arena_workload(
+        E2E_DURATION,
+        base_rate=3.5,
+        diurnal_amplitude=0.4,
+        burst_multiplier=1.8,
+        burst_mean_duration=180.0,
+        output_median=120.0,
+        output_sigma=0.9,
+        max_output_tokens=500,
+        seed=seed,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def trace_aws1():
+    return aws1()
+
+
+@pytest.fixture(scope="session")
+def trace_aws2():
+    return aws2()
+
+
+@pytest.fixture(scope="session")
+def trace_aws3():
+    return aws3()
+
+
+@pytest.fixture(scope="session")
+def trace_gcp1():
+    return gcp1()
+
+
+@pytest.fixture(scope="session")
+def trace_cpu():
+    return cpu_trace()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_rows(headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,67 @@
+"""Ablation: Dynamic Fallback versus static on-demand pools.
+
+§2.4's argument quantified: a static pool must choose between cost
+(always-on on-demand replicas it rarely needs) and availability (no
+fallback when spot vanishes).  Dynamic Fallback gets both: availability
+comparable to a large static pool at cost comparable to a small one.
+"""
+
+import pytest
+from conftest import print_header, print_rows, run_once
+
+from repro.core import DynamicSpotPlacer, MixturePolicy, spothedge
+from repro.experiments import ReplayConfig, TraceReplayer
+
+
+def static_pool(zones, base_od):
+    return MixturePolicy(
+        DynamicSpotPlacer(zones),
+        num_overprovision=2,
+        dynamic_ondemand_fallback=False,
+        base_ondemand_replicas=base_od,
+        name=f"StaticOD{base_od}",
+    )
+
+
+@pytest.fixture(scope="module")
+def results(trace_aws2):
+    out = {}
+    replayer = lambda: TraceReplayer(trace_aws2, ReplayConfig(n_tar=4, k=4.0))
+    out["Dynamic Fallback"] = replayer().run(spothedge(trace_aws2.zone_ids))
+    for base_od in (0, 1, 2, 4):
+        out[f"static OD={base_od}"] = replayer().run(
+            static_pool(trace_aws2.zone_ids, base_od)
+        )
+    return out
+
+
+def test_ablation_dynamic_fallback(benchmark, results):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [name, f"{r.availability:.1%}", f"{r.relative_cost:.1%}"]
+            for name, r in results.items()
+        ],
+    )
+    print_header("Ablation: Dynamic Fallback vs static on-demand pools (AWS 2)")
+    print_rows(["policy", "availability", "cost vs OD"], rows)
+
+    dynamic = results["Dynamic Fallback"]
+    no_pool = results["static OD=0"]
+    full_pool = results["static OD=4"]
+
+    # Without any on-demand, availability collapses on this trace
+    # (AWS 2 has region-wide spot blackouts ~1/3 of the time).
+    assert no_pool.availability < 0.75
+    assert dynamic.availability > no_pool.availability + 0.2
+
+    # A full static pool matches dynamic availability...
+    assert full_pool.availability >= dynamic.availability - 0.02
+    # ...but costs strictly more: it pays for 4 on-demand replicas even
+    # while spot is healthy (§2.4's 1.56x observation).
+    assert full_pool.relative_cost > dynamic.relative_cost * 1.15
+
+    # Small static pools are cheaper but sacrifice availability
+    # relative to Dynamic Fallback.
+    one = results["static OD=1"]
+    assert one.availability < dynamic.availability

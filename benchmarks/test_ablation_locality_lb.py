@@ -1,0 +1,110 @@
+"""Ablation: locality-aware load balancing (§6, "Advanced load
+balancing policy").
+
+The paper sketches routing requests to replicas in the client's region
+unless they are overloaded.  This bench quantifies the effect on the
+network component of latency (the TTFT-relevant part): with replicas in
+three regions and a client in us-west-2, the locality balancer serves
+most requests locally, while round-robin spreads them evenly and eats
+the WAN RTT on two thirds of requests.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import default_network
+from repro.serving import (
+    LocalityAwareBalancer,
+    ModelProfile,
+    Replica,
+    RoundRobinBalancer,
+)
+from repro.serving.replica import ReplicaState
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+REGIONS = [
+    "aws:us-west-2:us-west-2a",
+    "aws:us-east-2:us-east-2a",
+    "aws:eu-central-1:eu-central-1a",
+]
+CLIENT_REGION = "aws:us-west-2"
+N_REQUESTS = 3000
+
+
+def simulate_balancer(balancer, service_time=4.0, arrival_gap=0.5):
+    """Route a request stream over three one-per-region replicas and
+    return (mean added RTT, fraction served locally)."""
+    engine = SimulationEngine()
+    network = default_network()
+    profile = ModelProfile("m", overhead=service_time, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=8)
+    replicas = []
+    for zone in REGIONS:
+        replica = Replica(engine, profile, zone_id=zone, spot=True)
+        replica.state = ReplicaState.READY
+        replicas.append(replica)
+
+    rtts = []
+    local = 0
+
+    def submit(i):
+        request = Request(i, engine.now, 20, 40)
+        chosen = balancer.pick(replicas, request)
+        rtts.append(network.rtt(CLIENT_REGION, chosen.region_id))
+        nonlocal local
+        if chosen.region_id == CLIENT_REGION:
+            local += 1
+        chosen.handle(request, lambda r: None, lambda r: None)
+
+    for i in range(N_REQUESTS):
+        engine.call_at(i * arrival_gap, lambda i=i: submit(i))
+    engine.run()
+    return float(np.mean(rtts)), local / N_REQUESTS
+
+
+@pytest.fixture(scope="module")
+def results():
+    network = default_network()
+    return {
+        "locality": simulate_balancer(
+            LocalityAwareBalancer(CLIENT_REGION, network, overload_threshold=8)
+        ),
+        "round_robin": simulate_balancer(RoundRobinBalancer()),
+    }
+
+
+def test_ablation_locality_balancer(benchmark, results):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [name, f"{rtt * 1000:.1f}ms", f"{frac:.1%}"]
+            for name, (rtt, frac) in results.items()
+        ],
+    )
+    print_header("Ablation: locality-aware LB (client in us-west-2)")
+    print_rows(["balancer", "mean added RTT", "served locally"], rows)
+
+    loc_rtt, loc_frac = results["locality"]
+    rr_rtt, rr_frac = results["round_robin"]
+    # Locality routing keeps most requests in the client's region and
+    # cuts the mean WAN penalty by a large factor.
+    assert loc_frac > 0.7
+    assert rr_frac == pytest.approx(1 / 3, abs=0.02)
+    assert loc_rtt < rr_rtt / 3
+
+
+def test_locality_spills_on_overload(benchmark):
+    """Under heavy local load the balancer sends the excess to a remote
+    region — §6's "only direct requests to a remote zone if local
+    replicas are overloaded"."""
+    def compute():
+        network = default_network()
+        balancer = LocalityAwareBalancer(CLIENT_REGION, network, overload_threshold=4)
+        # Arrivals much faster than service: local replica saturates.
+        return simulate_balancer(balancer, service_time=30.0, arrival_gap=0.05)
+
+    rtt, local_fraction = run_once(benchmark, compute)
+    assert local_fraction < 0.7  # meaningful spillover happened
+    assert local_fraction > 0.0

@@ -1,0 +1,87 @@
+"""Ablation: Alg. 1's zone-rebalancing trigger (|Z_A| < 2).
+
+Without rebalancing, successive preemptions drain Z_A until every new
+replica targets the single remaining "available" zone.  Measured effect
+on AWS 3: availability is similar either way (successful launches also
+rehabilitate zones), but the trigger dramatically cuts *wasted launch
+attempts* — without it, the drained variant hammers its shrunken zone
+list with requests that fail on capacity.
+"""
+
+import pytest
+from conftest import print_header, print_rows, run_once
+
+from repro.core import DynamicSpotPlacer, MixturePolicy
+from repro.experiments import ReplayConfig, TraceReplayer
+
+
+class _NoRebalancePlacer(DynamicSpotPlacer):
+    """Dynamic placement with the |Z_A| < 2 rebalance removed: Z_A may
+    drain to a single zone (or to empty, at which point we must reuse
+    whatever zone remains enabled)."""
+
+    name = "dynamic-no-rebalance"
+
+    def _move_to_preempting(self, zone: str) -> None:
+        if zone in self.active_zones and len(self.active_zones) > 1:
+            self.active_zones.remove(zone)
+            self.preempting_zones.append(zone)
+
+
+def with_rebalance(zones):
+    return MixturePolicy(
+        DynamicSpotPlacer(zones),
+        num_overprovision=2,
+        dynamic_ondemand_fallback=False,
+        name="rebalance-on",
+    )
+
+
+def without_rebalance(zones):
+    return MixturePolicy(
+        _NoRebalancePlacer(zones),
+        num_overprovision=2,
+        dynamic_ondemand_fallback=False,
+        name="rebalance-off",
+    )
+
+
+@pytest.fixture(scope="module")
+def results(trace_aws3):
+    out = {}
+    for name, factory in (
+        ("rebalance on", with_rebalance),
+        ("rebalance off", without_rebalance),
+    ):
+        replayer = TraceReplayer(trace_aws3, ReplayConfig(n_tar=4, k=4.0))
+        out[name] = replayer.run(factory(trace_aws3.zone_ids))
+    return out
+
+
+def _max_zone_concentration(result):
+    """Peak fraction of the fleet placed in one zone is not directly
+    recorded; use preemption count as the observable proxy — a drained
+    Z_A concentrates replicas and eats correlated preemptions."""
+    return result.preemptions
+
+
+def test_ablation_zone_rebalancing(benchmark, results):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [name, f"{r.availability:.1%}", r.preemptions, r.launch_failures]
+            for name, r in results.items()
+        ],
+    )
+    print_header("Ablation: Alg. 1 zone rebalancing (AWS 3, no OD fallback)")
+    print_rows(["variant", "availability", "preemptions", "launch failures"], rows)
+
+    on = results["rebalance on"]
+    off = results["rebalance off"]
+    # The trigger's measurable benefit on this trace: far fewer wasted
+    # launch attempts against the drained zone list.
+    assert on.launch_failures < off.launch_failures * 0.85
+    # Availability lands in the same band for both variants (successful
+    # launches rehabilitate zones either way).
+    assert abs(on.availability - off.availability) <= 0.08
+    assert on.availability >= 0.85

@@ -1,0 +1,45 @@
+"""Fig. 11: the Arena workload's arrival pattern and interarrival
+distribution.
+
+Paper shapes: (a) bursty request-rate series with spikes well above the
+base load; (b) a heavy-tailed interarrival distribution — most gaps are
+short, with a long tail (CV > 1, unlike Poisson's CV = 1).
+"""
+
+import numpy as np
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import HOUR
+from repro.workloads import arena_workload, poisson_workload
+
+
+def test_fig11_arena_arrival_pattern(benchmark):
+    workload = run_once(benchmark, lambda: arena_workload(24 * HOUR, seed=11))
+
+    times, rates = workload.rate_series(bin_seconds=600.0)
+    print_header("Fig. 11a: Arena request arrival pattern (10-min bins)")
+    marks = np.linspace(0, len(rates) - 1, 12).astype(int)
+    print_rows(
+        ["hour", "req/s"],
+        [[f"{times[m] / 3600:.1f}", f"{rates[m]:.3f}"] for m in marks],
+    )
+
+    gaps = workload.interarrival_times()
+    print_header("Fig. 11b: interarrival distribution")
+    print_rows(
+        ["percentile", "gap (s)"],
+        [
+            [f"P{q}", f"{np.percentile(gaps, q):.2f}"]
+            for q in (10, 50, 90, 99)
+        ],
+    )
+    print(f"interarrival CV = {workload.burstiness():.2f} (Poisson = 1.0)")
+
+    # Bursty rate series: spikes well above the typical level.
+    assert rates.max() > 3 * np.median(rates)
+    # Heavy-tailed interarrivals: CV above Poisson.
+    poisson = poisson_workload(24 * HOUR, rate=workload.mean_rate(), seed=11)
+    assert workload.burstiness() > poisson.burstiness() + 0.3
+    assert workload.burstiness() > 1.2
+    # Long tail: P99 gap far above the median gap.
+    assert np.percentile(gaps, 99) > 10 * np.percentile(gaps, 50)

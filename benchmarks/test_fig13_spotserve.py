@@ -1,0 +1,103 @@
+"""Fig. 13: SpotServe (OPT-6.7B on 4xT4 g4dn.12xlarge, 20 s timeout)
+running together with each provisioning system.
+
+SpotServe is the inference layer here — it "does not consider or
+implement instance provisioning" — so, as in the paper, each compared
+system provides the fleet management under the identical SpotServe
+endpoint.  Paper shapes: SkyServe keeps failures at 0.05-0.4% while the
+others reach 52-95% under volatility; latency improves ~1.6-3.1x.
+"""
+
+import pytest
+from conftest import E2E_DURATION, fig13_workload, print_header, print_rows, run_once
+
+from repro.cloud import default_catalog
+from repro.experiments import run_comparison
+from repro.serving import opt_6_7b_profile
+
+OD_HOURLY = default_catalog().get("g4dn.12xlarge").on_demand_hourly
+N_TAR = 4
+
+
+def run_group(scenario):
+    return run_comparison(
+        scenario,
+        fig13_workload(),
+        E2E_DURATION,
+        accelerator="T4",
+        profile=opt_6_7b_profile(),
+        request_timeout=20.0,
+        seed=6,
+    )
+
+
+def od_baseline_cost():
+    return OD_HOURLY * N_TAR * E2E_DURATION / 3600.0
+
+
+def rows_for(results):
+    rows = []
+    for name, result in results.items():
+        r = result.report
+        rows.append(
+            [
+                name,
+                f"{r.failure_rate:.2%}",
+                f"{r.latency.p50:.1f}s",
+                f"{r.latency.p90:.1f}s",
+                f"{r.latency.p99:.1f}s",
+                f"{r.total_cost / od_baseline_cost():.1%}",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["system", "fail", "P50", "P90", "P99", "cost vs OD"]
+
+
+@pytest.fixture(scope="module")
+def volatile():
+    return run_group("volatile")
+
+
+@pytest.fixture(scope="module")
+def available():
+    return run_group("available")
+
+
+def test_fig13_spot_volatile(benchmark, volatile):
+    rows = run_once(benchmark, lambda: rows_for(volatile))
+    print_header("Fig. 13 (Spot Volatile): OPT-6.7B with SpotServe engine")
+    print_rows(HEADERS, rows)
+
+    reports = {name: r.report for name, r in volatile.items()}
+    sky = reports["SkyServe"]
+    # Paper: SkyServe 0.05-0.4% vs 52-95% for everything else.
+    assert sky.failure_rate < 0.05
+    for name in ("ASG", "AWSSpot", "MArk"):
+        assert reports[name].failure_rate > 0.25, name
+    # Latency improvements (paper: P50 ~3.1x, P99 ~1.6x), compared on
+    # effective percentiles (failures at the 20 s timeout) so that the
+    # survivorship bias of mostly-failing systems cannot flatter them.
+    timeout = 20.0
+    sky_p50 = sky.effective_percentile(50, timeout)
+    sky_p99 = sky.effective_percentile(99, timeout)
+    for name in ("ASG", "AWSSpot", "MArk"):
+        assert sky_p50 < reports[name].effective_percentile(50, timeout), name
+        assert sky_p99 <= reports[name].effective_percentile(99, timeout), name
+
+
+def test_fig13_spot_available(benchmark, available):
+    rows = run_once(benchmark, lambda: rows_for(available))
+    print_header("Fig. 13 (Spot Available): OPT-6.7B with SpotServe engine")
+    print_rows(HEADERS, rows)
+
+    reports = {name: r.report for name, r in available.items()}
+    sky = reports["SkyServe"]
+    # Healthy group: SkyServe matches or beats everyone on failures and
+    # tail latency (paper: similar P50/P90 to MArk, 2.2x better P99).
+    assert sky.failure_rate <= min(r.failure_rate for r in reports.values()) + 0.01
+    assert sky.latency.p99 <= reports["MArk"].latency.p99 * 1.10
+    # Cost: SkyServe halves the all-on-demand bill (paper: 10-20%
+    # cheaper than ASG/AWSSpot with far better service).
+    assert sky.total_cost / od_baseline_cost() <= 0.70

@@ -1,0 +1,72 @@
+"""Fig. 14b: cost relative to an all-on-demand deployment, by trace and
+policy.
+
+Paper shapes: SpotHedge costs 45-58% of on-demand (a 42-55% saving);
+Even Spread (16-29%) and Round Robin (33-39%) are cheaper only because
+their preempted fleets serve far less (their availability collapses in
+Fig. 14a).
+"""
+
+import pytest
+from conftest import print_header, print_rows, run_once
+
+from repro.core import even_spread_policy, round_robin_policy, spothedge
+from repro.experiments import ReplayConfig, TraceReplayer
+
+POLICIES = [
+    ("SpotHedge", spothedge),
+    ("RoundRobin", round_robin_policy),
+    ("EvenSpread", even_spread_policy),
+]
+
+
+@pytest.fixture(scope="module")
+def results(trace_aws1, trace_aws2, trace_aws3, trace_gcp1):
+    out = {}
+    for trace in (trace_aws1, trace_aws2, trace_aws3, trace_gcp1):
+        replayer = TraceReplayer(trace, ReplayConfig(n_tar=4, k=4.0))
+        for name, factory in POLICIES:
+            out[(trace.name, name)] = replayer.run(factory(trace.zone_ids))
+    return out
+
+
+def test_fig14b_relative_cost(benchmark, results, trace_aws1, trace_aws2, trace_aws3, trace_gcp1):
+    traces = [trace_aws1.name, trace_aws2.name, trace_aws3.name, trace_gcp1.name]
+
+    def build_rows():
+        rows = []
+        for trace_name in traces:
+            rows.append(
+                [trace_name]
+                + [
+                    f"{results[(trace_name, p)].relative_cost:.1%}"
+                    for p, _ in POLICIES
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build_rows)
+    print_header("Fig. 14b: cost relative to all-on-demand (N_Tar = 4, k = 4)")
+    print_rows(["trace"] + [p for p, _ in POLICIES], rows)
+
+    for trace_name in traces:
+        sky = results[(trace_name, "SpotHedge")]
+        rr = results[(trace_name, "RoundRobin")]
+        es = results[(trace_name, "EvenSpread")]
+        # SpotHedge saves substantially vs on-demand (paper: 42-55%
+        # cheaper; our AWS 2 variant is blacked out more, so allow up
+        # to 75% of the on-demand cost).
+        assert 0.30 <= sky.relative_cost <= 0.75, trace_name
+        # The pure-spot placements are cheaper than SpotHedge — because
+        # they hold fewer (often zero) replicas.
+        assert es.relative_cost < sky.relative_cost, trace_name
+        assert rr.relative_cost < sky.relative_cost, trace_name
+        # But their cheapness comes with collapsed availability.
+        assert es.availability < sky.availability, trace_name
+
+    # Even Spread's fleet is the smallest of all (paper: 16-29%).
+    for trace_name in traces:
+        assert (
+            results[(trace_name, "EvenSpread")].relative_cost
+            <= results[(trace_name, "RoundRobin")].relative_cost + 0.05
+        ), trace_name

@@ -1,0 +1,104 @@
+"""Fig. 3: correlated spot preemptions within a region, independence
+across regions.
+
+(a)/(b): preemption co-occurrence on the 2-week V100 trace (AWS 1 is
+single-region; cross-region pairs come from AWS 3).  (c): the full
+pairwise Pearson matrix over the 2-month, multi-region trace, where the
+paper bolds intra-region correlations >= 0.3 and finds near-zero
+inter-region correlation.
+"""
+
+import numpy as np
+from conftest import print_header, print_rows, run_once
+
+from repro.analysis import preemption_correlation
+
+
+def test_fig3c_correlation_matrix(benchmark, trace_aws3):
+    matrix = run_once(benchmark, lambda: preemption_correlation(trace_aws3))
+
+    print_header("Fig. 3c: Pearson correlation of preemption events (AWS 3)")
+    short = [z.split(":")[-1] for z in matrix.zone_ids]
+    rows = []
+    for i, name in enumerate(short):
+        rows.append([name] + [f"{matrix.correlation[i, j]:+.2f}" for j in range(len(short))])
+    print_rows([""] + short, rows)
+    print(
+        f"mean intra-region r = {matrix.mean_intra_region():.3f}, "
+        f"mean inter-region r = {matrix.mean_inter_region():.3f}"
+    )
+
+    # Paper shape: intra-region pairs correlate (bolded at >= 0.3),
+    # inter-region pairs do not.
+    assert matrix.mean_intra_region() >= 0.25
+    assert abs(matrix.mean_inter_region()) <= 0.10
+    assert matrix.mean_intra_region() > matrix.mean_inter_region() + 0.2
+    # A majority of intra-region pairs clear the paper's 0.3 bolding bar.
+    strong = [r for r in matrix.intra_region_pairs if r >= 0.3]
+    assert len(strong) >= len(matrix.intra_region_pairs) // 2
+
+
+def test_fig3ab_simultaneous_preemptions(benchmark, trace_aws1, trace_aws3):
+    """Fig. 3a/b: same-region zones lose capacity together far more often
+    than different-region zones."""
+
+    def co_occurrence(trace, zone_a, zone_b):
+        a = trace.preemption_indicator(zone_a)
+        b = trace.preemption_indicator(zone_b)
+        window = 5  # within 5 minutes (§2.2's follow-on preemption window)
+        n = len(a) // window
+        aw = a[: n * window].reshape(n, window).max(axis=1)
+        bw = b[: n * window].reshape(n, window).max(axis=1)
+        if aw.sum() == 0:
+            return 0.0
+        return float((aw & bw).sum() / aw.sum())
+
+    def compute():
+        intra = co_occurrence(trace_aws1, trace_aws1.zone_ids[0], trace_aws1.zone_ids[1])
+        # Cross-region pair from the multi-region trace.
+        east = next(z for z in trace_aws3.zone_ids if "us-east-1" in z)
+        west = next(z for z in trace_aws3.zone_ids if "us-west-2" in z)
+        inter = co_occurrence(trace_aws3, east, west)
+        return intra, inter
+
+    intra, inter = run_once(benchmark, compute)
+    print_header("Fig. 3a/b: co-occurring preemptions (same 5-minute window)")
+    print_rows(
+        ["pair", "P(other zone also preempts)"],
+        [["same region", f"{intra:.1%}"], ["different regions", f"{inter:.1%}"]],
+    )
+    assert intra > inter
+    assert intra >= 0.15  # §2.2: follow-on preemptions are the norm
+
+
+def test_follow_on_preemption_statistics(benchmark, trace_aws2, trace_gcp1):
+    """§2.2's quoted statistics: from the first preemption, 83-97% of
+    the time another follows within 5 minutes (AWS, instance level);
+    34-95% within 150 s in the same zone (GCP)."""
+    from repro.analysis import follow_on_preemption_probability
+
+    def compute():
+        aws = follow_on_preemption_probability(
+            trace_aws2, window=300.0, scope="region", instance_level=True
+        )
+        gcp = follow_on_preemption_probability(
+            trace_gcp1, window=150.0, scope="zone", instance_level=True
+        )
+        return aws, gcp
+
+    aws, gcp = run_once(benchmark, compute)
+    print_header("SS2.2: follow-on preemption probability")
+    rows = [
+        [z.split(":")[-1], "AWS 2 / region / 5min", f"{p:.1%}"]
+        for z, p in aws.items()
+    ] + [
+        [z.split(":")[-1], "GCP 1 / zone / 150s", f"{p:.1%}"]
+        for z, p in gcp.items()
+    ]
+    print_rows(["zone", "setting", "P(follow-on)"], rows)
+
+    aws_values = [v for v in aws.values() if v == v]
+    gcp_values = [v for v in gcp.values() if v == v]
+    # Paper bands: 83-97% (AWS) and 34-95% (GCP).
+    assert min(aws_values) >= 0.75
+    assert all(0.34 <= v <= 0.95 for v in gcp_values)

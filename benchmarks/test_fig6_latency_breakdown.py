@@ -1,0 +1,66 @@
+"""Fig. 6: request processing dominates end-to-end latency.
+
+(a) the latency breakdown of a Vicuna-13B request (20 input / 44 output
+tokens): queueing/processing is seconds, network is milliseconds.
+(b) inter-region RTTs: ~100 ms US<->EU, far below processing time.
+"""
+
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import default_network
+from repro.serving import vicuna_13b_profile
+from repro.workloads import Request
+
+REGIONS = ["us-east-2", "us-west-2", "eu-central-1", "us-central1", "europe-west4"]
+
+
+def test_fig6a_latency_breakdown(benchmark):
+    profile = vicuna_13b_profile()
+    request = Request(0, 0.0, input_tokens=20, output_tokens=44)
+    network = default_network()
+
+    def compute():
+        processing = profile.processing_time(request)
+        ttft = profile.time_to_first_token(request)
+        local_rtt = network.rtt("us-west-2", "us-west-2")
+        remote_rtt = network.rtt("us-west-2", "eu-central-1")
+        return processing, ttft, local_rtt, remote_rtt
+
+    processing, ttft, local_rtt, remote_rtt = run_once(benchmark, compute)
+    print_header("Fig. 6a: Vicuna-13B request latency breakdown (20 in / 44 out)")
+    print_rows(
+        ["component", "seconds"],
+        [
+            ["prefill (TTFT)", f"{ttft:.3f}"],
+            ["decode + overhead", f"{processing - ttft:.3f}"],
+            ["total processing", f"{processing:.3f}"],
+            ["network RTT (same region)", f"{local_rtt:.3f}"],
+            ["network RTT (US<->EU)", f"{remote_rtt:.3f}"],
+        ],
+    )
+    # The §3.1 argument: processing is seconds, network is milliseconds.
+    assert processing >= 1.0
+    assert remote_rtt <= 0.15
+    assert processing > 10 * remote_rtt
+
+
+def test_fig6b_interregion_rtts(benchmark):
+    network = default_network()
+
+    def compute():
+        rows = []
+        for a in REGIONS:
+            rows.append([a] + [f"{network.rtt(a, b) * 1000:.0f}ms" for b in REGIONS])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_header("Fig. 6b: round-trip latency between regions")
+    print_rows(["from \\ to"] + REGIONS, rows)
+
+    # Diagonal fast, US<->EU near 100 ms, symmetry.
+    for region in REGIONS:
+        assert network.rtt(region, region) < 0.01
+    assert 0.05 <= network.rtt("us-east-2", "eu-central-1") <= 0.15
+    for a in REGIONS:
+        for b in REGIONS:
+            assert network.rtt(a, b) == network.rtt(b, a)

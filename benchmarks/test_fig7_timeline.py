@@ -1,0 +1,61 @@
+"""Fig. 7: the SpotHedge illustration timeline.
+
+A scripted three-zone scenario: zone 2 is initially unavailable, zone 3
+then fails, zone 1 then fails, and finally all zones lose availability.
+SpotHedge must (1) launch on-demand fallback while spot warms up, then
+scale it to zero; (2) avoid the dead zone; (3) migrate replicas as zones
+fail; (4) fall back to on-demand in the final blackout.
+"""
+
+import numpy as np
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import SpotTrace
+from repro.core import spothedge
+from repro.experiments import ReplayConfig, TraceReplayer
+
+Z1, Z2, Z3 = "aws:r1:z1", "aws:r2:z2", "aws:r3:z3"
+STEP = 60.0
+N = 120  # two hours
+
+
+def scripted_trace():
+    z1 = np.zeros(N, dtype=int)
+    z2 = np.zeros(N, dtype=int)
+    z3 = np.zeros(N, dtype=int)
+    z1[0:60] = 4      # zone 1 up for the first hour
+    z2[0:10] = 0      # zone 2 down at the start (launch fails there)
+    z2[30:90] = 4     # zone 2 recovers mid-experiment
+    z3[0:40] = 4      # zone 3 up early, fails at t=40min
+    z3[55:90] = 4     # zone 3 recovers when zone 1 fails
+    # After step 90: full blackout in every zone.
+    return SpotTrace("fig7", [Z1, Z2, Z3], STEP, np.stack([z1, z2, z3]))
+
+
+def test_fig7_spothedge_timeline(benchmark):
+    trace = scripted_trace()
+
+    def run():
+        replayer = TraceReplayer(trace, ReplayConfig(n_tar=4, cold_start=120.0, k=3.0))
+        policy = spothedge([Z1, Z2, Z3], num_overprovision=0)
+        return replayer.run(policy)
+
+    result = run_once(benchmark, run)
+
+    print_header("Fig. 7: SpotHedge timeline (4 spot replicas, 3 zones)")
+    marks = [0, 5, 20, 45, 70, 100, 119]
+    print_rows(
+        ["t (min)", "ready replicas"],
+        [[m, int(result.ready_series[m])] for m in marks],
+    )
+
+    # Early phase: spot replicas come up in zones 1/3 (zone 2 dead), and
+    # the target is met shortly after one cold start.
+    assert result.ready_series[5:20].max() >= 4
+    # Mid-experiment churn: SpotHedge keeps the service near target.
+    assert result.ready_series[30:85].min() >= 2
+    # Final blackout: on-demand fallback carries the service.
+    assert result.ready_series[100:].min() >= 4
+    assert result.od_cost > 0
+    # And the whole run stays mostly available despite three zone failures.
+    assert result.availability >= 0.85

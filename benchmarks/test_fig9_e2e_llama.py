@@ -1,0 +1,141 @@
+"""Fig. 9: end-to-end service quality, failure rate, and cost —
+Llama-2-70B on 8xA10G (g5.48xlarge), SkyServe vs ASG/AWSSpot/MArk.
+
+Paper shapes reproduced:
+* SkyServe keeps failures below 1% in both groups (paper 0.34-0.62%)
+  while single-region spot systems fail 49-94% under volatility and ASG
+  degrades on its lone on-demand replica (36%).
+* SkyServe's P50/P90/P99 improve by about 2x under volatility.
+* SkyServe costs ~half of an all-on-demand deployment (paper: 41-44%
+  cheaper); ASG's cost is dominated by its always-on on-demand node
+  (§2.4: ~52% of its total); MArk/AWSSpot can be cheaper under
+  volatility only because they serve almost nothing.
+"""
+
+import pytest
+from conftest import E2E_DURATION, fig9_workload, print_header, print_rows, run_once
+
+from repro.cloud import default_catalog
+from repro.experiments import run_comparison
+
+OD_HOURLY = default_catalog().get("g5.48xlarge").on_demand_hourly
+N_TAR = 4
+
+
+def od_baseline_cost():
+    return OD_HOURLY * N_TAR * E2E_DURATION / 3600.0
+
+
+def run_group(scenario):
+    workload = fig9_workload()
+    return run_comparison(scenario, workload, E2E_DURATION, seed=6)
+
+
+def report_rows(results):
+    rows = []
+    for name, result in results.items():
+        r = result.report
+        rows.append(
+            [
+                name,
+                f"{r.failure_rate:.2%}",
+                f"{r.latency.p50:.1f}s",
+                f"{r.latency.p90:.1f}s",
+                f"{r.latency.p99:.1f}s",
+                f"{r.effective_percentile(50, 100.0):.1f}s",
+                f"{r.total_cost / od_baseline_cost():.1%}",
+                f"{r.od_cost / max(r.total_cost, 1e-9):.0%}",
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "system", "fail", "P50", "P90", "P99", "eff-P50", "cost vs OD", "OD share",
+]
+
+
+@pytest.fixture(scope="module")
+def available():
+    return run_group("available")
+
+
+@pytest.fixture(scope="module")
+def volatile():
+    return run_group("volatile")
+
+
+def test_fig9_spot_available(benchmark, available):
+    rows = run_once(benchmark, lambda: report_rows(available))
+    print_header("Fig. 9 (Spot Available): Llama-2-70B on g5.48xlarge")
+    print_rows(HEADERS, rows)
+
+    reports = {name: r.report for name, r in available.items()}
+    # Everyone is mostly healthy when spot is obtainable...
+    for name, report in reports.items():
+        assert report.failure_rate < 0.10, name
+    # ...but SkyServe still has the fewest failures.
+    sky = reports["SkyServe"]
+    assert sky.failure_rate <= min(r.failure_rate for r in reports.values()) + 1e-9
+    # Cost: SkyServe saves ~half versus all-on-demand (paper: 41-44%).
+    assert 0.35 <= sky.total_cost / od_baseline_cost() <= 0.70
+    # SkyServe's cost is not above ASG's (paper: 20-24% cheaper).
+    assert sky.total_cost <= reports["ASG"].total_cost * 1.10
+
+
+def test_fig9_spot_volatile(benchmark, volatile):
+    rows = run_once(benchmark, lambda: report_rows(volatile))
+    print_header("Fig. 9 (Spot Volatile): Llama-2-70B on g5.48xlarge")
+    print_rows(HEADERS, rows)
+
+    reports = {name: r.report for name, r in volatile.items()}
+    sky = reports["SkyServe"]
+
+    # Failure rates: SkyServe < 3% (paper 0.34-0.62%); single-region
+    # spot systems collapse (paper: AWSSpot 49-94%, MArk 6.8-79%).
+    assert sky.failure_rate < 0.03
+    assert reports["AWSSpot"].failure_rate > 0.40
+    assert reports["MArk"].failure_rate > 0.40
+    assert reports["ASG"].failure_rate > 0.10  # paper: 36%
+    assert sky.failure_rate < min(
+        reports[n].failure_rate for n in ("ASG", "AWSSpot", "MArk")
+    ) / 10
+
+    # Latency: completed-only percentiles are survivorship-biased when
+    # a system fails most requests, so compare *effective* percentiles
+    # (failed requests counted at the 100 s timeout).  Paper factors:
+    # P50 vs ASG 1.1-1.6x, vs AWSSpot 2.6-3.9x; MArk in between.
+    timeout = 100.0
+    sky_p50 = sky.effective_percentile(50, timeout)
+    sky_p90 = sky.effective_percentile(90, timeout)
+    assert sky_p50 * 1.1 <= reports["ASG"].effective_percentile(50, timeout)
+    assert sky_p50 * 2.0 <= reports["AWSSpot"].effective_percentile(50, timeout)
+    assert sky_p50 * 2.0 <= reports["MArk"].effective_percentile(50, timeout)
+    for name in ("ASG", "AWSSpot", "MArk"):
+        # Any failure rate above ~1% saturates effective P99 at the
+        # timeout, so the tail comparison happens at P90.
+        assert sky_p90 < reports[name].effective_percentile(90, timeout), name
+        assert sky.effective_percentile(99, timeout) <= reports[
+            name
+        ].effective_percentile(99, timeout), name
+
+    # Cost: SkyServe saves >= 35% vs on-demand while staying available.
+    assert sky.total_cost / od_baseline_cost() <= 0.65
+    # ASG's cost is dominated by the always-on on-demand replica
+    # (§5.1: 97% of its cost under volatility; §2.4: >= half).
+    asg = reports["ASG"]
+    assert asg.od_cost / asg.total_cost >= 0.5
+    # MArk/AWSSpot end up cheaper only because they barely serve.
+    for name in ("AWSSpot", "MArk"):
+        assert reports[name].total_cost < sky.total_cost
+        assert reports[name].failure_rate > 10 * sky.failure_rate
+
+
+def test_fig9_availability_ordering(benchmark, volatile):
+    reports = run_once(
+        benchmark, lambda: {name: r.report for name, r in volatile.items()}
+    )
+    sky = reports["SkyServe"]
+    for name in ("ASG", "AWSSpot", "MArk"):
+        assert sky.availability >= reports[name].availability
+    assert sky.availability >= 0.90

@@ -1,0 +1,111 @@
+"""§5.2 "Optimal": SpotHedge versus the Omniscient ILP bound.
+
+The paper reports SpotHedge within 5-20% relative cost of the
+Omniscient policy (which sees the whole future, does not overprovision,
+and is infeasible online) at comparable availability.
+"""
+
+import pytest
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import DAY
+from repro.core import solve_omniscient, spothedge
+from repro.experiments import ReplayConfig, TraceReplayer
+
+K = 4.0  # p3.2xlarge / a2-ultragpu spot ratios are 0.25-0.33
+N_TAR = 4
+
+
+def compare_on(trace, resample_step):
+    replayer = TraceReplayer(trace, ReplayConfig(n_tar=N_TAR, k=K))
+    online = replayer.run(spothedge(trace.zone_ids))
+    offline = solve_omniscient(
+        trace,
+        N_TAR,
+        k=K,
+        cold_start=180.0,
+        avail_target=min(online.availability, 0.99),
+        resample_step=resample_step,
+    )
+    return online, offline
+
+
+@pytest.fixture(scope="module")
+def comparisons(trace_aws1, trace_gcp1):
+    return {
+        "AWS 1": compare_on(trace_aws1.window(0, 4 * DAY, name="AWS 1"), 1800.0),
+        "GCP 1": compare_on(trace_gcp1, 600.0),
+    }
+
+
+def test_omniscient_gap(benchmark, comparisons):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [
+                name,
+                f"{online.relative_cost:.1%}",
+                f"{offline.cost_relative_to_on_demand(N_TAR):.1%}",
+                f"{online.availability:.1%}",
+                f"{offline.availability:.1%}",
+            ]
+            for name, (online, offline) in comparisons.items()
+        ],
+    )
+    print_header("SpotHedge vs Omniscient (cost relative to on-demand)")
+    print_rows(
+        ["trace", "SpotHedge", "Omniscient", "SH avail", "Omni avail"], rows
+    )
+
+    for name, (online, offline) in comparisons.items():
+        omni_cost = offline.cost_relative_to_on_demand(N_TAR)
+        # The offline optimum is a genuine lower bound.
+        assert omni_cost <= online.relative_cost + 1e-9, name
+        # SpotHedge lands within a modest factor of the bound at
+        # comparable availability (paper: 5-20% relative difference;
+        # the bound here is clairvoyant AND unbuffered, so allow 2x).
+        assert online.relative_cost <= 2.0 * omni_cost + 0.10, name
+        assert online.availability >= offline.availability - 0.05, name
+
+
+def test_omniscient_greedy_all_traces(
+    benchmark, trace_aws1, trace_aws2, trace_aws3, trace_gcp1
+):
+    """The scalable greedy clairvoyant bound over every *full* trace —
+    including the two-month AWS 3 the ILP cannot handle."""
+    from repro.core import solve_omniscient_greedy
+
+    def compute():
+        rows = []
+        for trace in (trace_aws1, trace_aws2, trace_aws3, trace_gcp1):
+            replayer = TraceReplayer(trace, ReplayConfig(n_tar=N_TAR, k=K))
+            online = replayer.run(spothedge(trace.zone_ids))
+            greedy = solve_omniscient_greedy(
+                trace, N_TAR, k=K, resample_step=max(trace.step, 600.0)
+            )
+            rows.append(
+                (
+                    trace.name,
+                    online.relative_cost,
+                    greedy.cost_relative_to_on_demand(N_TAR),
+                    online.availability,
+                    greedy.availability,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print_header("SpotHedge vs greedy clairvoyant bound (full traces)")
+    print_rows(
+        ["trace", "SpotHedge", "greedy bound", "SH avail", "bound avail"],
+        [
+            [name, f"{sh:.1%}", f"{greedy:.1%}", f"{a:.1%}", f"{b:.1%}"]
+            for name, sh, greedy, a, b in rows
+        ],
+    )
+    for name, sh_cost, greedy_cost, sh_avail, bound_avail in rows:
+        # The bound is below the online policy everywhere...
+        assert greedy_cost <= sh_cost + 1e-9, name
+        # ...and SpotHedge stays within 2x of it (paper: 5-20% gap to
+        # their less idealised Optimal).
+        assert sh_cost <= 2.0 * greedy_cost + 0.10, name

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these keep the simulator fast enough that the
+paper-scale experiments (22 hours of serving, two-month traces) run in
+seconds.  Regressions here multiply into every other benchmark.
+"""
+
+import numpy as np
+
+from repro.cloud import SpotTrace
+from repro.core import spothedge
+from repro.experiments import ReplayConfig, TraceReplayer
+from repro.sim import SimulationEngine
+
+ZONES = ["aws:r1:a", "aws:r1:b", "aws:r2:a"]
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw event loop: schedule + dispatch 100k events."""
+
+    def run():
+        engine = SimulationEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(100_000):
+            engine.call_at(float(i % 1000), tick)
+        engine.run()
+        return count
+
+    count = benchmark(run)
+    assert count == 100_000
+
+
+def test_recurring_timer_throughput(benchmark):
+    """A 10 s control loop over a simulated day — the controller's
+    reconcile cadence."""
+
+    def run():
+        engine = SimulationEngine()
+        ticks = []
+        engine.call_every(10.0, lambda: ticks.append(None))
+        engine.run_until(86_400.0)
+        return len(ticks)
+
+    count = benchmark(run)
+    assert count == 8640
+
+
+def test_replay_throughput(benchmark):
+    """Replaying a week-long three-zone trace with SpotHedge."""
+    rng = np.random.default_rng(0)
+    capacity = rng.integers(0, 5, size=(3, 7 * 24 * 60))
+    trace = SpotTrace("perf", ZONES, 60.0, capacity)
+
+    def run():
+        replayer = TraceReplayer(trace, ReplayConfig(n_tar=4))
+        return replayer.run(spothedge(ZONES))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ready_series.shape[0] == trace.n_steps

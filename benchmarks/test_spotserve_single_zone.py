@@ -1,0 +1,96 @@
+"""§2.2's SpotServe observation: a single-zone deployment's failure rate
+depends entirely on where it happens to be deployed.
+
+The paper measures SpotServe failure rates of 2.0-75.9% depending on
+the region, because "naively placing spot replicas in a single region
+can lead to limited availability".  This bench deploys the same
+SpotServe-engine service pinned to each zone of the volatile scenario,
+plus SkyServe over all of them, and shows the spread.
+"""
+
+import pytest
+from conftest import E2E_DURATION, fig13_workload, print_header, print_rows, run_once
+
+from repro.baselines import SingleZonePolicy
+from repro.core import spothedge
+from repro.experiments import e2e_trace, run_system
+from repro.serving import (
+    DomainFilter,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceSpec,
+    opt_6_7b_profile,
+)
+
+
+def spec_for(zone_or_all):
+    if zone_or_all == "all":
+        any_of = ()
+    else:
+        cloud, region, _ = zone_or_all.split(":")
+        any_of = (DomainFilter(cloud=cloud, region=region),)
+    return ServiceSpec(
+        name="single-zone",
+        replica_policy=ReplicaPolicyConfig(fixed_target=4, num_overprovision=2),
+        resources=ResourceSpec(accelerator="T4", any_of=any_of),
+        request_timeout=20.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = e2e_trace("volatile", duration=E2E_DURATION, seed=6)
+    workload = fig13_workload()
+    out = {}
+    # One pinned deployment per zone (sampled: the first zone of each
+    # region keeps the run time modest).
+    regions_seen = set()
+    for zone in trace.zone_ids:
+        region = zone.rsplit(":", 1)[0]
+        if region in regions_seen:
+            continue
+        regions_seen.add(region)
+        out[zone] = run_system(
+            SingleZonePolicy(zone),
+            trace,
+            workload,
+            E2E_DURATION,
+            spec=spec_for(zone),
+            profile=opt_6_7b_profile(),
+            seed=6,
+        )
+    out["SkyServe (all zones)"] = run_system(
+        spothedge(list(trace.zone_ids)),
+        trace,
+        workload,
+        E2E_DURATION,
+        spec=spec_for("all"),
+        profile=opt_6_7b_profile(),
+        seed=6,
+    )
+    return out
+
+
+def test_single_zone_failure_spread(benchmark, results):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [name, f"{r.report.failure_rate:.1%}", f"{r.report.availability:.1%}"]
+            for name, r in results.items()
+        ],
+    )
+    print_header("SS2.2: SpotServe pinned to one zone vs SkyServe")
+    print_rows(["deployment", "fail", "availability"], rows)
+
+    single = {
+        name: r.report.failure_rate
+        for name, r in results.items()
+        if name != "SkyServe (all zones)"
+    }
+    sky = results["SkyServe (all zones)"].report.failure_rate
+    # The paper's spread: failure rates range widely by zone (2-76%).
+    assert max(single.values()) > 0.3
+    assert max(single.values()) - min(single.values()) > 0.15
+    # SkyServe beats every pinned deployment.
+    assert sky < min(single.values())
+    assert sky < 0.05

@@ -1,0 +1,48 @@
+"""Table 1: spot GPU price as a percentage of on-demand, per cloud x GPU.
+
+Regenerates the paper's pricing table from the catalog and checks the
+economic premise: spot GPUs cost 8-50% of on-demand everywhere.
+"""
+
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import SPOT_DISCOUNT_TABLE, default_catalog
+
+GPUS = ["A100", "V100", "T4", "K80"]
+CLOUDS = ["aws", "azure", "gcp"]
+
+
+def build_table():
+    catalog = default_catalog()
+    rows = []
+    for cloud in CLOUDS:
+        cells = []
+        for gpu in GPUS:
+            low, high = catalog.spot_discount(cloud, gpu)
+            if low == high:
+                cells.append(f"{low:.0%}")
+            else:
+                cells.append(f"{low:.0%}-{high:.0%}")
+        rows.append([cloud.upper()] + cells)
+    return rows
+
+
+def test_table1_spot_discounts(benchmark):
+    rows = run_once(benchmark, build_table)
+    print_header("Table 1: Cost of spot GPU instances (% of on-demand)")
+    print_rows(["Cloud"] + GPUS, rows)
+
+    # Shape assertions from the paper's Table 1.
+    catalog = default_catalog()
+    # Every cell within the 8-50% economic band.
+    for (cloud, gpu), (low, high) in SPOT_DISCOUNT_TABLE.items():
+        assert 0.08 <= low <= high <= 0.50, (cloud, gpu)
+    # Headline cells reproduced exactly.
+    assert catalog.spot_discount("aws", "A100") == (0.10, 0.10)
+    assert catalog.spot_discount("azure", "A100") == (0.50, 0.50)
+    assert catalog.spot_discount("gcp", "A100") == (0.33, 0.33)
+    assert catalog.spot_discount("aws", "V100") == (0.08, 0.25)
+    # AWS offers the deepest A100 discount; Azure the shallowest.
+    aws_a100 = catalog.spot_discount("aws", "A100")[1]
+    azure_a100 = catalog.spot_discount("azure", "A100")[0]
+    assert aws_a100 < azure_a100

@@ -1,0 +1,62 @@
+"""Compare SkyServe against production baselines, end-to-end (§5.1).
+
+Deploys SkyServe (SpotHedge over three regions), AWS Auto-scaling Group,
+a pure-spot AWS node pool, and MArk on the *same* simulated cloud trace
+and the *same* bursty workload — the paper's concurrent-deployment
+methodology — then prints the Fig. 9-style comparison table for both
+scenarios (Spot Available and Spot Volatile).
+
+Run:  python examples/llm_serving_comparison.py
+"""
+
+from repro.cloud import HOUR, default_catalog
+from repro.experiments import run_comparison
+from repro.workloads import arena_workload
+
+DURATION = 3 * HOUR
+N_TAR = 4
+
+
+def main() -> None:
+    workload = arena_workload(
+        DURATION,
+        base_rate=1.0,
+        diurnal_amplitude=0.4,
+        burst_multiplier=1.8,
+        burst_mean_duration=180.0,
+        max_output_tokens=800,
+        seed=11,
+    )
+    print(f"workload: {len(workload)} requests over {DURATION / 3600:.0f}h "
+          f"(mean {workload.mean_rate():.2f} req/s, "
+          f"interarrival CV {workload.burstiness():.2f})")
+
+    od_hourly = default_catalog().get("g5.48xlarge").on_demand_hourly
+    od_baseline = od_hourly * N_TAR * DURATION / 3600.0
+
+    for scenario in ("available", "volatile"):
+        results = run_comparison(scenario, workload, DURATION, seed=6)
+        print(f"\n=== Spot {scenario.capitalize()} "
+              f"(Llama-2-70B on g5.48xlarge, 100s timeout) ===")
+        header = (f"{'system':<10} {'fail':>7} {'P50':>7} {'P90':>7} "
+                  f"{'P99':>7} {'cost vs OD':>11} {'avail':>7}")
+        print(header)
+        print("-" * len(header))
+        for name, result in results.items():
+            r = result.report
+            print(
+                f"{name:<10} {r.failure_rate:>7.2%} "
+                f"{r.latency.p50:>6.1f}s {r.latency.p90:>6.1f}s "
+                f"{r.latency.p99:>6.1f}s "
+                f"{r.total_cost / od_baseline:>11.1%} "
+                f"{r.availability:>7.1%}"
+            )
+
+    print("\nReading the table: under volatility the single-region systems")
+    print("either keep one expensive on-demand node (ASG) or lose all")
+    print("replicas to preemption (AWSSpot, MArk); SkyServe rides out the")
+    print("drought on other regions plus its dynamic on-demand fallback.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of *SkyServe: Serving AI Models across Regions and Clouds
+with Spot Instances* (EuroSys '25).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel: engine, RNG streams, metrics.
+``repro.cloud``
+    Simulated multi-cloud substrate: topology, pricing catalog, spot
+    obtainability traces, instance lifecycle, billing.
+``repro.workloads``
+    Request workload generators: Poisson, Arena-like, MAF-like.
+``repro.serving``
+    The SkyServe serving system: service controller, replicas, load
+    balancer, autoscaler, simulated inference engine, client.
+``repro.core``
+    The paper's contribution — SpotHedge: Dynamic Placement (Alg. 1),
+    Dynamic Fallback, overprovisioning, and the Omniscient ILP bound.
+``repro.baselines``
+    Reimplemented comparison systems: AWS ASG, AWSSpot, MArk, SpotServe.
+``repro.analysis``
+    Trace analysis: preemption correlation, availability vs search space.
+``repro.experiments``
+    Experiment harnesses replicating §5.1 (end-to-end serving) and §5.2
+    (policy replay on spot traces).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Trace analysis reproducing §2's measurement figures."""
+
+from repro.analysis.availability import SearchSpaceCurve, availability_by_search_space
+from repro.analysis.correlation import (
+    CorrelationMatrix,
+    follow_on_preemption_probability,
+    preemption_correlation,
+)
+from repro.analysis.preemption_model import PreemptionModel, simulate_preemptions
+
+__all__ = [
+    "CorrelationMatrix",
+    "PreemptionModel",
+    "SearchSpaceCurve",
+    "availability_by_search_space",
+    "follow_on_preemption_probability",
+    "preemption_correlation",
+    "simulate_preemptions",
+]

@@ -1,0 +1,15 @@
+"""Reimplementations of the systems the paper compares against (§5.1):
+AWS Auto-scaling Group, AWSSpot node pools, MArk, and SpotServe."""
+
+from repro.baselines.asg import ASGPolicy
+from repro.baselines.awsspot import AWSSpotPolicy
+from repro.baselines.mark import MArkPolicy
+from repro.baselines.spotserve import SingleZonePolicy, spotserve_spec
+
+__all__ = [
+    "ASGPolicy",
+    "AWSSpotPolicy",
+    "MArkPolicy",
+    "SingleZonePolicy",
+    "spotserve_spec",
+]

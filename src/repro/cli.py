@@ -1,0 +1,348 @@
+"""Command-line interface — the simulated counterpart of ``sky serve``.
+
+Subcommands:
+
+``repro serve``
+    Deploy a service (spec from a JSON file or defaults) on a trace and
+    serve a generated workload; prints the Fig. 9-style report.
+``repro compare``
+    Run the four §5.1 systems on one scenario and print the comparison.
+``repro replay``
+    Replay the §5.2 policies over a named or file trace (Fig. 14a/b).
+``repro trace``
+    Generate a canned trace (aws1/aws2/aws3/gcp1/cpu) to JSON or CSV,
+    or print its summary statistics.
+``repro analyze``
+    Preemption-correlation and search-space analysis of a trace
+    (Figs. 3 and 5).
+
+All randomness is seeded; the same command line always prints the same
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.analysis import availability_by_search_space, preemption_correlation
+from repro.cloud import HOUR, SpotTrace, aws1, aws2, aws3, cpu_trace, default_catalog, gcp1
+from repro.cloud.trace_io import load_capacity_csv, save_capacity_csv
+from repro.core import (
+    OnDemandOnlyPolicy,
+    even_spread_policy,
+    round_robin_policy,
+    spothedge,
+)
+from repro.experiments import (
+    ReplayConfig,
+    ResultStore,
+    TraceReplayer,
+    run_comparison,
+)
+from repro.serving import (
+    ServiceSpec,
+    SkyService,
+    llama2_70b_profile,
+    opt_6_7b_profile,
+    vicuna_13b_profile,
+)
+from repro.workloads import arena_workload, maf_workload, poisson_workload
+
+__all__ = ["build_parser", "main"]
+
+_CANNED_TRACES: dict[str, Callable[[], SpotTrace]] = {
+    "aws1": aws1,
+    "aws2": aws2,
+    "aws3": aws3,
+    "gcp1": gcp1,
+    "cpu": cpu_trace,
+}
+
+_PROFILES = {
+    "llama2-70b": llama2_70b_profile,
+    "opt-6.7b": opt_6_7b_profile,
+    "vicuna-13b": vicuna_13b_profile,
+}
+
+
+def _load_trace(spec: str) -> SpotTrace:
+    """Resolve a trace argument: a canned name, a .json, or a .csv file."""
+    if spec in _CANNED_TRACES:
+        return _CANNED_TRACES[spec]()
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"unknown trace {spec!r}: expected one of {sorted(_CANNED_TRACES)} "
+            "or a path to a .json/.csv trace file"
+        )
+    if path.suffix == ".json":
+        return SpotTrace.load(path)
+    if path.suffix == ".csv":
+        raise SystemExit(
+            "CSV traces need an explicit duration; convert to JSON via "
+            "'repro trace' or load programmatically with load_capacity_csv"
+        )
+    raise SystemExit(f"unsupported trace file type {path.suffix!r}")
+
+
+def _make_workload(kind: str, duration: float, rate: float, seed: int):
+    if kind == "poisson":
+        return poisson_workload(duration, rate=rate, seed=seed)
+    if kind == "arena":
+        return arena_workload(
+            duration, base_rate=rate, max_output_tokens=800, seed=seed
+        )
+    if kind == "maf":
+        return maf_workload(duration, base_rate=rate, seed=seed)
+    raise SystemExit(f"unknown workload {kind!r}")
+
+
+def _print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    if args.spec:
+        spec = ServiceSpec.from_dict(json.loads(Path(args.spec).read_text()))
+    else:
+        from repro.serving import ReplicaPolicyConfig, ResourceSpec
+
+        spec = ServiceSpec(
+            name="cli-service",
+            replica_policy=ReplicaPolicyConfig(
+                fixed_target=args.target, num_overprovision=args.overprovision
+            ),
+            resources=ResourceSpec(accelerator=args.accelerator),
+            request_timeout=args.timeout,
+        )
+    duration = args.hours * HOUR
+    workload = _make_workload(args.workload, duration, args.rate, args.seed)
+    policy = spothedge(trace.zone_ids, num_overprovision=args.overprovision)
+    service = SkyService(
+        spec, policy, trace, profile=_PROFILES[args.profile](), seed=args.seed
+    )
+    report = service.run(workload, duration)
+    print(f"service:      {spec.name} ({args.profile} on {args.accelerator})")
+    print(f"requests:     {report.total_requests} "
+          f"({report.failed} failed, {report.failure_rate:.2%})")
+    if report.latency:
+        print(f"latency:      p50={report.latency.p50:.1f}s "
+              f"p90={report.latency.p90:.1f}s p99={report.latency.p99:.1f}s")
+    print(f"availability: {report.availability:.1%}")
+    print(f"cost:         ${report.total_cost:.2f} "
+          f"(spot ${report.spot_cost:.2f} / od ${report.od_cost:.2f})")
+    print(f"preemptions:  {report.preemptions}")
+    print("\nfinal replica status:")
+    _print_table(
+        ["replica", "market", "zone", "state", "ongoing"],
+        [
+            [r["replica"], r["market"], r["zone"], r["state"], r["ongoing_requests"]]
+            for r in service.controller.status()
+        ],
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    duration = args.hours * HOUR
+    workload = arena_workload(
+        duration,
+        base_rate=args.rate,
+        diurnal_amplitude=0.4,
+        burst_multiplier=1.8,
+        burst_mean_duration=180.0,
+        max_output_tokens=800,
+        seed=args.seed,
+    )
+    results = run_comparison(args.scenario, workload, duration, seed=args.seed)
+    od_hourly = default_catalog().get("g5.48xlarge").on_demand_hourly
+    baseline = od_hourly * 4 * duration / 3600.0
+    rows = []
+    for name, result in results.items():
+        r = result.report
+        rows.append(
+            [
+                name,
+                f"{r.failure_rate:.2%}",
+                f"{r.latency.p50:.1f}s" if r.latency else "-",
+                f"{r.latency.p99:.1f}s" if r.latency else "-",
+                f"{r.total_cost / baseline:.1%}",
+                f"{r.availability:.1%}",
+            ]
+        )
+    print(f"Spot {args.scenario.capitalize()} — {len(workload)} requests, "
+          f"{args.hours}h, N_Tar=4")
+    _print_table(["system", "fail", "P50", "P99", "cost vs OD", "avail"], rows)
+    if args.json:
+        store = ResultStore(metadata={"scenario": args.scenario, "seed": args.seed,
+                                      "hours": args.hours})
+        for name, result in results.items():
+            store.add("compare", name, result.report)
+        store.save(args.json)
+        print(f"\nwrote raw results to {args.json}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    policies = [
+        ("SpotHedge", spothedge),
+        ("RoundRobin", round_robin_policy),
+        ("EvenSpread", even_spread_policy),
+        ("OnDemand", OnDemandOnlyPolicy),
+    ]
+    rows = []
+    raw_results = {}
+    for name, factory in policies:
+        replayer = TraceReplayer(
+            trace, ReplayConfig(n_tar=args.target, k=args.k), seed=args.seed
+        )
+        result = replayer.run(factory(trace.zone_ids))
+        raw_results[name] = result
+        rows.append(
+            [
+                name,
+                f"{result.availability:.1%}",
+                f"{result.relative_cost:.1%}",
+                result.preemptions,
+            ]
+        )
+    print(f"trace {trace.name}: N_Tar={args.target}, k={args.k}, "
+          f"{trace.duration / 86400:.1f} days")
+    _print_table(["policy", "availability", "cost vs OD", "preemptions"], rows)
+    if args.json:
+        store = ResultStore(metadata={"trace": trace.name, "n_tar": args.target,
+                                      "k": args.k, "seed": args.seed})
+        for name, result in raw_results.items():
+            store.add("replay", name, result)
+        store.save(args.json)
+        print(f"\nwrote raw results to {args.json}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.name)
+    if args.out:
+        path = Path(args.out)
+        if path.suffix == ".json":
+            trace.save(path)
+        elif path.suffix == ".csv":
+            save_capacity_csv(trace, path)
+        else:
+            raise SystemExit(f"unsupported output type {path.suffix!r}")
+        print(f"wrote {trace.name} ({trace.n_steps} steps, "
+              f"{len(trace.zone_ids)} zones) to {path}")
+        return 0
+    rows = [
+        [
+            zone,
+            f"{trace.availability(zone):.1%}",
+            int(trace.preemption_indicator(zone).sum()),
+        ]
+        for zone in trace.zone_ids
+    ]
+    print(f"{trace.name}: {trace.duration / 86400:.1f} days, "
+          f"step {trace.step:.0f}s, pooled availability "
+          f"{trace.pooled_availability():.1%}")
+    _print_table(["zone", "availability", "capacity drops"], rows)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    matrix = preemption_correlation(trace)
+    print(f"{trace.name}: preemption correlation")
+    print(f"  mean intra-region r = {matrix.mean_intra_region():.3f}")
+    print(f"  mean inter-region r = {matrix.mean_inter_region():.3f}")
+    curve = availability_by_search_space(trace, threshold=args.threshold)
+    print(f"\navailability vs search space (>= {args.threshold} instances):")
+    _print_table(
+        ["search space", "availability"],
+        [[label, f"{a:.1%}"] for label, a in zip(curve.labels, curve.availability)],
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SkyServe/SpotHedge reproduction — simulated sky serve",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="deploy one service and serve a workload")
+    serve.add_argument("--trace", default="aws1", help="canned name or trace file")
+    serve.add_argument("--spec", help="service spec JSON file (Listing 1 shape)")
+    serve.add_argument("--workload", default="arena",
+                       choices=["poisson", "arena", "maf"])
+    serve.add_argument("--rate", type=float, default=0.5, help="base req/s")
+    serve.add_argument("--hours", type=float, default=2.0)
+    serve.add_argument("--target", type=int, default=4, help="N_Tar")
+    serve.add_argument("--overprovision", type=int, default=2, help="N_Extra")
+    serve.add_argument("--accelerator", default="V100")
+    serve.add_argument("--profile", default="llama2-70b", choices=sorted(_PROFILES))
+    serve.add_argument("--timeout", type=float, default=100.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
+
+    compare = sub.add_parser("compare", help="run the SS5.1 four-system comparison")
+    compare.add_argument("scenario", choices=["available", "volatile"])
+    compare.add_argument("--hours", type=float, default=3.0)
+    compare.add_argument("--rate", type=float, default=1.0)
+    compare.add_argument("--seed", type=int, default=6)
+    compare.add_argument("--json", help="also write raw results to this JSON file")
+    compare.set_defaults(func=_cmd_compare)
+
+    replay = sub.add_parser("replay", help="replay SS5.2 policies over a trace")
+    replay.add_argument("--trace", default="gcp1")
+    replay.add_argument("--target", type=int, default=4, help="N_Tar")
+    replay.add_argument("--k", type=float, default=4.0,
+                        help="on-demand/spot price ratio")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--json", help="also write raw results to this JSON file")
+    replay.set_defaults(func=_cmd_replay)
+
+    trace = sub.add_parser("trace", help="inspect or export a trace")
+    trace.add_argument("name", help="canned name or trace file")
+    trace.add_argument("--out", help="write to .json or .csv")
+    trace.set_defaults(func=_cmd_trace)
+
+    analyze = sub.add_parser("analyze", help="correlation + search-space analysis")
+    analyze.add_argument("--trace", default="aws3")
+    analyze.add_argument("--threshold", type=int, default=1)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

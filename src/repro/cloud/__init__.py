@@ -1,0 +1,79 @@
+"""Simulated multi-cloud substrate: catalog, topology, traces, provider.
+
+This package stands in for AWS/GCP/Azure in the reproduction: it exposes
+the same observable behaviours SkyServe's policies react to (launch
+success/failure, readiness delays, preemptions, prices) without needing
+cloud accounts.
+"""
+
+from repro.cloud.billing import BillingMeter, CostBreakdown
+from repro.cloud.catalog import (
+    SPOT_DISCOUNT_TABLE,
+    Catalog,
+    InstanceType,
+    default_catalog,
+)
+from repro.cloud.instance import Instance, InstanceCallbacks, InstanceState
+from repro.cloud.network import NetworkModel, default_network
+from repro.cloud.pricing import PriceBook, default_price_book
+from repro.cloud.provider import CloudConfig, SimCloud
+from repro.cloud.topology import CloudDesc, Region, Topology, Zone, default_topology
+from repro.cloud.trace_io import (
+    PreemptionRecord,
+    from_capacity_events,
+    from_preemption_log,
+    load_capacity_csv,
+    save_capacity_csv,
+)
+from repro.cloud.traces import (
+    DAY,
+    HOUR,
+    WEEK,
+    SpotTrace,
+    TraceZoneSpec,
+    aws1,
+    aws2,
+    aws3,
+    cpu_trace,
+    gcp1,
+    make_correlated_trace,
+)
+
+__all__ = [
+    "BillingMeter",
+    "Catalog",
+    "CloudConfig",
+    "CloudDesc",
+    "CostBreakdown",
+    "DAY",
+    "HOUR",
+    "Instance",
+    "InstanceCallbacks",
+    "InstanceState",
+    "InstanceType",
+    "NetworkModel",
+    "PreemptionRecord",
+    "PriceBook",
+    "Region",
+    "SPOT_DISCOUNT_TABLE",
+    "SimCloud",
+    "SpotTrace",
+    "Topology",
+    "TraceZoneSpec",
+    "WEEK",
+    "Zone",
+    "aws1",
+    "aws2",
+    "aws3",
+    "cpu_trace",
+    "default_catalog",
+    "default_network",
+    "default_price_book",
+    "default_topology",
+    "from_capacity_events",
+    "from_preemption_log",
+    "gcp1",
+    "load_capacity_csv",
+    "make_correlated_trace",
+    "save_capacity_csv",
+]

@@ -1,0 +1,62 @@
+"""Billing meter: tracks dollar cost accrual across all instances.
+
+The paper reports costs split into spot vs on-demand components
+(Figs. 9e-f, 13e-f, 14b), normalised against an all-on-demand deployment.
+The meter aggregates per-instance accruals from the shared lifecycle
+records, so costs include cold-start time and short provision-then-preempt
+cycles (the AWSSpot failure mode of §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import Instance
+
+__all__ = ["BillingMeter", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total cost split by instance market."""
+
+    spot: float
+    on_demand: float
+
+    @property
+    def total(self) -> float:
+        return self.spot + self.on_demand
+
+    def relative_to(self, baseline: float) -> float:
+        """Cost as a fraction of a baseline (e.g. all-on-demand) cost."""
+        if baseline <= 0:
+            raise ValueError(f"non-positive baseline cost {baseline!r}")
+        return self.total / baseline
+
+
+class BillingMeter:
+    """Aggregates accrued cost across every instance ever launched."""
+
+    def __init__(self) -> None:
+        self._instances: list[Instance] = []
+
+    def track(self, instance: Instance) -> None:
+        self._instances.append(instance)
+
+    @property
+    def instances(self) -> list[Instance]:
+        return list(self._instances)
+
+    def breakdown(self, now: float) -> CostBreakdown:
+        spot = 0.0
+        on_demand = 0.0
+        for instance in self._instances:
+            cost = instance.billed_cost(now)
+            if instance.spot:
+                spot += cost
+            else:
+                on_demand += cost
+        return CostBreakdown(spot=spot, on_demand=on_demand)
+
+    def total(self, now: float) -> float:
+        return self.breakdown(now).total

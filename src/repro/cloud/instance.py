@@ -1,0 +1,150 @@
+"""Instance lifecycle.
+
+An instance moves through::
+
+    PROVISIONING -> INITIALIZING -> READY -> {PREEMPTED, TERMINATED}
+         |                |            ^
+         +-> FAILED       +-> PREEMPTED/TERMINATED (can die while loading)
+
+* PROVISIONING — the cloud is allocating a VM (capacity search).  Not
+  billed.  Ends in FAILED when the zone has no capacity.
+* INITIALIZING — the VM is up and the model endpoint is loading (the
+  *cold start*).  Billed but not serving; §2.3 measures 183 s total for a
+  Llama-2-7B endpoint on AWS, exceeding the 2-minute preemption warning.
+* READY — the replica passes its readiness probe and can take traffic.
+* PREEMPTED / TERMINATED / FAILED — terminal.  PREEMPTED is cloud-
+  initiated (spot reclaim); TERMINATED is user-initiated scale-down.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cloud.catalog import InstanceType
+
+__all__ = ["Instance", "InstanceState", "InstanceCallbacks"]
+
+_instance_ids = itertools.count(1)
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle states of a cloud instance."""
+
+    PROVISIONING = "provisioning"
+    INITIALIZING = "initializing"
+    READY = "ready"
+    PREEMPTED = "preempted"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (
+            InstanceState.PREEMPTED,
+            InstanceState.TERMINATED,
+            InstanceState.FAILED,
+        )
+
+    @property
+    def is_alive(self) -> bool:
+        """Holding (or about to hold) a VM: counted against zone capacity."""
+        return self in (
+            InstanceState.PROVISIONING,
+            InstanceState.INITIALIZING,
+            InstanceState.READY,
+        )
+
+
+@dataclass
+class InstanceCallbacks:
+    """Hooks the owning controller registers at launch time.
+
+    Each receives the :class:`Instance`.  ``on_preempt_warning`` fires
+    only when the provider is configured with a warning grace period.
+    """
+
+    on_ready: Optional[Callable[["Instance"], None]] = None
+    on_preempted: Optional[Callable[["Instance"], None]] = None
+    on_failed: Optional[Callable[["Instance"], None]] = None
+    on_preempt_warning: Optional[Callable[["Instance"], None]] = None
+
+
+@dataclass
+class Instance:
+    """A launched (or launching) cloud instance."""
+
+    zone_id: str
+    instance_type: InstanceType
+    spot: bool
+    launched_at: float
+    callbacks: InstanceCallbacks = field(default_factory=InstanceCallbacks)
+    id: int = field(default_factory=lambda: next(_instance_ids))
+    state: InstanceState = InstanceState.PROVISIONING
+    billing_started_at: Optional[float] = None
+    ready_at: Optional[float] = None
+    ended_at: Optional[float] = None
+    preempt_warned: bool = False
+    #: True when the instance died of an injected hardware/software
+    #: fault rather than a spot reclaim (both surface as PREEMPTED).
+    crashed: bool = False
+
+    @property
+    def hourly_price(self) -> float:
+        return self.instance_type.hourly_price(self.spot)
+
+    def transition(self, new_state: InstanceState, time: float) -> None:
+        """Apply a state transition, enforcing lifecycle legality."""
+        if self.state.is_terminal:
+            raise RuntimeError(
+                f"instance {self.id}: transition from terminal state {self.state}"
+            )
+        legal = {
+            InstanceState.PROVISIONING: {
+                InstanceState.INITIALIZING,
+                InstanceState.FAILED,
+                InstanceState.PREEMPTED,
+                InstanceState.TERMINATED,
+            },
+            InstanceState.INITIALIZING: {
+                InstanceState.READY,
+                InstanceState.PREEMPTED,
+                InstanceState.TERMINATED,
+            },
+            InstanceState.READY: {
+                InstanceState.PREEMPTED,
+                InstanceState.TERMINATED,
+            },
+        }
+        if new_state not in legal[self.state]:
+            raise RuntimeError(
+                f"instance {self.id}: illegal transition {self.state} -> {new_state}"
+            )
+        self.state = new_state
+        if new_state is InstanceState.INITIALIZING:
+            self.billing_started_at = time
+        elif new_state is InstanceState.READY:
+            self.ready_at = time
+        elif new_state.is_terminal:
+            self.ended_at = time
+
+    def billed_cost(self, now: float) -> float:
+        """Dollars accrued so far (or in total, if terminated).
+
+        Billing runs from the start of INITIALIZING (VM running) to the
+        terminal transition — cold start time is billed, matching §2.3.
+        """
+        if self.billing_started_at is None:
+            return 0.0
+        end = self.ended_at if self.ended_at is not None else now
+        hours = max(end - self.billing_started_at, 0.0) / 3600.0
+        return hours * self.hourly_price
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "spot" if self.spot else "od"
+        return (
+            f"Instance(id={self.id}, {kind} {self.instance_type.name} "
+            f"@ {self.zone_id}, {self.state.value})"
+        )

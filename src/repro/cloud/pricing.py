@@ -1,0 +1,110 @@
+"""Regional price variation and the cost signal of Alg. 1.
+
+Spot prices are "generally stable over time, though there could be cost
+differences across zones and regions" (§2.1, citing the SkyPilot
+catalog).  SkyServe's controller "periodically polls the cost
+information via cloud API used in Algorithm 1" (§4).  This module is
+that price book: per-region multipliers over the catalog's base prices,
+queried per zone, so Dynamic Placement's ``MIN-COST`` has a real signal
+to act on when the same GPU costs different amounts in different
+places.
+
+Defaults reflect the familiar pattern of public-cloud list prices: US
+East is the reference, US West a hair above, Europe ~10% and Asia ~15%
+above.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.cloud.catalog import Catalog, default_catalog
+
+__all__ = ["PriceBook", "default_price_book"]
+
+_DEFAULT_REGION_MULTIPLIERS: dict[str, float] = {
+    "aws:us-east-1": 1.00,
+    "aws:us-east-2": 1.00,
+    "aws:us-west-2": 1.02,
+    "aws:eu-central-1": 1.10,
+    "gcp:us-central1": 1.00,
+    "gcp:us-east1": 1.00,
+    "gcp:us-west1": 1.03,
+    "gcp:europe-west4": 1.09,
+    "gcp:asia-east1": 1.15,
+    "azure:eastus": 1.00,
+    "azure:westeurope": 1.12,
+}
+
+
+class PriceBook:
+    """Per-zone prices: catalog base price x region multiplier."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        region_multipliers: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.catalog = catalog or default_catalog()
+        self._multipliers = dict(
+            _DEFAULT_REGION_MULTIPLIERS
+            if region_multipliers is None
+            else region_multipliers
+        )
+        for region, multiplier in self._multipliers.items():
+            if multiplier <= 0:
+                raise ValueError(f"non-positive multiplier for {region}")
+
+    @staticmethod
+    def _region_of(zone_id: str) -> str:
+        return zone_id.rsplit(":", 1)[0]
+
+    def region_multiplier(self, zone_id: str) -> float:
+        """Multiplier for a zone's region (1.0 for unlisted regions)."""
+        return self._multipliers.get(self._region_of(zone_id), 1.0)
+
+    def spot_hourly(self, zone_id: str, instance_type_name: str) -> float:
+        """Spot $/hour for an instance type in a specific zone."""
+        itype = self.catalog.get(instance_type_name)
+        return itype.spot_hourly * self.region_multiplier(zone_id)
+
+    def on_demand_hourly(self, zone_id: str, instance_type_name: str) -> float:
+        itype = self.catalog.get(instance_type_name)
+        return itype.on_demand_hourly * self.region_multiplier(zone_id)
+
+    def cheapest_spot_for_accelerator(
+        self, zone_id: str, accelerator: str
+    ) -> Optional[tuple[str, float]]:
+        """(instance type, spot $/h) of the cheapest matching type that
+        the zone's cloud offers, or ``None`` if the cloud has none."""
+        cloud = zone_id.split(":")[0]
+        best: Optional[tuple[str, float]] = None
+        for itype in self.catalog.with_accelerator(accelerator):
+            if itype.cloud != cloud:
+                continue
+            price = self.spot_hourly(zone_id, itype.name)
+            if best is None or price < best[1]:
+                best = (itype.name, price)
+        return best
+
+    def zone_costs(
+        self, zones: Sequence[str], accelerator: str, *, spot: bool = True
+    ) -> dict[str, float]:
+        """The Alg. 1 MIN-COST input: per-zone hourly price of the
+        cheapest instance with the accelerator.  Zones whose cloud lacks
+        the accelerator are omitted."""
+        costs: dict[str, float] = {}
+        for zone in zones:
+            best = self.cheapest_spot_for_accelerator(zone, accelerator)
+            if best is None:
+                continue
+            name, spot_price = best
+            if spot:
+                costs[zone] = spot_price
+            else:
+                costs[zone] = self.on_demand_hourly(zone, name)
+        return costs
+
+
+def default_price_book() -> PriceBook:
+    return PriceBook()

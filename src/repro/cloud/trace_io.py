@@ -1,0 +1,172 @@
+"""Interop loaders for externally collected spot traces.
+
+The paper's artifact releases its collected traces as per-zone event
+logs (each record: a timestamp and the observed launchable capacity, or
+a preemption event while maintaining a desired instance count).  These
+helpers convert such logs into :class:`~repro.cloud.traces.SpotTrace`
+grids so real collected data can drive every experiment in this repo:
+
+* :func:`from_capacity_events` — per-zone ``(time, capacity)`` change
+  events, piecewise-constant between events;
+* :func:`from_preemption_log` — per-zone preemption/recovery event
+  records against a desired count, reconstructing capacity as
+  ``desired − outstanding_preempted``;
+* :func:`load_capacity_csv` / :func:`save_capacity_csv` — a plain
+  ``zone,time,capacity`` CSV round-trip.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cloud.traces import SpotTrace
+
+__all__ = [
+    "PreemptionRecord",
+    "from_capacity_events",
+    "from_preemption_log",
+    "load_capacity_csv",
+    "save_capacity_csv",
+]
+
+
+def from_capacity_events(
+    events: Mapping[str, Sequence[tuple[float, int]]],
+    *,
+    duration: float,
+    step: float = 60.0,
+    name: str = "imported",
+    initial_capacity: int = 0,
+) -> SpotTrace:
+    """Build a trace from per-zone capacity-change events.
+
+    ``events[zone]`` is a list of ``(time, capacity)`` pairs meaning
+    "capacity becomes this value at this time"; between events capacity
+    is constant.  Events need not be sorted.  Before a zone's first
+    event its capacity is ``initial_capacity``.
+    """
+    if duration <= 0:
+        raise ValueError(f"non-positive duration {duration!r}")
+    if step <= 0:
+        raise ValueError(f"non-positive step {step!r}")
+    if not events:
+        raise ValueError("no zones in event log")
+    n_steps = max(int(round(duration / step)), 1)
+    zone_ids = list(events)
+    capacity = np.full((len(zone_ids), n_steps), initial_capacity, dtype=np.int64)
+    for row, zone in enumerate(zone_ids):
+        for time, value in sorted(events[zone]):
+            if value < 0:
+                raise ValueError(f"zone {zone}: negative capacity {value} at t={time}")
+            if time >= duration:
+                continue
+            start = max(int(time // step), 0)
+            capacity[row, start:] = value
+    return SpotTrace(name, zone_ids, step, capacity)
+
+
+@dataclass(frozen=True)
+class PreemptionRecord:
+    """One event from a maintain-N collection run.
+
+    ``kind`` is ``"preempt"`` (lost ``count`` instances) or ``"recover"``
+    (relaunched ``count`` instances successfully).
+    """
+
+    time: float
+    zone: str
+    kind: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("preempt", "recover"):
+            raise ValueError(f"unknown record kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError(f"non-positive count {self.count}")
+        if self.time < 0:
+            raise ValueError(f"negative time {self.time}")
+
+
+def from_preemption_log(
+    records: Iterable[PreemptionRecord],
+    *,
+    desired: int,
+    duration: float,
+    step: float = 60.0,
+    name: str = "imported-log",
+) -> SpotTrace:
+    """Reconstruct per-zone capacity from a maintain-N event log.
+
+    The collection methodology (§5.2): keep ``desired`` spot instances
+    per zone, record each preemption, and record each successful
+    replenishment.  Capacity at time t is ``desired`` minus the
+    instances currently lost and not yet recovered, floored at zero.
+    """
+    if desired < 1:
+        raise ValueError("desired must be >= 1")
+    by_zone: dict[str, list[PreemptionRecord]] = {}
+    for record in records:
+        by_zone.setdefault(record.zone, []).append(record)
+    if not by_zone:
+        raise ValueError("empty preemption log")
+    events: dict[str, list[tuple[float, int]]] = {}
+    for zone, zone_records in by_zone.items():
+        outstanding = 0
+        series: list[tuple[float, int]] = []
+        for record in sorted(zone_records, key=lambda r: r.time):
+            if record.kind == "preempt":
+                outstanding += record.count
+            else:
+                outstanding = max(outstanding - record.count, 0)
+            series.append((record.time, max(desired - outstanding, 0)))
+        events[zone] = series
+    return from_capacity_events(
+        events, duration=duration, step=step, name=name, initial_capacity=desired
+    )
+
+
+def save_capacity_csv(trace: SpotTrace, path: str | Path) -> None:
+    """Write a trace as ``zone,time,capacity`` change rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["zone", "time", "capacity"])
+        for zone in trace.zone_ids:
+            row = trace.zone_row(zone)
+            writer.writerow([zone, 0.0, int(row[0])])
+            for k in range(1, len(row)):
+                if row[k] != row[k - 1]:
+                    writer.writerow([zone, k * trace.step, int(row[k])])
+
+
+def load_capacity_csv(
+    path: str | Path,
+    *,
+    duration: float,
+    step: float = 60.0,
+    name: str | None = None,
+) -> SpotTrace:
+    """Load a ``zone,time,capacity`` CSV written by external collectors
+    (or by :func:`save_capacity_csv`)."""
+    events: dict[str, list[tuple[float, int]]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"zone", "time", "capacity"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(f"CSV must have columns {sorted(required)}")
+        for line in reader:
+            events.setdefault(line["zone"], []).append(
+                (float(line["time"]), int(line["capacity"]))
+            )
+    return from_capacity_events(
+        events,
+        duration=duration,
+        step=step,
+        name=name or Path(path).stem,
+    )

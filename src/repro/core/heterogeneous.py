@@ -1,0 +1,146 @@
+"""Heterogeneous-accelerator extension (§6, "Support heterogeneous
+accelerators").
+
+The paper sketches this as future work: when the spot market for the
+preferred (high-end) GPU is unobtainable, fall back to a cheaper,
+lower-end GPU instead of waiting or paying for on-demand.  This module
+implements that policy as a wrapper that runs one placer per accelerator
+*tier* and walks down the tier list as launches fail.
+
+A tier is usable again after ``tier_retry_interval`` seconds without
+failures — so the policy drifts back to the best GPU when its market
+recovers, mirroring how Dynamic Placement rehabilitates zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping, Optional, Sequence
+
+from repro.core.placement import DynamicSpotPlacer
+from repro.serving.policy import MixTarget, Observation, ServingPolicy
+
+__all__ = ["AcceleratorTier", "HeterogeneousPolicy"]
+
+
+@dataclass(frozen=True)
+class AcceleratorTier:
+    """One accelerator option: its zones and relative performance.
+
+    ``performance`` scales how much serving capacity a replica on this
+    tier provides (1.0 = the preferred GPU); lower tiers may need more
+    replicas for the same load.
+    """
+
+    accelerator: str
+    zones: tuple[str, ...]
+    performance: float = 1.0
+    zone_costs: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.zones:
+            raise ValueError(f"tier {self.accelerator}: no zones")
+        if self.performance <= 0:
+            raise ValueError(f"tier {self.accelerator}: non-positive performance")
+
+
+class HeterogeneousPolicy(ServingPolicy):
+    """SpotHedge across an ordered list of accelerator tiers.
+
+    Placement walks the tiers best-first; a tier whose zones all
+    recently failed is skipped until ``tier_retry_interval`` elapses.
+    The Dynamic Fallback rule (§3.2) is unchanged — on-demand still
+    backstops everything.
+    """
+
+    name = "SpotHedge-hetero"
+
+    def __init__(
+        self,
+        tiers: Sequence[AcceleratorTier],
+        *,
+        num_overprovision: int = 2,
+        dynamic_ondemand_fallback: bool = True,
+        tier_retry_interval: float = 600.0,
+    ) -> None:
+        if not tiers:
+            raise ValueError("need at least one accelerator tier")
+        if tier_retry_interval <= 0:
+            raise ValueError("tier_retry_interval must be positive")
+        self.tiers = list(tiers)
+        self.num_overprovision = num_overprovision
+        self.dynamic_ondemand_fallback = dynamic_ondemand_fallback
+        self.tier_retry_interval = tier_retry_interval
+        self._placers = [
+            DynamicSpotPlacer(tier.zones, tier.zone_costs) for tier in tiers
+        ]
+        self._zone_tier = {
+            zone: i for i, tier in enumerate(tiers) for zone in tier.zones
+        }
+        if len(self._zone_tier) != sum(len(t.zones) for t in tiers):
+            raise ValueError("tiers must not share zones")
+        # Per-zone timestamp of the last launch failure; a tier is
+        # "down" while *all* of its zones failed within the retry
+        # interval.
+        self._zone_failed_at: dict[str, float] = {}
+        self._now = 0.0
+
+    def accelerator_of(self, zone_id: str) -> str:
+        """Which tier's accelerator a zone belongs to."""
+        return self.tiers[self._zone_tier[zone_id]].accelerator
+
+    def target_mix(self, obs: Observation) -> MixTarget:
+        self._now = obs.now
+        spot_target = obs.n_tar + self.num_overprovision
+        od_target = 0
+        if self.dynamic_ondemand_fallback:
+            od_target = max(min(obs.n_tar, spot_target - obs.spot_ready), 0)
+        return MixTarget(spot_target=spot_target, od_target=od_target)
+
+    def _tier_usable(self, index: int) -> bool:
+        for zone in self.tiers[index].zones:
+            failed_at = self._zone_failed_at.get(zone)
+            if failed_at is None or self._now - failed_at >= self.tier_retry_interval:
+                return True
+        return False
+
+    def select_spot_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        self._now = obs.now
+        for index, placer in enumerate(self._placers):
+            if not self._tier_usable(index):
+                continue
+            zone = placer.select_zone(obs.spot_by_zone, excluded)
+            if zone is not None:
+                return zone
+        # Every preferred tier is cooling down: try them anyway, best
+        # first, rather than launching nothing.
+        for placer in self._placers:
+            zone = placer.select_zone(obs.spot_by_zone, excluded)
+            if zone is not None:
+                return zone
+        return None
+
+    def select_od_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        for tier in self.tiers:
+            for zone in tier.zones:
+                if zone not in excluded:
+                    return zone
+        return None
+
+    def on_spot_ready(self, zone_id: str) -> None:
+        index = self._zone_tier[zone_id]
+        self._placers[index].handle_active(zone_id)
+        self._zone_failed_at.pop(zone_id, None)
+
+    def on_spot_preempted(self, zone_id: str) -> None:
+        index = self._zone_tier[zone_id]
+        self._placers[index].handle_preemption(zone_id)
+
+    def on_spot_launch_failed(self, zone_id: str) -> None:
+        index = self._zone_tier[zone_id]
+        self._placers[index].handle_launch_failure(zone_id)
+        self._zone_failed_at[zone_id] = self._now

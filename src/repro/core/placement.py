@@ -1,0 +1,251 @@
+"""Spot placement policies (§3.1).
+
+Three placers, matching the paper's comparison:
+
+* :class:`DynamicSpotPlacer` — Algorithm 1.  Tracks an available-zone
+  list ``Z_A`` and a highly-preempting list ``Z_P``; preemptions (and,
+  like the SkyPilot implementation, launch failures) move a zone to
+  ``Z_P``; a successful launch moves it back to ``Z_A``.  New replicas
+  go to the zone in ``Z_A`` with no current placement and the lowest
+  cost (``SELECT-NEXT-ZONE``), falling back to all of ``Z_A`` when every
+  available zone is already used.  When ``|Z_A| < 2`` the placer
+  *rebalances* — returns every zone in ``Z_P`` to ``Z_A`` — to avoid
+  concentrating all replicas in one zone.
+* :class:`EvenSpreadPlacer` — the AWS-ASG/MArk static policy: keep an
+  even static spread regardless of preemption history.
+* :class:`RoundRobinPlacer` — the Ray Serve/GKE policy: cycle through
+  zones; remembers nothing about preempting zones.
+
+The §3.1 analysis: with per-zone Poisson preemption rates λ_i, Even
+Spread sees ``n·T·mean(λ_i)`` preemptions, Round Robin the (smaller)
+harmonic-mean rate, and tracking λ_i (Dynamic) avoids hot zones almost
+entirely — property tests in ``tests/core/test_placement.py`` check this
+ordering on simulated zone processes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import AbstractSet, Mapping, Optional, Sequence
+
+__all__ = [
+    "DynamicSpotPlacer",
+    "EvenSpreadPlacer",
+    "RoundRobinPlacer",
+    "SpotPlacer",
+    "make_placer",
+]
+
+
+class SpotPlacer(abc.ABC):
+    """Chooses the zone for each new spot replica."""
+
+    name: str = "placer"
+
+    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+        if not zones:
+            raise ValueError("placer needs at least one zone")
+        if len(set(zones)) != len(zones):
+            raise ValueError("duplicate zones")
+        self.zones = list(zones)
+        self.zone_costs = dict(zone_costs or {z: 1.0 for z in zones})
+        for zone in self.zones:
+            if zone not in self.zone_costs:
+                raise ValueError(f"no cost for zone {zone!r}")
+
+    @abc.abstractmethod
+    def select_zone(
+        self,
+        current_placements: Mapping[str, int],
+        excluded: AbstractSet[str] = frozenset(),
+    ) -> Optional[str]:
+        """Zone for the next launch given alive replicas per zone.
+
+        ``excluded`` holds zones whose launch already failed in the
+        current reconciliation round (the capacity error came back
+        within seconds); a sane caller does not retry them until the
+        next round.  Returns ``None`` when every candidate is excluded.
+        """
+
+    def set_target(self, n: int) -> None:
+        """Tell the placer the current fleet-size target.
+
+        Only static-quota placers (Even Spread) need it; the default is
+        a no-op.
+        """
+
+    def handle_preemption(self, zone: str) -> None:
+        """A replica was preempted in ``zone``."""
+
+    def handle_launch_failure(self, zone: str) -> None:
+        """A launch attempt found no capacity in ``zone``."""
+
+    def handle_active(self, zone: str) -> None:
+        """A replica launched successfully and is ready in ``zone``."""
+
+
+class DynamicSpotPlacer(SpotPlacer):
+    """Algorithm 1: preemption-aware dynamic placement."""
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        zones: Sequence[str],
+        zone_costs: Optional[Mapping[str, float]] = None,
+        *,
+        treat_launch_failure_as_preemption: bool = True,
+    ) -> None:
+        super().__init__(zones, zone_costs)
+        self.active_zones: list[str] = list(self.zones)  # Z_A
+        self.preempting_zones: list[str] = []  # Z_P
+        self._failure_is_preemption = treat_launch_failure_as_preemption
+
+    # -- Alg. 1 state maintenance --------------------------------------
+    def _move_to_preempting(self, zone: str) -> None:
+        if zone in self.active_zones:
+            self.active_zones.remove(zone)
+            self.preempting_zones.append(zone)
+        if len(self.active_zones) < 2:
+            # Zone rebalancing: never get cornered into a single zone.
+            self.active_zones.extend(self.preempting_zones)
+            self.preempting_zones.clear()
+
+    def handle_preemption(self, zone: str) -> None:
+        self._move_to_preempting(zone)
+
+    def handle_launch_failure(self, zone: str) -> None:
+        if self._failure_is_preemption:
+            self._move_to_preempting(zone)
+
+    def handle_active(self, zone: str) -> None:
+        if zone in self.preempting_zones:
+            self.preempting_zones.remove(zone)
+            self.active_zones.append(zone)
+
+    # -- SELECT-NEXT-ZONE ----------------------------------------------
+    def _min_cost(self, zones: Sequence[str], placements: Mapping[str, int]) -> str:
+        """Cheapest zone, breaking ties by fewer current placements and
+        then by Z_A order — zones returned by a rebalance sit at the end
+        of Z_A, so recently-preempting zones are tried last."""
+
+        def rank(zone: str) -> int:
+            if zone in self.active_zones:
+                return self.active_zones.index(zone)
+            return len(self.active_zones) + self.zones.index(zone)
+
+        return min(
+            zones,
+            key=lambda z: (
+                self.zone_costs[z],
+                placements.get(z, 0),
+                rank(z),
+            ),
+        )
+
+    def select_zone(
+        self,
+        current_placements: Mapping[str, int],
+        excluded: AbstractSet[str] = frozenset(),
+    ) -> Optional[str]:
+        candidates = [z for z in self.active_zones if z not in excluded]
+        if not candidates:
+            # Everything in Z_A already failed this round; fall back to
+            # any non-excluded enabled zone rather than giving up.
+            candidates = [z for z in self.zones if z not in excluded]
+            if not candidates:
+                return None
+        unused = [z for z in candidates if current_placements.get(z, 0) == 0]
+        if unused:
+            return self._min_cost(unused, current_placements)
+        return self._min_cost(candidates, current_placements)
+
+
+class EvenSpreadPlacer(SpotPlacer):
+    """Static even spread (AWS ASG / MArk behaviour).
+
+    The fleet target ``n`` is divided into fixed per-zone quotas
+    (``zones[i % N]`` per slot, §3.1's "each zone is given n/N
+    replicas").  New launches go only to zones below quota; when a
+    quota zone has no capacity its slots simply stay unfilled — the
+    placer never fails over to another zone, which is exactly why the
+    paper's Even Spread "relaunches instances on highly-preempting
+    zones and thus fails to get enough replicas".
+    """
+
+    name = "even_spread"
+
+    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+        super().__init__(zones, zone_costs)
+        self._target = len(self.zones)
+
+    def set_target(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"negative target {n}")
+        self._target = n
+
+    def quotas(self) -> dict[str, int]:
+        """Fixed per-zone replica quotas for the current target."""
+        counts = {z: 0 for z in self.zones}
+        for slot in range(self._target):
+            counts[self.zones[slot % len(self.zones)]] += 1
+        return counts
+
+    def select_zone(
+        self,
+        current_placements: Mapping[str, int],
+        excluded: AbstractSet[str] = frozenset(),
+    ) -> Optional[str]:
+        quotas = self.quotas()
+        candidates = [
+            z
+            for z in self.zones
+            if z not in excluded and current_placements.get(z, 0) < quotas[z]
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda z: (
+                current_placements.get(z, 0) - quotas[z],
+                self.zones.index(z),
+            ),
+        )
+
+
+class RoundRobinPlacer(SpotPlacer):
+    """Cycle through zones in order (Ray Serve / GKE behaviour)."""
+
+    name = "round_robin"
+
+    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+        super().__init__(zones, zone_costs)
+        self._next = 0
+
+    def select_zone(
+        self,
+        current_placements: Mapping[str, int],
+        excluded: AbstractSet[str] = frozenset(),
+    ) -> Optional[str]:
+        for _ in range(len(self.zones)):
+            zone = self.zones[self._next % len(self.zones)]
+            self._next += 1
+            if zone not in excluded:
+                return zone
+        return None
+
+
+def make_placer(
+    kind: str,
+    zones: Sequence[str],
+    zone_costs: Optional[Mapping[str, float]] = None,
+) -> SpotPlacer:
+    """Instantiate a placer from a spec's ``spot_placer`` name."""
+    placers = {
+        "dynamic": DynamicSpotPlacer,
+        "even_spread": EvenSpreadPlacer,
+        "round_robin": RoundRobinPlacer,
+    }
+    if kind not in placers:
+        raise ValueError(f"unknown placer {kind!r}; expected one of {sorted(placers)}")
+    return placers[kind](zones, zone_costs)

@@ -1,0 +1,191 @@
+"""SpotHedge: the paper's policy (§3), as a :class:`ServingPolicy`.
+
+The general form is :class:`MixturePolicy`, parameterised by
+
+* a spot placer (Dynamic / Even Spread / Round Robin),
+* the number of overprovisioned spot replicas ``N_Extra`` (§3.2),
+* whether Dynamic Fallback is on, and
+* a base on-demand count.
+
+The named configurations match the paper's comparisons:
+
+* :func:`spothedge` — Dynamic Placement + overprovisioning + Dynamic
+  Fallback (the full SpotHedge policy);
+* :func:`even_spread_policy` / :func:`round_robin_policy` — pure-spot
+  placement baselines of §5.2 (no overprovision, no fallback).
+
+The Dynamic Fallback target (§3.2)::
+
+    O(t) = min(N_Tar, N_Tar + N_Extra − S_r(t))
+
+launches an on-demand replica per missing ready spot replica, capped at
+N_Tar, and scales them down once spot capacity returns.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping, Optional, Sequence
+
+from repro.core.placement import (
+    DynamicSpotPlacer,
+    EvenSpreadPlacer,
+    RoundRobinPlacer,
+    SpotPlacer,
+)
+from repro.serving.policy import MixTarget, Observation, ServingPolicy
+
+__all__ = [
+    "MixturePolicy",
+    "OnDemandOnlyPolicy",
+    "even_spread_policy",
+    "round_robin_policy",
+    "spothedge",
+]
+
+
+class OnDemandOnlyPolicy(ServingPolicy):
+    """The traditional deployment every cost figure normalises against:
+    N_Tar on-demand replicas, no spot at all."""
+
+    name = "OnDemand"
+
+    def __init__(self, od_zones: Sequence[str]) -> None:
+        if not od_zones:
+            raise ValueError("no on-demand zones")
+        self.od_zones = list(od_zones)
+
+    def target_mix(self, obs: Observation) -> MixTarget:
+        return MixTarget(spot_target=0, od_target=obs.n_tar)
+
+    def select_spot_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        return None
+
+    def select_od_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        for zone in self.od_zones:
+            if zone not in excluded:
+                return zone
+        return None
+
+
+class MixturePolicy(ServingPolicy):
+    """Spot/on-demand mixture driven by a placer and fallback rule."""
+
+    def __init__(
+        self,
+        placer: SpotPlacer,
+        *,
+        num_overprovision: int = 0,
+        dynamic_ondemand_fallback: bool = False,
+        base_ondemand_replicas: int = 0,
+        od_zones: Optional[Sequence[str]] = None,
+        od_zone_costs: Optional[Mapping[str, float]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_overprovision < 0 or base_ondemand_replicas < 0:
+            raise ValueError("negative replica counts")
+        self.placer = placer
+        self.num_overprovision = num_overprovision
+        self.dynamic_ondemand_fallback = dynamic_ondemand_fallback
+        self.base_ondemand_replicas = base_ondemand_replicas
+        self.od_zones = list(od_zones) if od_zones is not None else list(placer.zones)
+        if not self.od_zones:
+            raise ValueError("no on-demand zones")
+        self._od_zone_costs = dict(od_zone_costs or {z: 1.0 for z in self.od_zones})
+        self.name = name or f"mixture({placer.name})"
+
+    # ------------------------------------------------------------------
+    # Mixture (§3.2)
+    # ------------------------------------------------------------------
+    def target_mix(self, obs: Observation) -> MixTarget:
+        spot_target = obs.n_tar + self.num_overprovision
+        self.placer.set_target(spot_target)
+        od_target = self.base_ondemand_replicas
+        if self.dynamic_ondemand_fallback:
+            fallback = min(obs.n_tar, spot_target - obs.spot_ready)
+            od_target = max(od_target, max(fallback, 0))
+        return MixTarget(spot_target=spot_target, od_target=od_target)
+
+    # ------------------------------------------------------------------
+    # Placement (§3.1)
+    # ------------------------------------------------------------------
+    def select_spot_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        return self.placer.select_zone(obs.spot_by_zone, excluded)
+
+    def select_od_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        """On-demand replicas go to the cheapest enabled zone; on-demand
+        capacity is generally obtainable everywhere (§5.1 discussion)."""
+        candidates = [z for z in self.od_zones if z not in excluded]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda z: (self._od_zone_costs.get(z, 1.0), self.od_zones.index(z)),
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback to the placer
+    # ------------------------------------------------------------------
+    def on_spot_ready(self, zone_id: str) -> None:
+        self.placer.handle_active(zone_id)
+
+    def on_spot_preempted(self, zone_id: str) -> None:
+        self.placer.handle_preemption(zone_id)
+
+    def on_spot_launch_failed(self, zone_id: str) -> None:
+        self.placer.handle_launch_failure(zone_id)
+
+
+def spothedge(
+    zones: Sequence[str],
+    *,
+    zone_costs: Optional[Mapping[str, float]] = None,
+    num_overprovision: int = 2,
+    base_ondemand_replicas: int = 0,
+    od_zones: Optional[Sequence[str]] = None,
+) -> MixturePolicy:
+    """The full SpotHedge policy (Dynamic Placement + N_Extra + Dynamic
+    Fallback), with the paper's default of two overprovisioned replicas."""
+    return MixturePolicy(
+        DynamicSpotPlacer(zones, zone_costs),
+        num_overprovision=num_overprovision,
+        dynamic_ondemand_fallback=True,
+        base_ondemand_replicas=base_ondemand_replicas,
+        od_zones=od_zones,
+        name="SpotHedge",
+    )
+
+
+def even_spread_policy(
+    zones: Sequence[str],
+    *,
+    zone_costs: Optional[Mapping[str, float]] = None,
+) -> MixturePolicy:
+    """§5.2's Even Spread comparison: pure spot, static even spread."""
+    return MixturePolicy(
+        EvenSpreadPlacer(zones, zone_costs),
+        num_overprovision=0,
+        dynamic_ondemand_fallback=False,
+        name="EvenSpread",
+    )
+
+
+def round_robin_policy(
+    zones: Sequence[str],
+    *,
+    zone_costs: Optional[Mapping[str, float]] = None,
+) -> MixturePolicy:
+    """§5.2's Round Robin comparison: pure spot, cycling zones."""
+    return MixturePolicy(
+        RoundRobinPlacer(zones, zone_costs),
+        num_overprovision=0,
+        dynamic_ondemand_fallback=False,
+        name="RoundRobin",
+    )

@@ -1,0 +1,313 @@
+"""Policy replay on spot obtainability traces (§5.2).
+
+Instead of simulating the full request path, this harness replays a
+:class:`SpotTrace` at replica granularity, exactly like the paper's
+simulated-preemption experiments: at every trace step the policy sees
+its fleet, preemptions are injected wherever zone capacity drops below
+the policy's placements, launches fail in zones without capacity, and
+replicas become ready one cold start after a successful launch.
+
+Outputs per policy: availability (fraction of steps with ≥ N_Tar ready
+replicas — Fig. 14a), cost relative to an all-on-demand deployment
+(Fig. 14b), and a queueing-based service-latency estimate for a given
+workload (Figs. 14c/d and 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.traces import SpotTrace
+from repro.serving.policy import Observation, ServingPolicy
+from repro.sim.rng import RngRegistry
+from repro.workloads.request import Workload
+
+__all__ = [
+    "ReplayConfig",
+    "ReplayResult",
+    "TraceReplayer",
+    "erlang_c_wait",
+    "estimate_latency",
+]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay parameters.
+
+    ``k`` is the on-demand/spot price ratio; costs are reported relative
+    to holding ``n_tar`` on-demand replicas for the whole trace.  The
+    default cold start follows the §2.3 measurement (~183 s).
+    """
+
+    n_tar: int = 4
+    cold_start: float = 180.0
+    k: float = 3.0
+    max_launch_attempts_per_step: int = 8
+    #: Optional per-zone spot price multipliers (1.0 = the base spot
+    #: unit price).  Models the regional price spread MIN-COST exploits;
+    #: zones absent from the mapping cost 1.0.
+    zone_price_multipliers: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tar < 1:
+            raise ValueError("n_tar must be >= 1")
+        if self.cold_start < 0:
+            raise ValueError("negative cold start")
+        if self.k <= 0:
+            raise ValueError("non-positive cost ratio")
+        if self.max_launch_attempts_per_step < 1:
+            raise ValueError("need at least one launch attempt per step")
+        if self.zone_price_multipliers is not None:
+            for zone, multiplier in self.zone_price_multipliers.items():
+                if multiplier <= 0:
+                    raise ValueError(f"non-positive price multiplier for {zone}")
+
+
+@dataclass
+class _ReplayInstance:
+    zone: Optional[str]  # None for on-demand
+    spot: bool
+    ready_at: float
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Per-policy replay outcome."""
+
+    policy: str
+    trace: str
+    n_tar: int
+    availability: float
+    relative_cost: float
+    spot_cost: float
+    od_cost: float
+    preemptions: int
+    launch_failures: int
+    ready_series: np.ndarray  # total ready replicas per step
+    step: float
+
+    def summary_row(self) -> str:  # pragma: no cover - formatting helper
+        return (
+            f"{self.policy:<12} {self.trace:<8} avail={self.availability:6.1%} "
+            f"cost={self.relative_cost:5.1%} of OD  "
+            f"preemptions={self.preemptions}"
+        )
+
+
+class TraceReplayer:
+    """Replays one policy over one trace."""
+
+    def __init__(
+        self,
+        trace: SpotTrace,
+        config: Optional[ReplayConfig] = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.trace = trace
+        self.config = config or ReplayConfig()
+        self._rng = RngRegistry(seed).stream("replay")
+
+    def run(self, policy: ServingPolicy, *, spot_zones: Optional[Sequence[str]] = None) -> ReplayResult:
+        """Replay ``policy`` over the full trace."""
+        cfg = self.config
+        trace = self.trace
+        zones = list(spot_zones) if spot_zones is not None else list(trace.zone_ids)
+        step = trace.step
+        d = cfg.cold_start
+        spot: list[_ReplayInstance] = []
+        od: list[_ReplayInstance] = []
+        preemptions = 0
+        launch_failures = 0
+        spot_cost = 0.0
+        od_cost = 0.0
+        ready_series = np.zeros(trace.n_steps, dtype=int)
+
+        for k_step in range(trace.n_steps):
+            now = k_step * step
+
+            # 1. Inject preemptions: per zone, capacity below placements.
+            for zone in zones:
+                capacity = int(trace.zone_row(zone)[k_step])
+                in_zone = [i for i in spot if i.zone == zone]
+                excess = len(in_zone) - capacity
+                if excess > 0:
+                    victims = self._rng.choice(len(in_zone), size=excess, replace=False)
+                    for index in sorted(victims, reverse=True):
+                        spot.remove(in_zone[index])
+                        preemptions += 1
+                        policy.on_spot_preempted(zone)
+
+            # 2. Observe and ask the policy for targets.
+            ready_spot = sum(1 for i in spot if i.ready_at <= now)
+            ready_od = sum(1 for i in od if i.ready_at <= now)
+            by_zone: dict[str, int] = {}
+            for inst in spot:
+                by_zone[inst.zone] = by_zone.get(inst.zone, 0) + 1
+            obs = Observation(
+                now=now,
+                n_tar=cfg.n_tar,
+                spot_launched=len(spot),
+                spot_ready=ready_spot,
+                od_launched=len(od),
+                od_ready=ready_od,
+                spot_by_zone=by_zone,
+            )
+            mix = policy.target_mix(obs)
+
+            # 3. Reconcile spot fleet.  Zones that already returned a
+            # capacity error this step are not retried within the step.
+            counted = len(spot) if mix.count_provisioning_spot else ready_spot
+            attempts = 0
+            failed_zones: set[str] = set()
+            while counted < mix.spot_target and attempts < cfg.max_launch_attempts_per_step:
+                attempts += 1
+                by_zone = {}
+                for inst in spot:
+                    by_zone[inst.zone] = by_zone.get(inst.zone, 0) + 1
+                obs_now = Observation(
+                    now=now,
+                    n_tar=cfg.n_tar,
+                    spot_launched=len(spot),
+                    spot_ready=ready_spot,
+                    od_launched=len(od),
+                    od_ready=ready_od,
+                    spot_by_zone=by_zone,
+                )
+                zone = policy.select_spot_zone(obs_now, frozenset(failed_zones))
+                if zone is None:
+                    break
+                capacity = int(trace.zone_row(zone)[k_step])
+                used = sum(1 for i in spot if i.zone == zone)
+                if used < capacity:
+                    spot.append(_ReplayInstance(zone=zone, spot=True, ready_at=now + d))
+                    policy.on_spot_ready(zone)  # launch succeeded in this zone
+                    counted += 1
+                else:
+                    launch_failures += 1
+                    failed_zones.add(zone)
+                    policy.on_spot_launch_failed(zone)
+            while len(spot) > mix.spot_target:
+                # Scale down: drop the newest (least likely to be ready).
+                spot.sort(key=lambda i: i.ready_at)
+                spot.pop()
+
+            # 4. Reconcile on-demand fleet (always obtainable, §5.1).
+            while len(od) < mix.od_target:
+                od.append(_ReplayInstance(zone=None, spot=False, ready_at=now + d))
+            while len(od) > mix.od_target:
+                od.sort(key=lambda i: i.ready_at)
+                od.pop()
+
+            # 5. Accrue cost and record readiness.
+            hours = step / 3600.0
+            multipliers = cfg.zone_price_multipliers or {}
+            spot_cost += sum(
+                multipliers.get(i.zone, 1.0) for i in spot
+            ) * hours  # spot replica-hour = 1 unit at the base price
+            od_cost += len(od) * cfg.k * hours
+            ready_series[k_step] = sum(1 for i in spot if i.ready_at <= now) + sum(
+                1 for i in od if i.ready_at <= now
+            )
+
+        baseline = cfg.k * cfg.n_tar * (trace.n_steps * step / 3600.0)
+        return ReplayResult(
+            policy=policy.name,
+            trace=trace.name,
+            n_tar=cfg.n_tar,
+            availability=float((ready_series >= cfg.n_tar).mean()),
+            relative_cost=(spot_cost + od_cost) / baseline,
+            spot_cost=spot_cost,
+            od_cost=od_cost,
+            preemptions=preemptions,
+            launch_failures=launch_failures,
+            ready_series=ready_series,
+            step=step,
+        )
+
+
+# ----------------------------------------------------------------------
+# Latency estimation from ready-replica series (Figs. 14c/d, 15)
+# ----------------------------------------------------------------------
+
+
+def erlang_c_wait(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Expected M/M/c queueing delay (Erlang C), in seconds.
+
+    Returns ``inf`` when the system is unstable (ρ ≥ 1) or has no
+    servers.
+    """
+    if servers <= 0:
+        return math.inf
+    if arrival_rate <= 0:
+        return 0.0
+    if service_time <= 0:
+        return 0.0
+    offered = arrival_rate * service_time  # Erlangs
+    rho = offered / servers
+    if rho >= 1.0:
+        return math.inf
+    # Erlang C probability of waiting, computed iteratively for stability.
+    inv_b = 1.0
+    for j in range(1, servers + 1):
+        inv_b = 1.0 + inv_b * j / offered
+    erlang_b = 1.0 / inv_b
+    p_wait = erlang_b / (1.0 - rho * (1.0 - erlang_b))
+    return p_wait * service_time / (servers * (1.0 - rho))
+
+
+def estimate_latency(
+    result: ReplayResult,
+    workload: Workload,
+    *,
+    service_time: float = 8.0,
+    concurrency_per_replica: int = 8,
+    timeout: float = 100.0,
+) -> np.ndarray:
+    """Per-request latency estimates for a replayed policy.
+
+    Each request sees the replica count of its arrival step.  With
+    replicas up, latency = service time + Erlang-C queueing delay at
+    the current arrival rate (each replica contributes
+    ``concurrency_per_replica`` servers).  With no replicas (downtime),
+    the request waits for the next step with capacity and times out at
+    ``timeout`` — failed requests are reported *at* the timeout, which
+    matches how the paper folds failures into tail latency.
+    """
+    if service_time <= 0 or timeout <= 0:
+        raise ValueError("service_time and timeout must be positive")
+    ready = result.ready_series
+    step = result.step
+    horizon = len(ready) * step
+    # Arrival rate per step, for the Erlang-C load.
+    rates = np.zeros(len(ready))
+    for request in workload:
+        if request.arrival_time < horizon:
+            rates[int(request.arrival_time // step)] += 1.0
+    rates /= step
+
+    latencies = np.empty(len([r for r in workload if r.arrival_time < horizon]))
+    index = 0
+    for request in workload:
+        if request.arrival_time >= horizon:
+            break
+        k_step = int(request.arrival_time // step)
+        waited = 0.0
+        j = k_step
+        while j < len(ready) and ready[j] == 0 and waited < timeout:
+            waited += step
+            j += 1
+        if waited >= timeout or j >= len(ready):
+            latencies[index] = timeout
+        else:
+            servers = int(ready[j]) * concurrency_per_replica
+            queue_wait = erlang_c_wait(rates[j], service_time, servers)
+            total = waited + queue_wait + service_time
+            latencies[index] = min(total, timeout)
+        index += 1
+    return latencies

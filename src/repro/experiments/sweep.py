@@ -1,0 +1,67 @@
+"""Parameter sweeps over experiment configurations.
+
+The sensitivity studies (Fig. 14c/d) and ablations are sweeps: run the
+same experiment across a grid of parameter values and collect one
+record per point.  :func:`grid_sweep` is that loop with deterministic
+ordering, error isolation, and tidy records ready for a
+:class:`~repro.experiments.results.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+__all__ = ["SweepPoint", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameters used and the outcome (or error)."""
+
+    params: dict[str, Any]
+    result: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def label(self) -> str:
+        """Stable human-readable key, e.g. ``n_extra=2,cold_start=180``."""
+        return ",".join(f"{k}={v}" for k, v in self.params.items())
+
+
+def grid_sweep(
+    run: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    raise_errors: bool = False,
+) -> list[SweepPoint]:
+    """Run ``run(**params)`` for every combination in ``grid``.
+
+    Combinations are enumerated in the deterministic order of
+    ``itertools.product`` over the grid's insertion order.  By default a
+    failing point is captured in its :class:`SweepPoint` (``error`` set,
+    ``result`` None) instead of aborting the sweep; set
+    ``raise_errors=True`` to fail fast.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    for name, values in grid.items():
+        if len(values) == 0:
+            raise ValueError(f"parameter {name!r} has no values")
+    names = list(grid)
+    points: list[SweepPoint] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        try:
+            result = run(**params)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if raise_errors:
+                raise
+            points.append(SweepPoint(params=params, error=f"{type(exc).__name__}: {exc}"))
+            continue
+        points.append(SweepPoint(params=params, result=result))
+    return points

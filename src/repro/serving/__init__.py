@@ -1,0 +1,60 @@
+"""The SkyServe serving system (§4): controller, replicas, balancers,
+autoscaler, simulated inference engines, client, and service facade."""
+
+from repro.serving.autoscaler import Autoscaler
+from repro.serving.client import ClientStats, ServiceClient
+from repro.serving.controller import ServiceController
+from repro.serving.fleet import FleetService, ServiceFleet
+from repro.serving.inference import (
+    InferenceServer,
+    ModelProfile,
+    llama2_70b_profile,
+    opt_6_7b_profile,
+    vicuna_13b_profile,
+)
+from repro.serving.load_balancer import (
+    LeastLoadBalancer,
+    LoadBalancer,
+    LocalityAwareBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.serving.policy import MixTarget, Observation, ServingPolicy
+from repro.serving.replica import Replica, ReplicaState
+from repro.serving.service import ServiceReport, SkyService
+from repro.serving.spec import (
+    DomainFilter,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceSpec,
+)
+
+__all__ = [
+    "Autoscaler",
+    "ClientStats",
+    "DomainFilter",
+    "FleetService",
+    "InferenceServer",
+    "LeastLoadBalancer",
+    "LoadBalancer",
+    "LocalityAwareBalancer",
+    "MixTarget",
+    "ModelProfile",
+    "Observation",
+    "Replica",
+    "ReplicaPolicyConfig",
+    "ReplicaState",
+    "ResourceSpec",
+    "RoundRobinBalancer",
+    "ServiceClient",
+    "ServiceController",
+    "ServiceFleet",
+    "ServiceReport",
+    "ServiceSpec",
+    "ServingPolicy",
+    "SkyService",
+    "make_balancer",
+    "llama2_70b_profile",
+    "opt_6_7b_profile",
+    "vicuna_13b_profile",
+]

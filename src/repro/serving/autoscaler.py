@@ -1,0 +1,82 @@
+"""Load-based autoscaler (§4, "Autoscaler").
+
+The autoscaler tracks the average request rate R_t over a sliding window
+(default one minute) and proposes a candidate target
+``N_Can = ceil(R_t / Q_Tar)``.  The live target ``N_Tar`` only moves when
+the candidate has been consistently above (for ``upscale_delay``) or
+below (for ``downscale_delay``) the current target, which filters the
+bursty noise of workloads like Arena.  ``fixed_target`` pins ``N_Tar``
+for experiments that hold the desired replica count constant (§5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+from repro.serving.spec import ReplicaPolicyConfig
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """QPS-window autoscaler computing the paper's N_Tar(t)."""
+
+    def __init__(self, config: ReplicaPolicyConfig, *, initial_target: int = 1) -> None:
+        self.config = config
+        if config.fixed_target is not None:
+            initial_target = config.fixed_target
+        self._n_tar = self._clamp(initial_target)
+        self._arrivals: deque[float] = deque()
+        self._above_since: Optional[float] = None
+        self._below_since: Optional[float] = None
+
+    def _clamp(self, target: int) -> int:
+        return max(self.config.min_replicas, min(target, self.config.max_replicas))
+
+    @property
+    def n_tar(self) -> int:
+        """The current target number of ready replicas, N_Tar(t)."""
+        return self._n_tar
+
+    def record_request(self, time: float) -> None:
+        """Note one request arrival (fed by the load balancer)."""
+        self._arrivals.append(time)
+
+    def request_rate(self, now: float) -> float:
+        """Average request rate over the trailing window."""
+        cutoff = now - self.config.qps_window
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+        return len(self._arrivals) / self.config.qps_window
+
+    def candidate_target(self, now: float) -> int:
+        """N_Can = ceil(R_t / Q_Tar), clamped to the replica bounds."""
+        rate = self.request_rate(now)
+        return self._clamp(math.ceil(rate / self.config.target_qps_per_replica))
+
+    def evaluate(self, now: float) -> int:
+        """Update and return N_Tar; call once per controller tick."""
+        if self.config.fixed_target is not None:
+            self._n_tar = self._clamp(self.config.fixed_target)
+            return self._n_tar
+        candidate = self.candidate_target(now)
+        if candidate > self._n_tar:
+            self._below_since = None
+            if self._above_since is None:
+                self._above_since = now
+            if now - self._above_since >= self.config.upscale_delay:
+                self._n_tar = candidate
+                self._above_since = None
+        elif candidate < self._n_tar:
+            self._above_since = None
+            if self._below_since is None:
+                self._below_since = now
+            if now - self._below_since >= self.config.downscale_delay:
+                self._n_tar = candidate
+                self._below_since = None
+        else:
+            self._above_since = None
+            self._below_since = None
+        return self._n_tar

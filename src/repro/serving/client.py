@@ -1,0 +1,163 @@
+"""Workload replay client.
+
+Replays a :class:`~repro.workloads.request.Workload` against a service,
+reproducing the §5.1 client behaviour:
+
+* every request has a hard timeout (100 s for Llama-2-70B, 20 s for
+  OPT-6.7B); a request that has not completed by its deadline counts as
+  a *failure* (timeouts capture both queueing overload and downtime);
+* when no replica is ready, the client retries periodically until the
+  deadline;
+* when a replica is preempted mid-request, the client resends the
+  request to another replica, and the lost time stays inside the
+  end-to-end latency ("all requests that fail due to spot preemption
+  will be retried by the client, with the failure time included");
+* the measured latency includes the WAN round trip to whichever region
+  served the request;
+* time-to-first-token (TTFT, the §3.1 footnote's metric) is recorded
+  separately: queueing + prefill on the replica plus the WAN round
+  trip — the quantity §6's locality-aware routing optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.controller import ServiceController
+from repro.serving.replica import Replica
+from repro.sim.metrics import Counter, LatencyRecorder, LatencySummary
+from repro.workloads.request import Request, Workload
+
+__all__ = ["ClientStats", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class ClientStats:
+    """Aggregate client-side results of one replay."""
+
+    total_requests: int
+    completed: int
+    failed: int
+    retries: int
+    latency: LatencySummary | None
+    ttft: LatencySummary | None
+
+    @property
+    def failure_rate(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.failed / self.total_requests
+
+
+class ServiceClient:
+    """Replays a workload through a service controller."""
+
+    def __init__(
+        self,
+        controller: ServiceController,
+        workload: Workload,
+        *,
+        client_region: str = "aws:us-west-2",
+        retry_interval: float = 2.0,
+    ) -> None:
+        if retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        self.controller = controller
+        self.engine = controller.engine
+        self.workload = workload
+        self.client_region = client_region
+        self.retry_interval = retry_interval
+        self.timeout = controller.spec.request_timeout
+        self.latencies = LatencyRecorder()
+        self.ttfts = LatencyRecorder("ttft")
+        self.failures = Counter("failed_requests")
+        self.retries = Counter("request_retries")
+        self._completed: set[int] = set()
+        self._failed: set[int] = set()
+        self._ttft_seen: set[int] = set()
+        self._scheduled = False
+
+    def start(self) -> None:
+        """Schedule every workload arrival.  Call once before running."""
+        if self._scheduled:
+            raise RuntimeError("client already started")
+        self._scheduled = True
+        for request in self.workload:
+            self.engine.call_at(
+                request.arrival_time, lambda r=request: self._arrive(r)
+            )
+
+    # ------------------------------------------------------------------
+    # Per-request state machine
+    # ------------------------------------------------------------------
+    def _arrive(self, request: Request) -> None:
+        deadline = request.arrival_time + self.timeout
+        self.engine.call_at(deadline, lambda: self._deadline(request))
+        self._attempt(request, deadline)
+
+    def _deadline(self, request: Request) -> None:
+        if request.request_id in self._completed:
+            return
+        self._failed.add(request.request_id)
+        self.failures.add()
+
+    def _attempt(self, request: Request, deadline: float) -> None:
+        if request.request_id in self._failed or request.request_id in self._completed:
+            return
+        replica = self.controller.route(request)
+        if replica is None:
+            if self.engine.now + self.retry_interval < deadline:
+                self.engine.call_after(
+                    self.retry_interval, lambda: self._attempt(request, deadline)
+                )
+            return
+        replica.handle(
+            request,
+            on_complete=lambda r, rep=replica: self._complete(r, rep),
+            on_abort=lambda r: self._aborted(r, deadline),
+            on_first_token=lambda r, rep=replica: self._first_token(r, rep),
+        )
+
+    def _aborted(self, request: Request, deadline: float) -> None:
+        """Replica died (preemption or scale-down): client retries."""
+        if request.request_id in self._failed or request.request_id in self._completed:
+            return
+        self.retries.add()
+        self._attempt(request, deadline)
+
+    def _first_token(self, request: Request, replica: Replica) -> None:
+        """Record TTFT for the *first successful* attempt that streams a
+        token back; retried requests keep their earliest-token time."""
+        if request.request_id in self._failed or request.request_id in self._ttft_seen:
+            return
+        rtt = self.controller.network.rtt(self.client_region, replica.region_id)
+        self._ttft_seen.add(request.request_id)
+        self.ttfts.record(self.engine.now + rtt - request.arrival_time)
+
+    def _complete(self, request: Request, replica: Replica) -> None:
+        if request.request_id in self._completed:
+            return
+        rtt = self.controller.network.rtt(self.client_region, replica.region_id)
+        finish = self.engine.now + rtt
+        latency = finish - request.arrival_time
+        if request.request_id in self._failed or latency > self.timeout:
+            # Completed after its deadline: already (or now) a failure.
+            if request.request_id not in self._failed:
+                self._failed.add(request.request_id)
+                self.failures.add()
+            return
+        self._completed.add(request.request_id)
+        self.latencies.record(latency)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def stats(self) -> ClientStats:
+        return ClientStats(
+            total_requests=len(self.workload),
+            completed=len(self._completed),
+            failed=len(self._failed),
+            retries=int(self.retries.value),
+            latency=self.latencies.summary(),
+            ttft=self.ttfts.summary(),
+        )

@@ -1,0 +1,249 @@
+"""Simulated inference engine.
+
+Stands in for vLLM / TGI / Triton / SpotServe endpoints.  The model we
+need is the one the paper's latency argument rests on (Fig. 6a): request
+processing time is seconds to tens of seconds, split into a fixed
+overhead, a prefill phase proportional to input tokens, and a decode
+phase proportional to output tokens.  The engine admits up to
+``max_concurrency`` requests at once (continuous batching slots); excess
+requests wait in a FIFO queue, which is where overload shows up as
+queueing delay and, eventually, client timeouts.
+
+Profiles are provided for the three model/hardware pairs the evaluation
+uses: Llama-2-70B on 8×A10G (vLLM), OPT-6.7B on 4×T4 (SpotServe), and
+Vicuna-13B (the Fig. 6a breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.workloads.request import Request
+
+__all__ = [
+    "InferenceServer",
+    "ModelProfile",
+    "llama2_70b_profile",
+    "opt_6_7b_profile",
+    "vicuna_13b_profile",
+]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Latency model of one model/hardware pair.
+
+    ``processing_time = overhead + prefill_per_token * input_tokens +
+    decode_per_token * output_tokens``, scaled by a throughput factor
+    (used by the SpotServe baseline when a replica loses workers and
+    re-parallelises over the survivors).
+    """
+
+    name: str
+    overhead: float
+    prefill_per_token: float
+    decode_per_token: float
+    max_concurrency: int
+
+    def __post_init__(self) -> None:
+        if min(self.overhead, self.prefill_per_token, self.decode_per_token) < 0:
+            raise ValueError(f"{self.name}: negative latency coefficients")
+        if self.max_concurrency < 1:
+            raise ValueError(f"{self.name}: max_concurrency must be >= 1")
+
+    def processing_time(self, request: Request, *, slowdown: float = 1.0) -> float:
+        """Pure compute time for one request, excluding queueing."""
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown {slowdown} < 1")
+        base = (
+            self.overhead
+            + self.prefill_per_token * request.input_tokens
+            + self.decode_per_token * request.output_tokens
+        )
+        return base * slowdown
+
+    def time_to_first_token(self, request: Request, *, slowdown: float = 1.0) -> float:
+        """TTFT: overhead + prefill (the §3.1 footnote's metric)."""
+        return (self.overhead + self.prefill_per_token * request.input_tokens) * max(
+            slowdown, 1.0
+        )
+
+
+def llama2_70b_profile() -> ModelProfile:
+    """Llama-2-70B on a g5.48xlarge (8×A10G) running vLLM (§5.1).
+
+    Decoding a 70B model on A10Gs runs at roughly 15–20 tokens/s per
+    stream; a median Arena reply (~180 tokens) takes ~10 s, and long
+    generations push against the experiment's 100 s timeout.
+    """
+    return ModelProfile(
+        name="llama2-70b-vllm",
+        overhead=0.6,
+        prefill_per_token=0.0015,
+        decode_per_token=0.055,
+        max_concurrency=8,
+    )
+
+
+def opt_6_7b_profile() -> ModelProfile:
+    """OPT-6.7B on a g4dn.12xlarge (4×T4) running SpotServe (§5.1).
+
+    Smaller model on slower GPUs: ~2–6 s typical requests against a 20 s
+    timeout.
+    """
+    return ModelProfile(
+        name="opt-6.7b-spotserve",
+        overhead=0.3,
+        prefill_per_token=0.0008,
+        decode_per_token=0.020,
+        max_concurrency=8,
+    )
+
+
+def vicuna_13b_profile() -> ModelProfile:
+    """Vicuna-13B, the Fig. 6a breakdown subject.
+
+    Calibrated so a 20-input/44-output-token request takes a few seconds
+    of processing — far above the ~0.1 s US↔EU round trip.
+    """
+    return ModelProfile(
+        name="vicuna-13b",
+        overhead=0.4,
+        prefill_per_token=0.0012,
+        decode_per_token=0.042,
+        max_concurrency=8,
+    )
+
+
+class InferenceServer:
+    """FIFO-queued, concurrency-limited execution of requests.
+
+    ``submit`` returns immediately; ``on_complete(request, started_at)``
+    fires when the request finishes compute.  ``abort_all`` models a
+    preemption killing the endpoint: queued and in-flight requests all
+    fail through ``on_abort``.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        profile: ModelProfile,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.05,
+    ) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter {jitter} outside [0, 1)")
+        self.engine = engine
+        self.profile = profile
+        self.slowdown = 1.0
+        self._rng = rng
+        self._jitter = jitter
+        self._queue: list[tuple] = []  # (request, on_complete, on_abort, on_first_token)
+        self._in_flight: dict[int, tuple[Request, Callable, Callable]] = {}
+        self._aborted = False
+        self._frozen = False
+        self._generation = 0  # bumped on abort; stale completions are dropped
+
+    @property
+    def ongoing(self) -> int:
+        """Requests on this server (queued + executing) — the least-load
+        balancer's signal."""
+        return len(self._queue) + len(self._in_flight)
+
+    @property
+    def executing(self) -> int:
+        return len(self._in_flight)
+
+    def submit(
+        self,
+        request: Request,
+        on_complete: Callable[[Request], None],
+        on_abort: Callable[[Request], None],
+        on_first_token: Optional[Callable[[Request], None]] = None,
+    ) -> None:
+        """Enqueue a request for execution.
+
+        ``on_first_token`` fires when the prefill phase finishes — the
+        server-side component of TTFT (queueing + overhead + prefill).
+        """
+        if self._aborted:
+            on_abort(request)
+            return
+        self._queue.append((request, on_complete, on_abort, on_first_token))
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._queue and len(self._in_flight) < self.profile.max_concurrency:
+            request, on_complete, on_abort, on_first_token = self._queue.pop(0)
+            self._in_flight[request.request_id] = (request, on_complete, on_abort)
+            duration = self.profile.processing_time(request, slowdown=self.slowdown)
+            if self._rng is not None and self._jitter > 0:
+                duration *= float(
+                    self._rng.uniform(1 - self._jitter, 1 + self._jitter)
+                )
+            generation = self._generation
+            if on_first_token is not None:
+                ttft = self.profile.time_to_first_token(
+                    request, slowdown=self.slowdown
+                )
+                self.engine.call_after(
+                    min(ttft, duration),
+                    lambda r=request, g=generation, cb=on_first_token: (
+                        cb(r) if g == self._generation else None
+                    ),
+                )
+            self.engine.call_after(
+                duration, lambda r=request, g=generation: self._finish(r, g)
+            )
+
+    def _finish(self, request: Request, generation: int) -> None:
+        if generation != self._generation:
+            return  # killed by an abort since this was scheduled
+        if self._frozen:
+            return  # stuck endpoint: requests hang, nothing completes
+        entry = self._in_flight.pop(request.request_id, None)
+        if entry is None:
+            return
+        _, on_complete, _ = entry
+        on_complete(request)
+        self._drain()
+
+    def abort_all(self) -> None:
+        """Kill the endpoint (preemption): fail everything on it."""
+        self._aborted = True
+        self._generation += 1
+        pending = [entry[:3] for entry in self._queue] + list(
+            self._in_flight.values()
+        )
+        self._queue.clear()
+        self._in_flight.clear()
+        for request, _, on_abort in pending:
+            on_abort(request)
+
+    def freeze(self) -> None:
+        """Silent failure injection: the endpoint stops responding.
+
+        Unlike :meth:`abort_all` nothing is notified — queued and
+        in-flight requests simply hang, and new submissions are accepted
+        into the queue.  Only an active readiness probe (§4) can detect
+        this state.
+        """
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def set_slowdown(self, slowdown: float) -> None:
+        """Degrade throughput (SpotServe re-parallelisation on survivors).
+
+        Applies to requests admitted after the call.
+        """
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown {slowdown} < 1")
+        self.slowdown = slowdown

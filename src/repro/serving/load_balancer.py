@@ -1,0 +1,124 @@
+"""Load balancers (§4, "Load Balancer").
+
+The system load balancer distributes incoming traffic over ready
+replicas.  The paper ships round-robin and least-ongoing-requests
+routing, and sketches a locality-aware extension in §6 (route to the
+closest replica unless it is overloaded); all three are implemented
+here.  The balancer also feeds request-rate measurements to the
+autoscaler — in this codebase that wiring lives in the service
+controller, which calls :meth:`LoadBalancer.pick` per request.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.cloud.network import NetworkModel
+from repro.serving.replica import Replica
+from repro.workloads.request import Request
+
+__all__ = [
+    "LeastLoadBalancer",
+    "LoadBalancer",
+    "LocalityAwareBalancer",
+    "RoundRobinBalancer",
+    "make_balancer",
+]
+
+
+class LoadBalancer(abc.ABC):
+    """Chooses a ready replica for each incoming request."""
+
+    name: str = "balancer"
+
+    @abc.abstractmethod
+    def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
+        """Pick a replica from ``replicas`` (all ready), or ``None`` if
+        the list is empty."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through ready replicas in id order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
+        if not replicas:
+            return None
+        ordered = sorted(replicas, key=lambda r: r.id)
+        choice = ordered[self._next % len(ordered)]
+        self._next += 1
+        return choice
+
+
+class LeastLoadBalancer(LoadBalancer):
+    """Route to the replica with the fewest ongoing requests (§4's
+    "least number of ongoing requests" option, the SkyServe default)."""
+
+    name = "least_load"
+
+    def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
+        if not replicas:
+            return None
+        return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
+
+
+class LocalityAwareBalancer(LoadBalancer):
+    """§6's advanced policy: prefer replicas near the client.
+
+    Replicas are bucketed by round-trip time from ``client_region``;
+    within the nearest bucket whose replicas are not overloaded (ongoing
+    requests below ``overload_threshold``), pick the least loaded.  When
+    every bucket is overloaded, fall back to the globally least-loaded
+    replica — the "route to a remote region only if local replicas are
+    overloaded" behaviour.
+    """
+
+    name = "locality"
+
+    def __init__(
+        self,
+        client_region: str,
+        network: NetworkModel,
+        *,
+        overload_threshold: int = 8,
+    ) -> None:
+        if overload_threshold < 1:
+            raise ValueError("overload_threshold must be >= 1")
+        self.client_region = client_region
+        self.network = network
+        self.overload_threshold = overload_threshold
+
+    def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
+        if not replicas:
+            return None
+        by_rtt = sorted(
+            replicas,
+            key=lambda r: (self.network.rtt(self.client_region, r.region_id), r.id),
+        )
+        for replica in by_rtt:
+            if replica.ongoing_requests < self.overload_threshold:
+                return replica
+        return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
+
+
+def make_balancer(
+    policy: str,
+    *,
+    client_region: str = "aws:us-west-2",
+    network: Optional[NetworkModel] = None,
+) -> LoadBalancer:
+    """Instantiate a balancer from a service spec policy name."""
+    if policy == "round_robin":
+        return RoundRobinBalancer()
+    if policy == "least_load":
+        return LeastLoadBalancer()
+    if policy == "locality":
+        if network is None:
+            raise ValueError("locality balancer requires a network model")
+        return LocalityAwareBalancer(client_region, network)
+    raise ValueError(f"unknown load balancing policy {policy!r}")

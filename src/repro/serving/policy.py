@@ -1,0 +1,120 @@
+"""The policy interface between the service controller and its brain.
+
+The controller owns *mechanism* (launching, probing, terminating,
+routing); a :class:`ServingPolicy` owns *policy*: how many spot and
+on-demand replicas to hold, and where to put the next spot replica.
+SpotHedge (``repro.core``) and every baseline system (``repro.baselines``)
+implement this interface, so all of them run against the identical
+controller, cloud, and workload — the apples-to-apples setup of §5.
+
+The controller calls, on every reconciliation tick:
+
+1. :meth:`ServingPolicy.target_mix` with an :class:`Observation` →
+   a :class:`MixTarget`;
+2. :meth:`ServingPolicy.select_spot_zone` once per missing spot replica,
+   and :meth:`ServingPolicy.select_od_zone` once per missing on-demand
+   replica;
+
+and feeds back lifecycle events through the ``on_spot_*`` hooks (these
+drive Alg. 1's Z_A/Z_P bookkeeping).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import AbstractSet, Optional
+
+__all__ = ["MixTarget", "Observation", "ServingPolicy"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a policy may observe — mirrors what real clients can see.
+
+    Counts are *replicas* (for multi-worker replicas, worker instances
+    are aggregated by the controller).  ``spot_by_zone`` counts alive
+    (provisioning/initializing/ready) spot replicas per zone.
+    """
+
+    now: float
+    n_tar: int
+    spot_launched: int
+    spot_ready: int
+    od_launched: int
+    od_ready: int
+    spot_by_zone: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ready(self) -> int:
+        return self.spot_ready + self.od_ready
+
+
+@dataclass(frozen=True)
+class MixTarget:
+    """Desired spot/on-demand replica counts.
+
+    ``count_provisioning_spot`` controls whether in-flight spot launches
+    count toward ``spot_target``.  SpotHedge and ASG count them; MArk and
+    AWSSpot (which assume CPU-fast readiness) do not, reproducing the
+    over-request behaviour of Fig. 12.
+    """
+
+    spot_target: int
+    od_target: int
+    count_provisioning_spot: bool = True
+
+    def __post_init__(self) -> None:
+        if self.spot_target < 0 or self.od_target < 0:
+            raise ValueError(f"negative targets {self}")
+
+
+class ServingPolicy(abc.ABC):
+    """Replica-mixture and placement policy."""
+
+    #: Human-readable system name (used in experiment tables).
+    name: str = "policy"
+
+    #: Whether the controller should exclude recently-failed zones from
+    #: this policy's placement choices for a short cooldown.  Systems
+    #: built for CPU-era spot (MArk, AWSSpot) lack this failover
+    #: behaviour and keep hammering unavailable zones — which is what
+    #: produces the Fig. 12 over-requesting.
+    respects_zone_cooldown: bool = True
+
+    @abc.abstractmethod
+    def target_mix(self, obs: Observation) -> MixTarget:
+        """Desired number of spot and on-demand replicas right now."""
+
+    @abc.abstractmethod
+    def select_spot_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        """Zone for the next spot launch, or ``None`` to hold off.
+
+        ``excluded`` lists zones whose launches already failed in the
+        current reconciliation round; implementations should avoid them
+        until the next round.
+        """
+
+    def select_od_zone(
+        self, obs: Observation, excluded: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        """Zone for the next on-demand launch.
+
+        Default: reuse the spot zone choice (on-demand capacity is
+        plentiful everywhere, §5.1 discussion).
+        """
+        return self.select_spot_zone(obs, excluded)
+
+    # ------------------------------------------------------------------
+    # Lifecycle feedback (drives Alg. 1 state in placers that track it)
+    # ------------------------------------------------------------------
+    def on_spot_ready(self, zone_id: str) -> None:
+        """A spot replica became READY in ``zone_id``."""
+
+    def on_spot_preempted(self, zone_id: str) -> None:
+        """A spot replica was preempted in ``zone_id``."""
+
+    def on_spot_launch_failed(self, zone_id: str) -> None:
+        """A spot launch attempt failed (no capacity) in ``zone_id``."""

@@ -1,0 +1,181 @@
+"""SkyService: one-call wiring of cloud, controller, policy, and client.
+
+This is the facade a downstream user interacts with (the programmatic
+equivalent of ``sky serve up``): give it a service spec, a policy, a
+model profile, a spot trace, and a workload; run it; read the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.catalog import Catalog
+from repro.cloud.network import NetworkModel, default_network
+from repro.cloud.provider import CloudConfig, SimCloud
+from repro.cloud.topology import Topology, default_topology
+from repro.cloud.traces import SpotTrace
+from repro.serving.client import ClientStats, ServiceClient
+from repro.serving.controller import ServiceController
+from repro.serving.inference import ModelProfile, llama2_70b_profile
+from repro.serving.policy import ServingPolicy
+from repro.serving.spec import ServiceSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import LatencySummary
+from repro.sim.rng import RngRegistry
+from repro.workloads.request import Workload
+
+__all__ = ["ServiceReport", "SkyService"]
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Everything the paper reports per system per run."""
+
+    system: str
+    duration: float
+    total_requests: int
+    completed: int
+    failed: int
+    failure_rate: float
+    latency: Optional[LatencySummary]
+    #: Time-to-first-token distribution (§3.1 footnote): queueing +
+    #: prefill + WAN round trip of the first successful attempt.
+    ttft: Optional[LatencySummary]
+    #: Raw per-request latencies of completed requests, for effective
+    #: (failure-inclusive) percentile computations downstream.
+    latency_samples: tuple[float, ...]
+    spot_cost: float
+    od_cost: float
+    availability: float
+    preemptions: int
+    launch_failures: int
+
+    @property
+    def total_cost(self) -> float:
+        return self.spot_cost + self.od_cost
+
+    def latency_boxplot(self):
+        """Fig. 9 box-plot stats of completed-request latency (10/90
+        whiskers, 25/75 box, median line, mean marker); ``None`` when no
+        requests completed."""
+        from repro.sim.metrics import LatencyRecorder
+
+        recorder = LatencyRecorder()
+        recorder.extend(self.latency_samples)
+        return recorder.boxplot()
+
+    def effective_percentile(self, q: float, timeout: float) -> float:
+        """Latency percentile with failed requests counted at the
+        timeout — the client-experienced distribution, immune to the
+        survivorship bias of completed-only percentiles when a system
+        fails most of its requests."""
+        samples = list(self.latency_samples) + [timeout] * self.failed
+        if not samples:
+            raise ValueError("no requests to take a percentile of")
+        return float(np.percentile(samples, q))
+
+    def cost_relative_to_on_demand(self, od_hourly: float, n_tar: int) -> float:
+        """Cost as a fraction of running n_tar on-demand replicas for the
+        whole experiment — the paper's cost normalisation."""
+        baseline = od_hourly * n_tar * self.duration / 3600.0
+        if baseline <= 0:
+            raise ValueError("non-positive on-demand baseline")
+        return self.total_cost / baseline
+
+
+class SkyService:
+    """A deployed service: simulated cloud + controller + client."""
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        policy: ServingPolicy,
+        trace: SpotTrace,
+        *,
+        profile: Optional[ModelProfile] = None,
+        topology: Optional[Topology] = None,
+        catalog: Optional[Catalog] = None,
+        cloud_config: Optional[CloudConfig] = None,
+        network: Optional[NetworkModel] = None,
+        client_region: str = "aws:us-west-2",
+        seed: int = 0,
+        adaptive_parallelism: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.policy = policy
+        self.rng = RngRegistry(seed)
+        self.engine = SimulationEngine()
+        self.network = network or default_network()
+        self.cloud = SimCloud(
+            self.engine,
+            trace,
+            topology=topology,
+            catalog=catalog,
+            config=cloud_config,
+            rng=self.rng,
+        )
+        self.controller = ServiceController(
+            self.engine,
+            self.cloud,
+            spec,
+            policy,
+            profile or llama2_70b_profile(),
+            network=self.network,
+            rng=self.rng.stream("inference"),
+            client_region=client_region,
+        )
+        self.controller._adaptive_parallelism = adaptive_parallelism
+        self.client: Optional[ServiceClient] = None
+        self.client_region = client_region
+
+    def run(self, workload: Workload, duration: float) -> ServiceReport:
+        """Serve ``workload`` for ``duration`` seconds and report."""
+        self.client = ServiceClient(
+            self.controller, workload, client_region=self.client_region
+        )
+        self.controller.start()
+        self.client.start()
+        self.engine.run_until(duration)
+        return self.report(duration)
+
+    def down(self) -> None:
+        """Tear the service down (``sky serve down``): terminate every
+        replica's instances and stop billing accrual.
+
+        The engine keeps running (other services may share it); this
+        service simply stops holding resources.
+        """
+        self.controller.stop()
+        for replica in list(self.controller.replicas):
+            for worker in list(replica.workers):
+                self.cloud.terminate(worker)
+            replica.kill()
+        self.controller.replicas.clear()
+
+    def report(self, duration: float) -> ServiceReport:
+        if self.client is None:
+            raise RuntimeError("run() must be called before report()")
+        stats: ClientStats = self.client.stats()
+        cost = self.cloud.billing.breakdown(self.engine.now)
+        n_tar = self.controller.autoscaler.n_tar
+        return ServiceReport(
+            system=self.policy.name,
+            duration=duration,
+            total_requests=stats.total_requests,
+            completed=stats.completed,
+            failed=stats.failed,
+            failure_rate=stats.failure_rate,
+            latency=stats.latency,
+            ttft=stats.ttft,
+            latency_samples=tuple(self.client.latencies.samples),
+            spot_cost=cost.spot,
+            od_cost=cost.on_demand,
+            availability=self.controller.ready_total_series.fraction_at_least(
+                max(n_tar, 1), 0.0, duration
+            ),
+            preemptions=int(self.controller.preemption_count.value),
+            launch_failures=int(self.controller.launch_failure_count.value),
+        )

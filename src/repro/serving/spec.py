@@ -1,0 +1,207 @@
+"""Service specification — the reproduction of Listing 1.
+
+A :class:`ServiceSpec` describes everything a user submits to SkyServe:
+the readiness probe, the replica policy (SpotHedge knobs:
+``num_overprovision``, ``dynamic_ondemand_fallback``, ``spot_placer``,
+``target_qps_per_replica``), and the resources stanza with its ``any_of``
+failure-domain filters.  Specs round-trip through plain dictionaries, the
+shape the YAML file in Listing 1 parses into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cloud.topology import Topology, Zone
+
+__all__ = ["DomainFilter", "ReplicaPolicyConfig", "ResourceSpec", "ServiceSpec"]
+
+_VALID_PLACERS = ("dynamic", "even_spread", "round_robin")
+_VALID_BALANCERS = ("round_robin", "least_load", "locality")
+
+
+@dataclass(frozen=True)
+class DomainFilter:
+    """One entry of the ``any_of`` list: enable a cloud, region, or zone."""
+
+    cloud: Optional[str] = None
+    region: Optional[str] = None
+    zone: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cloud is None and self.region is None and self.zone is None:
+            raise ValueError("empty any_of entry")
+        if self.region is not None and self.cloud is None:
+            raise ValueError("region filter requires a cloud")
+        if self.zone is not None and (self.cloud is None or self.region is None):
+            raise ValueError("zone filter requires cloud and region")
+
+    def to_dict(self) -> dict[str, str]:
+        out = {}
+        if self.cloud:
+            out["cloud"] = self.cloud
+        if self.region:
+            out["region"] = self.region
+        if self.zone:
+            out["zone"] = self.zone
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "DomainFilter":
+        return cls(
+            cloud=data.get("cloud"), region=data.get("region"), zone=data.get("zone")
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaPolicyConfig:
+    """The ``replica_policy`` stanza: autoscaling + SpotHedge knobs.
+
+    Defaults follow the paper: 1-minute QPS window, ~10-minute hold time
+    before the target changes, two overprovisioned spot replicas, dynamic
+    on-demand fallback on, dynamic spot placement.
+    """
+
+    target_qps_per_replica: float = 1.0
+    min_replicas: int = 1
+    max_replicas: int = 64
+    fixed_target: Optional[int] = None
+    num_overprovision: int = 2
+    dynamic_ondemand_fallback: bool = True
+    base_ondemand_fallback_replicas: int = 0
+    spot_placer: str = "dynamic"
+    qps_window: float = 60.0
+    upscale_delay: float = 300.0
+    downscale_delay: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.target_qps_per_replica <= 0:
+            raise ValueError("target_qps_per_replica must be positive")
+        if not 0 < self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"invalid replica bounds [{self.min_replicas}, {self.max_replicas}]"
+            )
+        if self.num_overprovision < 0 or self.base_ondemand_fallback_replicas < 0:
+            raise ValueError("negative replica counts")
+        if self.fixed_target is not None and self.fixed_target < 1:
+            raise ValueError("fixed_target must be >= 1 when set")
+        if self.spot_placer not in _VALID_PLACERS:
+            raise ValueError(
+                f"unknown spot_placer {self.spot_placer!r}; expected one of {_VALID_PLACERS}"
+            )
+        if min(self.qps_window, self.upscale_delay, self.downscale_delay) < 0:
+            raise ValueError("negative autoscaler delays")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target_qps_per_replica": self.target_qps_per_replica,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "fixed_target": self.fixed_target,
+            "num_overprovision": self.num_overprovision,
+            "dynamic_ondemand_fallback": self.dynamic_ondemand_fallback,
+            "base_ondemand_fallback_replicas": self.base_ondemand_fallback_replicas,
+            "spot_placer": self.spot_placer,
+            "qps_window": self.qps_window,
+            "upscale_delay": self.upscale_delay,
+            "downscale_delay": self.downscale_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReplicaPolicyConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """The ``resources`` stanza: what each replica runs on.
+
+    ``accelerator`` selects instance types from the catalog per cloud;
+    ``any_of`` restricts the failure domains considered (Listing 1's
+    example enables one AWS region plus all of GCP).  An empty ``any_of``
+    enables every zone of the topology.  ``workers_per_replica > 1``
+    models replicas partitioned over multiple instances (the SpotServe
+    distributed-inference setting, §4).
+    """
+
+    accelerator: str = "A10G"
+    any_of: tuple[DomainFilter, ...] = ()
+    ports: int = 8080
+    workers_per_replica: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers_per_replica < 1:
+            raise ValueError("workers_per_replica must be >= 1")
+
+    def allowed_zones(self, topology: Topology) -> list[Zone]:
+        """Resolve ``any_of`` into the concrete zone set Z of Alg. 1."""
+        if not self.any_of:
+            return topology.zones
+        clouds = [f.cloud for f in self.any_of if f.cloud and not f.region]
+        regions = [
+            f"{f.cloud}:{f.region}" for f in self.any_of if f.region and not f.zone
+        ]
+        zone_ids = [
+            f"{f.cloud}:{f.region}:{f.zone}" for f in self.any_of if f.zone is not None
+        ]
+        return topology.filter_zones(clouds=clouds, regions=regions, zone_ids=zone_ids)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "accelerator": self.accelerator,
+            "any_of": [f.to_dict() for f in self.any_of],
+            "ports": self.ports,
+            "workers_per_replica": self.workers_per_replica,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceSpec":
+        return cls(
+            accelerator=data.get("accelerator", "A10G"),
+            any_of=tuple(DomainFilter.from_dict(f) for f in data.get("any_of", [])),
+            ports=data.get("ports", 8080),
+            workers_per_replica=data.get("workers_per_replica", 1),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A complete service definition (Listing 1)."""
+
+    name: str = "service"
+    readiness_probe_path: str = "/health"
+    replica_policy: ReplicaPolicyConfig = field(default_factory=ReplicaPolicyConfig)
+    resources: ResourceSpec = field(default_factory=ResourceSpec)
+    load_balancing_policy: str = "least_load"
+    request_timeout: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.load_balancing_policy not in _VALID_BALANCERS:
+            raise ValueError(
+                f"unknown load_balancing_policy {self.load_balancing_policy!r}; "
+                f"expected one of {_VALID_BALANCERS}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "readiness_probe": {"path": self.readiness_probe_path},
+            "replica_policy": self.replica_policy.to_dict(),
+            "resources": self.resources.to_dict(),
+            "load_balancing_policy": self.load_balancing_policy,
+            "request_timeout": self.request_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServiceSpec":
+        return cls(
+            name=data.get("name", "service"),
+            readiness_probe_path=data.get("readiness_probe", {}).get("path", "/health"),
+            replica_policy=ReplicaPolicyConfig.from_dict(data.get("replica_policy", {})),
+            resources=ResourceSpec.from_dict(data.get("resources", {})),
+            load_balancing_policy=data.get("load_balancing_policy", "least_load"),
+            request_timeout=data.get("request_timeout", 100.0),
+        )

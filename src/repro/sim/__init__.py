@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+Provides the event engine, deterministic named RNG streams, and metric
+recorders used by every other subsystem of the reproduction.
+"""
+
+from repro.sim.engine import EventHandle, SimulationEngine, SimulationError
+from repro.sim.metrics import (
+    BoxPlotStats,
+    Counter,
+    LatencyRecorder,
+    LatencySummary,
+    TimeSeries,
+    percentile,
+)
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "BoxPlotStats",
+    "Counter",
+    "EventHandle",
+    "LatencyRecorder",
+    "LatencySummary",
+    "RngRegistry",
+    "SimulationEngine",
+    "SimulationError",
+    "TimeSeries",
+    "derive_seed",
+    "percentile",
+]

@@ -1,0 +1,116 @@
+"""Request and workload containers.
+
+A :class:`Request` is one prompt to the service: its arrival time and its
+token counts, which drive the simulated inference time (longer outputs
+take longer, mirroring the Arena trace's "varying output lengths").
+A :class:`Workload` is an arrival-ordered list of requests with the
+summary statistics the paper plots in Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Request", "Workload"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single inference request."""
+
+    request_id: int
+    arrival_time: float
+    input_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"request {self.request_id}: negative arrival time")
+        if self.input_tokens < 1 or self.output_tokens < 1:
+            raise ValueError(f"request {self.request_id}: non-positive token counts")
+
+
+class Workload:
+    """An arrival-ordered request stream."""
+
+    def __init__(self, name: str, requests: Sequence[Request]) -> None:
+        self.name = name
+        self.requests = list(requests)
+        for earlier, later in zip(self.requests, self.requests[1:]):
+            if later.arrival_time < earlier.arrival_time:
+                raise ValueError(f"workload {name!r}: arrivals out of order")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0 for an empty workload)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        return np.asarray([r.arrival_time for r in self.requests], dtype=float)
+
+    def interarrival_times(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (Fig. 11b distribution)."""
+        if len(self.requests) < 2:
+            return np.empty(0)
+        return np.diff(self.arrival_times)
+
+    def mean_rate(self) -> float:
+        """Average requests per second over the workload span."""
+        if len(self.requests) < 2 or self.duration == 0:
+            return 0.0
+        return len(self.requests) / self.duration
+
+    def rate_series(self, bin_seconds: float = 60.0) -> tuple[np.ndarray, np.ndarray]:
+        """Requests-per-second in fixed bins (Fig. 11a arrival pattern).
+
+        Returns ``(bin_start_times, rates)``.
+        """
+        if bin_seconds <= 0:
+            raise ValueError(f"non-positive bin size {bin_seconds!r}")
+        if not self.requests:
+            return np.empty(0), np.empty(0)
+        n_bins = int(self.duration // bin_seconds) + 1
+        counts = np.zeros(n_bins)
+        for request in self.requests:
+            counts[int(request.arrival_time // bin_seconds)] += 1
+        times = np.arange(n_bins) * bin_seconds
+        return times, counts / bin_seconds
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of interarrival times.
+
+        1.0 for Poisson; substantially above 1 for bursty traces like
+        Arena.
+        """
+        gaps = self.interarrival_times()
+        if gaps.size == 0 or gaps.mean() == 0:
+            return 0.0
+        return float(gaps.std() / gaps.mean())
+
+    def slice(self, start: float, end: float) -> "Workload":
+        """Sub-workload with arrivals in ``[start, end)``, re-timed to 0."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        subset = [
+            Request(
+                request_id=r.request_id,
+                arrival_time=r.arrival_time - start,
+                input_tokens=r.input_tokens,
+                output_tokens=r.output_tokens,
+            )
+            for r in self.requests
+            if start <= r.arrival_time < end
+        ]
+        return Workload(f"{self.name}[{start:.0f}:{end:.0f}]", subset)

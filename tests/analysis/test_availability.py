@@ -1,0 +1,59 @@
+"""Unit tests for the Fig. 5 search-space expansion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import availability_by_search_space
+from repro.cloud import SpotTrace, aws3, gcp1
+
+
+def checkerboard_trace():
+    """Two anti-correlated zones in different regions: each 50% available
+    alone, 100% pooled."""
+    capacity = np.array([[1, 0] * 50, [0, 1] * 50])
+    return SpotTrace("cb", ["aws:r1:r1a", "aws:r2:r2a"], 60.0, capacity)
+
+
+class TestSearchSpaceCurve:
+    def test_pooling_complementary_zones_reaches_full(self):
+        curve = availability_by_search_space(checkerboard_trace())
+        assert curve.availability[0] == pytest.approx(0.5)
+        assert curve.availability[-1] == pytest.approx(1.0)
+
+    def test_zone_counts_increment(self):
+        curve = availability_by_search_space(aws3())
+        assert curve.zone_counts == list(range(1, 10))
+
+    def test_labels_track_regions(self):
+        curve = availability_by_search_space(checkerboard_trace())
+        assert curve.labels[0].endswith("1 region")
+        assert curve.labels[-1].endswith("2 regions")
+
+    def test_aws3_availability_grows_to_near_one(self):
+        """Fig. 5b: 68.2% -> 99.2% for V100 as regions are added."""
+        curve = availability_by_search_space(aws3())
+        assert curve.availability[-1] >= 0.97
+        assert curve.availability[-1] > curve.availability[0]
+
+    def test_gcp1_availability_grows(self):
+        """Fig. 5a: 29.9% -> 95.8% for A100."""
+        curve = availability_by_search_space(gcp1())
+        assert curve.availability[0] < 0.8
+        assert curve.availability[-1] >= 0.93
+
+    def test_multi_instance_threshold(self):
+        # Requiring 4 instances is harder than requiring 1.
+        loose = availability_by_search_space(gcp1(), threshold=1)
+        strict = availability_by_search_space(gcp1(), threshold=4)
+        assert strict.availability[-1] <= loose.availability[-1]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            availability_by_search_space(gcp1(), threshold=0)
+
+    def test_monotone_in_expectation(self):
+        """Adding zones can never reduce pooled availability."""
+        for trace in (aws3(), gcp1()):
+            curve = availability_by_search_space(trace)
+            diffs = np.diff(curve.availability)
+            assert (diffs >= -1e-12).all()

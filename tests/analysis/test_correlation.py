@@ -1,0 +1,152 @@
+"""Unit tests for the Fig. 3 correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import preemption_correlation
+from repro.cloud import HOUR, WEEK, SpotTrace, TraceZoneSpec, make_correlated_trace
+
+
+def synthetic_correlated_trace():
+    """Two regions x two zones with strong intra-region shocks."""
+    specs = [
+        TraceZoneSpec("aws:r1:r1a", 8 * HOUR, 2 * HOUR, 4),
+        TraceZoneSpec("aws:r1:r1b", 8 * HOUR, 2 * HOUR, 4),
+        TraceZoneSpec("aws:r2:r2a", 8 * HOUR, 2 * HOUR, 4),
+        TraceZoneSpec("aws:r2:r2b", 8 * HOUR, 2 * HOUR, 4),
+    ]
+    return make_correlated_trace(
+        "corr",
+        specs,
+        duration=4 * WEEK,
+        region_shock_rate=1 / (6 * HOUR),
+        region_shock_mean_duration=HOUR,
+        region_shock_affect_prob=0.95,
+        seed=13,
+    )
+
+
+class TestCorrelationMatrix:
+    def test_matrix_shape_and_diagonal(self):
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        n = len(matrix.zone_ids)
+        assert matrix.correlation.shape == (n, n)
+        np.testing.assert_allclose(np.diag(matrix.correlation), 1.0)
+
+    def test_symmetric(self):
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        np.testing.assert_allclose(matrix.correlation, matrix.correlation.T)
+
+    def test_intra_region_exceeds_inter_region(self):
+        """The Fig. 3c structure: correlated within, independent across."""
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        assert matrix.mean_intra_region() > matrix.mean_inter_region() + 0.1
+
+    def test_intra_region_above_paper_threshold(self):
+        """The paper bolds correlations >= 0.3 for same-region pairs."""
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        assert matrix.mean_intra_region() >= 0.3
+
+    def test_inter_region_near_zero(self):
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        assert abs(matrix.mean_inter_region()) < 0.15
+
+    def test_pair_lookup(self):
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        r, p = matrix.pair("aws:r1:r1a", "aws:r1:r1b")
+        assert -1.0 <= r <= 1.0
+        assert 0.0 <= p <= 1.0
+
+    def test_pair_classification(self):
+        matrix = preemption_correlation(synthetic_correlated_trace())
+        assert len(matrix.intra_region_pairs) == 2  # (r1a,r1b), (r2a,r2b)
+        assert len(matrix.inter_region_pairs) == 4
+
+    def test_constant_zone_has_zero_correlation(self):
+        capacity = np.array([[4] * 100, [4, 0] * 50])
+        trace = SpotTrace("flat", ["aws:r1:r1a", "aws:r1:r1b"], 60.0, capacity)
+        matrix = preemption_correlation(trace, window_steps=1)
+        r, p = matrix.pair("aws:r1:r1a", "aws:r1:r1b")
+        assert r == 0.0
+        assert p == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            preemption_correlation(synthetic_correlated_trace(), window_steps=0)
+
+
+class TestFollowOnPreemptions:
+    """§2.2's follow-on statistics."""
+
+    def test_aws_region_follow_on_in_paper_band(self):
+        """Paper: 83-97% of AWS preemptions are followed within 5 min."""
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import aws2, aws3
+
+        for trace in (aws2(), aws3()):
+            probs = follow_on_preemption_probability(
+                trace, window=300.0, scope="region", instance_level=True
+            )
+            values = [v for v in probs.values() if v == v]
+            assert values
+            assert min(values) >= 0.75, trace.name
+            assert max(values) <= 1.0, trace.name
+
+    def test_gcp_zone_follow_on_in_paper_band(self):
+        """Paper: 34-95% of same-zone follow-ons within 150 s on GCP."""
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import gcp1
+
+        probs = follow_on_preemption_probability(
+            gcp1(), window=150.0, scope="zone", instance_level=True
+        )
+        values = [v for v in probs.values() if v == v]
+        assert all(0.34 <= v <= 0.95 for v in values)
+
+    def test_episode_level_lower_than_instance_level(self):
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import aws2
+
+        trace = aws2()
+        episode = follow_on_preemption_probability(
+            trace, window=300.0, scope="region", instance_level=False
+        )
+        instance = follow_on_preemption_probability(
+            trace, window=300.0, scope="region", instance_level=True
+        )
+        for zone in trace.zone_ids:
+            assert episode[zone] <= instance[zone] + 1e-12
+
+    def test_region_scope_at_least_zone_scope(self):
+        """Widening the peer set can only raise the probability."""
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import aws1
+
+        trace = aws1()
+        zone = follow_on_preemption_probability(trace, scope="zone")
+        region = follow_on_preemption_probability(trace, scope="region")
+        for z in trace.zone_ids:
+            assert region[z] >= zone[z] - 1e-12
+
+    def test_no_preemptions_yields_nan(self):
+        import math
+
+        import numpy as np
+
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import SpotTrace
+
+        flat = SpotTrace("flat", ["aws:r:a"], 60.0, np.full((1, 100), 4))
+        probs = follow_on_preemption_probability(flat)
+        assert math.isnan(probs["aws:r:a"])
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.analysis import follow_on_preemption_probability
+        from repro.cloud import aws1
+
+        with _pytest.raises(ValueError):
+            follow_on_preemption_probability(aws1(), window=0.0)
+        with _pytest.raises(ValueError):
+            follow_on_preemption_probability(aws1(), scope="galaxy")

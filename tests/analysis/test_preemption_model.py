@@ -1,0 +1,108 @@
+"""Tests for the §3.1 analytical preemption model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PreemptionModel, simulate_preemptions
+
+HOUR = 3600.0
+
+
+def heterogeneous_model():
+    # One hot zone, two mild ones.
+    return PreemptionModel(
+        rates=(1 / (1 * HOUR), 1 / (8 * HOUR), 1 / (10 * HOUR)),
+        n_replicas=6,
+        horizon=200 * HOUR,
+    )
+
+
+class TestClosedForms:
+    def test_static_spread_formula(self):
+        model = PreemptionModel(rates=(0.001, 0.003), n_replicas=4, horizon=1000.0)
+        assert model.expected_static_spread() == pytest.approx(4 * 1000 * 0.002)
+
+    def test_round_robin_formula(self):
+        model = PreemptionModel(rates=(0.001, 0.003), n_replicas=4, horizon=1000.0)
+        harmonic = 2 / (1 / 0.001 + 1 / 0.003)
+        assert model.expected_round_robin() == pytest.approx(4 * 1000 * harmonic)
+
+    def test_round_robin_never_worse_than_static(self):
+        """The paper's AM >= HM argument."""
+        model = heterogeneous_model()
+        assert model.expected_round_robin() <= model.expected_static_spread()
+        assert model.round_robin_advantage() >= 1.0
+
+    def test_equal_rates_make_policies_equal(self):
+        model = PreemptionModel(rates=(0.002, 0.002, 0.002), n_replicas=3, horizon=100.0)
+        assert model.expected_round_robin() == pytest.approx(
+            model.expected_static_spread()
+        )
+        assert model.round_robin_advantage() == pytest.approx(1.0)
+
+    def test_best_zone_is_lower_bound(self):
+        model = heterogeneous_model()
+        assert model.expected_best_zone() <= model.expected_round_robin()
+        assert model.expected_best_zone() <= model.expected_static_spread()
+
+    def test_ordering_static_rr_best(self):
+        """§3.1's full chain: tracking < Round Robin < Static Spread."""
+        model = heterogeneous_model()
+        assert (
+            model.expected_best_zone()
+            < model.expected_round_robin()
+            < model.expected_static_spread()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PreemptionModel(rates=(), n_replicas=1, horizon=1.0)
+        with pytest.raises(ValueError):
+            PreemptionModel(rates=(0.0,), n_replicas=1, horizon=1.0)
+        with pytest.raises(ValueError):
+            PreemptionModel(rates=(0.1,), n_replicas=0, horizon=1.0)
+        with pytest.raises(ValueError):
+            PreemptionModel(rates=(0.1,), n_replicas=1, horizon=0.0)
+
+
+class TestMonteCarlo:
+    """The closed forms match simulation of the renewal processes."""
+
+    def test_static_spread_matches_simulation(self):
+        model = heterogeneous_model()
+        rng = np.random.default_rng(1)
+        counts = [simulate_preemptions(model, "static", rng=rng) for _ in range(30)]
+        assert np.mean(counts) == pytest.approx(
+            model.expected_static_spread(), rel=0.15
+        )
+
+    def test_round_robin_matches_simulation(self):
+        model = heterogeneous_model()
+        rng = np.random.default_rng(2)
+        counts = [
+            simulate_preemptions(model, "round_robin", rng=rng) for _ in range(30)
+        ]
+        assert np.mean(counts) == pytest.approx(
+            model.expected_round_robin(), rel=0.15
+        )
+
+    def test_best_zone_matches_simulation(self):
+        model = heterogeneous_model()
+        rng = np.random.default_rng(3)
+        counts = [simulate_preemptions(model, "best", rng=rng) for _ in range(30)]
+        assert np.mean(counts) == pytest.approx(model.expected_best_zone(), rel=0.2)
+
+    def test_simulated_ordering(self):
+        model = heterogeneous_model()
+        rng = np.random.default_rng(4)
+        static = np.mean([simulate_preemptions(model, "static", rng=rng) for _ in range(20)])
+        rr = np.mean(
+            [simulate_preemptions(model, "round_robin", rng=rng) for _ in range(20)]
+        )
+        best = np.mean([simulate_preemptions(model, "best", rng=rng) for _ in range(20)])
+        assert best < rr < static
+
+    def test_unknown_policy_rejected(self):
+        model = heterogeneous_model()
+        with pytest.raises(ValueError):
+            simulate_preemptions(model, "magic", rng=np.random.default_rng(0))

@@ -1,0 +1,56 @@
+"""Unit tests for the billing meter."""
+
+import pytest
+
+from repro.cloud import BillingMeter, CostBreakdown, InstanceState, default_catalog
+from repro.cloud.instance import Instance
+
+
+def make_instance(spot: bool) -> Instance:
+    return Instance(
+        zone_id="aws:us-west-2:us-west-2a",
+        instance_type=default_catalog().get("p3.2xlarge"),
+        spot=spot,
+        launched_at=0.0,
+    )
+
+
+class TestBillingMeter:
+    def test_empty_meter(self):
+        assert BillingMeter().total(100.0) == 0.0
+
+    def test_breakdown_splits_markets(self):
+        meter = BillingMeter()
+        spot = make_instance(spot=True)
+        od = make_instance(spot=False)
+        meter.track(spot)
+        meter.track(od)
+        spot.transition(InstanceState.INITIALIZING, 0.0)
+        od.transition(InstanceState.INITIALIZING, 0.0)
+        breakdown = meter.breakdown(3600.0)
+        itype = default_catalog().get("p3.2xlarge")
+        assert breakdown.spot == pytest.approx(itype.spot_hourly)
+        assert breakdown.on_demand == pytest.approx(itype.on_demand_hourly)
+        assert breakdown.total == pytest.approx(itype.spot_hourly + itype.on_demand_hourly)
+
+    def test_failed_launches_cost_nothing(self):
+        meter = BillingMeter()
+        instance = make_instance(spot=True)
+        meter.track(instance)
+        instance.transition(InstanceState.FAILED, 30.0)
+        assert meter.total(3600.0) == 0.0
+
+    def test_relative_to(self):
+        breakdown = CostBreakdown(spot=1.0, on_demand=1.0)
+        assert breakdown.relative_to(4.0) == pytest.approx(0.5)
+
+    def test_relative_to_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            CostBreakdown(spot=1.0, on_demand=0.0).relative_to(0.0)
+
+    def test_instances_listing_is_copy(self):
+        meter = BillingMeter()
+        meter.track(make_instance(spot=True))
+        listing = meter.instances
+        listing.clear()
+        assert len(meter.instances) == 1

@@ -1,0 +1,108 @@
+"""Unit tests for the instance catalog and Table 1 pricing."""
+
+import pytest
+
+from repro.cloud import SPOT_DISCOUNT_TABLE, Catalog, InstanceType, default_catalog
+
+
+@pytest.fixture()
+def catalog():
+    return default_catalog()
+
+
+class TestInstanceType:
+    def test_spot_price_derived_from_ratio(self):
+        itype = InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=10.0, spot_ratio=0.25)
+        assert itype.spot_hourly == pytest.approx(2.5)
+
+    def test_hourly_price_selector(self):
+        itype = InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=10.0, spot_ratio=0.25)
+        assert itype.hourly_price(spot=True) == pytest.approx(2.5)
+        assert itype.hourly_price(spot=False) == pytest.approx(10.0)
+
+    def test_cpu_instance_has_no_gpu(self):
+        itype = InstanceType("c", "gcp", None, 0, 176, on_demand_hourly=7.0, spot_ratio=0.25)
+        assert not itype.is_gpu
+
+    def test_invalid_spot_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=10.0, spot_ratio=0.0)
+        with pytest.raises(ValueError):
+            InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=10.0, spot_ratio=1.5)
+
+    def test_non_positive_price_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=0.0, spot_ratio=0.5)
+
+    def test_accelerator_count_without_accelerator_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", "aws", None, 4, 8, on_demand_hourly=1.0, spot_ratio=0.5)
+
+
+class TestDefaultCatalog:
+    def test_contains_paper_instance_types(self, catalog):
+        for name in ("g5.48xlarge", "g4dn.12xlarge", "p3.2xlarge", "a2-ultragpu-4g"):
+            assert name in catalog
+
+    def test_g5_matches_paper_prices(self, catalog):
+        # §2.4: on-demand $16.3/h, spot $4.9/h.
+        g5 = catalog.get("g5.48xlarge")
+        assert g5.on_demand_hourly == pytest.approx(16.3, rel=0.01)
+        assert g5.spot_hourly == pytest.approx(4.9, rel=0.01)
+
+    def test_unknown_type_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("nonexistent")
+
+    def test_with_accelerator(self, catalog):
+        v100s = catalog.with_accelerator("V100")
+        assert v100s
+        assert all(t.accelerator == "V100" for t in v100s)
+
+    def test_duplicate_names_rejected(self):
+        itype = InstanceType("x", "aws", "V100", 1, 8, on_demand_hourly=1.0, spot_ratio=0.5)
+        with pytest.raises(ValueError):
+            Catalog([itype, itype])
+
+    def test_iteration_and_len(self, catalog):
+        assert len(list(catalog)) == len(catalog)
+
+
+class TestTable1:
+    """The Table 1 discount bands themselves."""
+
+    def test_all_12_cells_present(self):
+        clouds = {"aws", "azure", "gcp"}
+        gpus = {"A100", "V100", "T4", "K80"}
+        assert set(SPOT_DISCOUNT_TABLE) == {(c, g) for c in clouds for g in gpus}
+
+    def test_bands_are_ordered_and_in_range(self):
+        for (cloud, gpu), (low, high) in SPOT_DISCOUNT_TABLE.items():
+            assert 0.0 < low <= high <= 1.0, (cloud, gpu)
+
+    def test_paper_headline_cells(self, catalog):
+        # AWS A100 spot is 10% of on-demand; Azure A100 is 50%.
+        assert catalog.spot_discount("aws", "A100") == (0.10, 0.10)
+        assert catalog.spot_discount("azure", "A100") == (0.50, 0.50)
+        assert catalog.spot_discount("gcp", "V100") == (0.33, 0.33)
+
+    def test_spot_always_cheaper_than_on_demand(self):
+        # The economic premise of the paper: 8-50% of on-demand cost.
+        for (cloud, gpu), (low, high) in SPOT_DISCOUNT_TABLE.items():
+            assert high <= 0.50, f"{cloud}/{gpu} spot not within the 8-50% band"
+            assert low >= 0.08
+
+    def test_unknown_cell_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.spot_discount("aws", "H100")
+
+    def test_catalog_ratios_respect_table(self, catalog):
+        """Every GPU instance's spot ratio sits inside its Table 1 band."""
+        for itype in catalog:
+            if not itype.is_gpu:
+                continue
+            key = (itype.cloud, itype.accelerator)
+            if key not in SPOT_DISCOUNT_TABLE:
+                continue
+            low, high = SPOT_DISCOUNT_TABLE[key]
+            assert low <= itype.spot_ratio <= high, itype.name

@@ -1,0 +1,101 @@
+"""Unit tests for the instance lifecycle state machine and billing."""
+
+import pytest
+
+from repro.cloud import InstanceState, default_catalog
+from repro.cloud.instance import Instance
+
+
+@pytest.fixture()
+def instance():
+    itype = default_catalog().get("p3.2xlarge")
+    return Instance(
+        zone_id="aws:us-west-2:us-west-2a",
+        instance_type=itype,
+        spot=True,
+        launched_at=0.0,
+    )
+
+
+class TestTransitions:
+    def test_initial_state(self, instance):
+        assert instance.state is InstanceState.PROVISIONING
+        assert instance.state.is_alive
+
+    def test_happy_path(self, instance):
+        instance.transition(InstanceState.INITIALIZING, 60.0)
+        assert instance.billing_started_at == 60.0
+        instance.transition(InstanceState.READY, 180.0)
+        assert instance.ready_at == 180.0
+        instance.transition(InstanceState.PREEMPTED, 500.0)
+        assert instance.ended_at == 500.0
+        assert instance.state.is_terminal
+
+    def test_fail_during_provisioning(self, instance):
+        instance.transition(InstanceState.FAILED, 30.0)
+        assert instance.state is InstanceState.FAILED
+        assert instance.billing_started_at is None
+
+    def test_preempted_while_initializing(self, instance):
+        instance.transition(InstanceState.INITIALIZING, 60.0)
+        instance.transition(InstanceState.PREEMPTED, 90.0)
+        assert instance.state is InstanceState.PREEMPTED
+
+    def test_cannot_skip_initializing(self, instance):
+        with pytest.raises(RuntimeError):
+            instance.transition(InstanceState.READY, 10.0)
+
+    def test_cannot_fail_after_vm_running(self, instance):
+        instance.transition(InstanceState.INITIALIZING, 60.0)
+        with pytest.raises(RuntimeError):
+            instance.transition(InstanceState.FAILED, 70.0)
+
+    def test_terminal_is_final(self, instance):
+        instance.transition(InstanceState.TERMINATED, 10.0)
+        with pytest.raises(RuntimeError):
+            instance.transition(InstanceState.INITIALIZING, 20.0)
+
+    def test_alive_flags(self):
+        assert InstanceState.PROVISIONING.is_alive
+        assert InstanceState.READY.is_alive
+        assert not InstanceState.PREEMPTED.is_alive
+        assert not InstanceState.FAILED.is_alive
+
+
+class TestBilling:
+    def test_no_billing_before_vm_runs(self, instance):
+        assert instance.billed_cost(1000.0) == 0.0
+
+    def test_billing_includes_cold_start(self, instance):
+        """§2.3: users are billed during the cold start period."""
+        instance.transition(InstanceState.INITIALIZING, 0.0)
+        cost = instance.billed_cost(3600.0)
+        assert cost == pytest.approx(instance.instance_type.spot_hourly)
+
+    def test_billing_stops_at_termination(self, instance):
+        instance.transition(InstanceState.INITIALIZING, 0.0)
+        instance.transition(InstanceState.READY, 120.0)
+        instance.transition(InstanceState.TERMINATED, 1800.0)
+        assert instance.billed_cost(1e9) == pytest.approx(
+            instance.instance_type.spot_hourly / 2
+        )
+
+    def test_on_demand_billed_at_full_price(self):
+        itype = default_catalog().get("p3.2xlarge")
+        od = Instance(
+            zone_id="aws:us-west-2:us-west-2a",
+            instance_type=itype,
+            spot=False,
+            launched_at=0.0,
+        )
+        od.transition(InstanceState.INITIALIZING, 0.0)
+        assert od.billed_cost(3600.0) == pytest.approx(itype.on_demand_hourly)
+
+    def test_unique_ids(self, instance):
+        other = Instance(
+            zone_id=instance.zone_id,
+            instance_type=instance.instance_type,
+            spot=True,
+            launched_at=0.0,
+        )
+        assert other.id != instance.id

@@ -1,0 +1,69 @@
+"""Unit tests for the WAN latency model (Fig. 6b)."""
+
+import pytest
+
+from repro.cloud import NetworkModel, default_network
+
+
+@pytest.fixture()
+def net():
+    return default_network()
+
+
+class TestNetworkModel:
+    def test_same_region_is_fast(self, net):
+        assert net.rtt("aws:us-west-2", "aws:us-west-2") < 0.01
+
+    def test_us_eu_near_100ms(self, net):
+        """§3.1: around 100 ms round trip between US and Europe."""
+        rtt = net.rtt("aws:us-east-1", "aws:eu-central-1")
+        assert 0.05 <= rtt <= 0.15
+
+    def test_symmetric(self, net):
+        assert net.rtt("aws:us-east-1", "aws:us-west-2") == net.rtt(
+            "aws:us-west-2", "aws:us-east-1"
+        )
+
+    def test_accepts_bare_region_names(self, net):
+        assert net.rtt("us-east-1", "us-west-2") == net.rtt(
+            "aws:us-east-1", "aws:us-west-2"
+        )
+
+    def test_unknown_pair_falls_back_to_geography(self, net):
+        # Unknown NA pair -> same-continent estimate.
+        rtt = net.rtt("aws:us-east-1", "azure:eastus")
+        assert 0.0 < rtt < 0.1
+
+    def test_cross_pacific_slowest(self, net):
+        asia = net.rtt("gcp:us-central1", "gcp:asia-east1")
+        us = net.rtt("gcp:us-central1", "gcp:us-east1")
+        assert asia > us
+
+    def test_one_way_is_half_rtt(self, net):
+        assert net.one_way("us-east-1", "us-west-2") == pytest.approx(
+            net.rtt("us-east-1", "us-west-2") / 2
+        )
+
+    def test_override(self):
+        net = NetworkModel({("a", "b"): 0.5})
+        assert net.rtt("x:a", "x:b") == 0.5
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel({("a", "b"): -0.1})
+
+    def test_processing_dominates_network(self, net):
+        """The §3.1 argument: worst-case WAN RTT is far below the seconds
+        of compute an LLM request takes."""
+        from repro.serving import vicuna_13b_profile
+        from repro.workloads import Request
+
+        profile = vicuna_13b_profile()
+        request = Request(0, 0.0, input_tokens=20, output_tokens=44)
+        # The regions SkyServe actually spans in §5.1 (US + EU).
+        worst_rtt = max(
+            net.rtt(a, b)
+            for a in ("us-east-2", "us-west-2", "eu-central-1")
+            for b in ("us-east-2", "us-west-2", "eu-central-1")
+        )
+        assert profile.processing_time(request) > 10 * worst_rtt

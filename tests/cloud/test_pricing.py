@@ -1,0 +1,107 @@
+"""Tests for the regional price book (Alg. 1's MIN-COST signal)."""
+
+import pytest
+
+from repro.cloud import PriceBook, default_catalog, default_price_book
+
+
+@pytest.fixture()
+def book():
+    return default_price_book()
+
+
+class TestPriceBook:
+    def test_reference_region_at_base_price(self, book):
+        base = default_catalog().get("p3.2xlarge").spot_hourly
+        assert book.spot_hourly("aws:us-east-1:us-east-1a", "p3.2xlarge") == pytest.approx(base)
+
+    def test_europe_costs_more_than_us(self, book):
+        us = book.spot_hourly("aws:us-east-1:us-east-1a", "p3.2xlarge")
+        eu = book.spot_hourly("aws:eu-central-1:eu-central-1a", "p3.2xlarge")
+        assert eu > us
+
+    def test_unknown_region_defaults_to_one(self, book):
+        base = default_catalog().get("p3.2xlarge").spot_hourly
+        assert book.spot_hourly("aws:ap-south-1:ap-south-1a", "p3.2xlarge") == pytest.approx(base)
+
+    def test_on_demand_scaled_by_same_multiplier(self, book):
+        zone = "aws:eu-central-1:eu-central-1a"
+        ratio_spot = book.spot_hourly(zone, "p3.2xlarge") / default_catalog().get("p3.2xlarge").spot_hourly
+        ratio_od = book.on_demand_hourly(zone, "p3.2xlarge") / default_catalog().get("p3.2xlarge").on_demand_hourly
+        assert ratio_spot == pytest.approx(ratio_od)
+
+    def test_cheapest_spot_for_accelerator(self, book):
+        result = book.cheapest_spot_for_accelerator(
+            "aws:us-east-1:us-east-1a", "V100"
+        )
+        assert result is not None
+        name, price = result
+        assert name == "p3.2xlarge"  # cheapest V100 carrier on AWS
+        assert price > 0
+
+    def test_cloud_without_accelerator_returns_none(self, book):
+        assert book.cheapest_spot_for_accelerator(
+            "azure:eastus:eastus-1", "A10G"
+        ) is None
+
+    def test_zone_costs_skips_unsupported_zones(self, book):
+        costs = book.zone_costs(
+            ["aws:us-east-1:us-east-1a", "azure:eastus:eastus-1"], "A10G"
+        )
+        assert "aws:us-east-1:us-east-1a" in costs
+        assert "azure:eastus:eastus-1" not in costs
+
+    def test_zone_costs_reflect_region_spread(self, book):
+        costs = book.zone_costs(
+            [
+                "aws:us-east-1:us-east-1a",
+                "aws:eu-central-1:eu-central-1a",
+            ],
+            "V100",
+        )
+        assert costs["aws:eu-central-1:eu-central-1a"] > costs["aws:us-east-1:us-east-1a"]
+
+    def test_od_zone_costs(self, book):
+        spot = book.zone_costs(["aws:us-east-1:us-east-1a"], "V100", spot=True)
+        od = book.zone_costs(["aws:us-east-1:us-east-1a"], "V100", spot=False)
+        assert od["aws:us-east-1:us-east-1a"] > spot["aws:us-east-1:us-east-1a"]
+
+    def test_invalid_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            PriceBook(region_multipliers={"aws:us-east-1": 0.0})
+
+    def test_custom_multipliers_override_defaults(self):
+        book = PriceBook(region_multipliers={"aws:us-east-1": 2.0})
+        base = default_catalog().get("p3.2xlarge").spot_hourly
+        assert book.spot_hourly("aws:us-east-1:us-east-1a", "p3.2xlarge") == pytest.approx(2 * base)
+        # Regions absent from the custom table fall back to 1.0.
+        assert book.spot_hourly("aws:eu-central-1:x", "p3.2xlarge") == pytest.approx(base)
+
+
+class TestCostAwarePlacement:
+    """MIN-COST actually uses the price spread."""
+
+    def test_dynamic_placer_prefers_cheap_region(self, book):
+        from repro.core import DynamicSpotPlacer
+
+        zones = [
+            "aws:eu-central-1:eu-central-1a",
+            "aws:us-east-1:us-east-1a",
+            "aws:us-west-2:us-west-2a",
+        ]
+        costs = book.zone_costs(zones, "V100")
+        placer = DynamicSpotPlacer(zones, costs)
+        # us-east-1 is the cheapest of the three.
+        assert placer.select_zone({}) == "aws:us-east-1:us-east-1a"
+
+    def test_cost_order_breaks_before_occupancy(self, book):
+        from repro.core import DynamicSpotPlacer
+
+        zones = ["aws:eu-central-1:eu-central-1a", "aws:us-east-1:us-east-1a"]
+        costs = book.zone_costs(zones, "V100")
+        placer = DynamicSpotPlacer(zones, costs)
+        # Even with a replica already in the cheap zone, an unused
+        # expensive zone is chosen only among unused zones; once all
+        # zones are used, the cheap one wins again.
+        placements = {"aws:us-east-1:us-east-1a": 1, "aws:eu-central-1:eu-central-1a": 1}
+        assert placer.select_zone(placements) == "aws:us-east-1:us-east-1a"

@@ -1,0 +1,101 @@
+"""Unit tests for the cloud/region/zone topology."""
+
+import pytest
+
+from repro.cloud import CloudDesc, Region, Topology, Zone, default_topology
+
+
+@pytest.fixture()
+def topo():
+    return default_topology()
+
+
+class TestZoneIdentity:
+    def test_zone_id_format(self):
+        zone = Zone("aws", "us-east-1", "us-east-1a")
+        assert zone.id == "aws:us-east-1:us-east-1a"
+        assert zone.region_id == "aws:us-east-1"
+
+    def test_str_is_id(self):
+        zone = Zone("gcp", "us-central1", "us-central1-a")
+        assert str(zone) == zone.id
+
+
+class TestDefaultTopology:
+    def test_aws3_zone_count(self, topo):
+        """AWS 3 spans 9 zones in 3 US regions."""
+        zones = (
+            topo.zones_in_region("aws:us-east-1")
+            + topo.zones_in_region("aws:us-east-2")
+            + topo.zones_in_region("aws:us-west-2")
+        )
+        assert len(zones) == 9
+
+    def test_gcp1_spans_6_zones_5_regions(self, topo):
+        """GCP 1 (Fig. 5a) spans 6 zones in 5 regions."""
+        gcp_zones = topo.zones_in_cloud("gcp")
+        assert len(gcp_zones) == 6
+        assert len({z.region_id for z in gcp_zones}) == 5
+
+    def test_skyserve_regions_exist(self, topo):
+        for region in ("aws:us-east-2", "aws:us-west-2", "aws:eu-central-1"):
+            assert topo.region(region).zones
+
+    def test_three_clouds(self, topo):
+        assert {c.name for c in topo.clouds} == {"aws", "gcp", "azure"}
+
+    def test_zone_lookup(self, topo):
+        zone = topo.zone("aws:us-west-2:us-west-2a")
+        assert zone.cloud == "aws"
+        assert zone.region == "us-west-2"
+
+    def test_unknown_zone_raises(self, topo):
+        with pytest.raises(KeyError):
+            topo.zone("aws:nowhere:nowhere-z")
+
+    def test_unknown_region_raises(self, topo):
+        with pytest.raises(KeyError):
+            topo.region("aws:nowhere")
+
+    def test_unknown_cloud_raises(self, topo):
+        with pytest.raises(KeyError):
+            topo.zones_in_cloud("oracle")
+
+
+class TestFilterZones:
+    def test_no_filters_returns_all(self, topo):
+        assert len(topo.filter_zones()) == len(topo.zones)
+
+    def test_filter_by_cloud(self, topo):
+        zones = topo.filter_zones(clouds=["gcp"])
+        assert zones
+        assert all(z.cloud == "gcp" for z in zones)
+
+    def test_filter_by_region(self, topo):
+        zones = topo.filter_zones(regions=["aws:us-west-2"])
+        assert len(zones) == 3
+
+    def test_filter_union_semantics(self, topo):
+        """Listing 1's any_of: one AWS region OR all of GCP."""
+        zones = topo.filter_zones(clouds=["gcp"], regions=["aws:us-east-1"])
+        ids = {z.id for z in zones}
+        assert any(z.startswith("gcp:") for z in ids)
+        assert any(z.startswith("aws:us-east-1") for z in ids)
+        assert not any(z.startswith("aws:us-west-2") for z in ids)
+
+    def test_filter_by_zone_id(self, topo):
+        zones = topo.filter_zones(zone_ids=["aws:us-west-2:us-west-2a"])
+        assert [z.id for z in zones] == ["aws:us-west-2:us-west-2a"]
+
+
+class TestValidation:
+    def test_duplicate_zone_rejected(self):
+        zone = Zone("aws", "r", "ra")
+        region = Region("aws", "r", (zone, zone))
+        with pytest.raises(ValueError):
+            Topology([CloudDesc("aws", (region,))])
+
+    def test_duplicate_cloud_rejected(self):
+        cloud = CloudDesc("aws", ())
+        with pytest.raises(ValueError):
+            Topology([cloud, cloud])

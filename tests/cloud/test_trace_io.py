@@ -1,0 +1,120 @@
+"""Tests for external trace interop (event logs, preemption logs, CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotTrace, aws1
+from repro.cloud.trace_io import (
+    PreemptionRecord,
+    from_capacity_events,
+    from_preemption_log,
+    load_capacity_csv,
+    save_capacity_csv,
+)
+
+Z1, Z2 = "aws:r1:r1a", "aws:r1:r1b"
+
+
+class TestCapacityEvents:
+    def test_piecewise_constant_reconstruction(self):
+        trace = from_capacity_events(
+            {Z1: [(0.0, 4), (120.0, 0), (300.0, 2)], Z2: [(0.0, 1)]},
+            duration=360.0,
+            step=60.0,
+        )
+        np.testing.assert_array_equal(trace.zone_row(Z1), [4, 4, 0, 0, 0, 2])
+        np.testing.assert_array_equal(trace.zone_row(Z2), [1] * 6)
+
+    def test_unsorted_events_handled(self):
+        trace = from_capacity_events(
+            {Z1: [(120.0, 0), (0.0, 4)]}, duration=180.0, step=60.0
+        )
+        np.testing.assert_array_equal(trace.zone_row(Z1), [4, 4, 0])
+
+    def test_initial_capacity_before_first_event(self):
+        trace = from_capacity_events(
+            {Z1: [(120.0, 5)]}, duration=180.0, step=60.0, initial_capacity=2
+        )
+        np.testing.assert_array_equal(trace.zone_row(Z1), [2, 2, 5])
+
+    def test_events_past_duration_ignored(self):
+        trace = from_capacity_events(
+            {Z1: [(0.0, 1), (500.0, 9)]}, duration=180.0, step=60.0
+        )
+        assert trace.zone_row(Z1).max() == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            from_capacity_events({Z1: [(0.0, -1)]}, duration=60.0)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            from_capacity_events({}, duration=60.0)
+
+
+class TestPreemptionLog:
+    def test_maintain_n_reconstruction(self):
+        records = [
+            PreemptionRecord(100.0, Z1, "preempt", 2),
+            PreemptionRecord(400.0, Z1, "recover", 1),
+            PreemptionRecord(700.0, Z1, "recover", 1),
+        ]
+        trace = from_preemption_log(records, desired=4, duration=900.0, step=60.0)
+        row = trace.zone_row(Z1)
+        assert row[0] == 4  # before anything happens
+        assert row[2] == 2  # after the double preemption at t=100
+        assert row[7] == 3  # one recovered at t=400
+        assert row[-1] == 4  # fully recovered
+
+    def test_capacity_floored_at_zero(self):
+        records = [PreemptionRecord(10.0, Z1, "preempt", 9)]
+        trace = from_preemption_log(records, desired=4, duration=120.0, step=60.0)
+        assert trace.zone_row(Z1).min() == 0
+
+    def test_over_recovery_clamped(self):
+        records = [
+            PreemptionRecord(10.0, Z1, "preempt", 1),
+            PreemptionRecord(70.0, Z1, "recover", 5),
+        ]
+        trace = from_preemption_log(records, desired=4, duration=180.0, step=60.0)
+        assert trace.zone_row(Z1)[-1] == 4
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            PreemptionRecord(0.0, Z1, "explode")
+        with pytest.raises(ValueError):
+            PreemptionRecord(0.0, Z1, "preempt", 0)
+        with pytest.raises(ValueError):
+            PreemptionRecord(-1.0, Z1, "preempt")
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            from_preemption_log([], desired=4, duration=100.0)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_grid(self, tmp_path):
+        original = aws1()
+        path = tmp_path / "trace.csv"
+        save_capacity_csv(original, path)
+        restored = load_capacity_csv(
+            path, duration=original.duration, step=original.step
+        )
+        assert set(restored.zone_ids) == set(original.zone_ids)
+        for zone in original.zone_ids:
+            np.testing.assert_array_equal(
+                restored.zone_row(zone), original.zone_row(zone)
+            )
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_capacity_csv(path, duration=100.0)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        trace = SpotTrace("x", [Z1], 60.0, np.array([[1, 2]]))
+        path = tmp_path / "mytrace.csv"
+        save_capacity_csv(trace, path)
+        restored = load_capacity_csv(path, duration=120.0, step=60.0)
+        assert restored.name == "mytrace"

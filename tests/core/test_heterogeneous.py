@@ -1,0 +1,108 @@
+"""Unit tests for the heterogeneous-accelerator extension (§6)."""
+
+import pytest
+
+from repro.core import AcceleratorTier, HeterogeneousPolicy
+from repro.serving.policy import Observation
+
+A100_ZONES = ("aws:us-east-1:us-east-1a", "aws:us-east-1:us-east-1b")
+V100_ZONES = ("aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b")
+
+
+def tiers():
+    return [
+        AcceleratorTier("A100", A100_ZONES, performance=1.0),
+        AcceleratorTier("V100", V100_ZONES, performance=0.5),
+    ]
+
+
+def obs(now=0.0, n_tar=2, spot_ready=0, by_zone=None):
+    return Observation(
+        now=now,
+        n_tar=n_tar,
+        spot_launched=0,
+        spot_ready=spot_ready,
+        od_launched=0,
+        od_ready=0,
+        spot_by_zone=by_zone or {},
+    )
+
+
+class TestTierSelection:
+    def test_prefers_best_tier(self):
+        policy = HeterogeneousPolicy(tiers())
+        assert policy.select_spot_zone(obs()) in A100_ZONES
+
+    def test_falls_to_lower_tier_when_best_is_down(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        assert policy.select_spot_zone(obs(now=10.0)) in V100_ZONES
+
+    def test_partial_tier_failure_keeps_best_tier(self):
+        policy = HeterogeneousPolicy(tiers())
+        policy.on_spot_launch_failed(A100_ZONES[0])
+        assert policy.select_spot_zone(obs(now=10.0)) in A100_ZONES
+
+    def test_returns_to_best_tier_after_retry_interval(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        assert policy.select_spot_zone(obs(now=100.0)) in V100_ZONES
+        assert policy.select_spot_zone(obs(now=700.0)) in A100_ZONES
+
+    def test_success_rehabilitates_tier_immediately(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        policy.on_spot_ready(A100_ZONES[0])
+        assert policy.select_spot_zone(obs(now=10.0)) in A100_ZONES
+
+    def test_all_tiers_cooling_still_launches(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES + V100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        # Both tiers cooling, but exclusion is empty: pick best-first.
+        assert policy.select_spot_zone(obs(now=10.0)) is not None
+
+    def test_accelerator_of(self):
+        policy = HeterogeneousPolicy(tiers())
+        assert policy.accelerator_of(A100_ZONES[0]) == "A100"
+        assert policy.accelerator_of(V100_ZONES[1]) == "V100"
+
+
+class TestMixture:
+    def test_dynamic_fallback_still_applies(self):
+        policy = HeterogeneousPolicy(tiers(), num_overprovision=2)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=0))
+        assert mix.spot_target == 6
+        assert mix.od_target == 4
+
+    def test_od_zone_comes_from_best_tier(self):
+        policy = HeterogeneousPolicy(tiers())
+        assert policy.select_od_zone(obs()) in A100_ZONES
+
+
+class TestValidation:
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPolicy([])
+
+    def test_overlapping_zones_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPolicy(
+                [
+                    AcceleratorTier("A100", A100_ZONES),
+                    AcceleratorTier("V100", A100_ZONES),
+                ]
+            )
+
+    def test_invalid_tier(self):
+        with pytest.raises(ValueError):
+            AcceleratorTier("A100", ())
+        with pytest.raises(ValueError):
+            AcceleratorTier("A100", A100_ZONES, performance=0.0)
+
+    def test_invalid_retry_interval(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPolicy(tiers(), tier_retry_interval=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the Omniscient ILP (§3.3, Eq. 1-5)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotTrace
+from repro.core import solve_omniscient
+
+Z1, Z2 = "aws:r1:r1a", "aws:r2:r2a"
+
+
+def trace_with(rows, step=600.0):
+    return SpotTrace("ilp", [Z1, Z2], step, np.asarray(rows))
+
+
+class TestBasicSolutions:
+    def test_all_spot_when_capacity_abundant(self):
+        trace = trace_with([[4] * 12, [4] * 12])
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=1.0)
+        assert result.od_launched.sum() == 0
+        assert result.availability == 1.0
+        # Cost = 2 spot replicas for 12 steps, in replica-steps.
+        assert result.cost == pytest.approx(2 * 12)
+
+    def test_availability_floor_exploited_to_save(self):
+        """With a 90% floor the optimum drops capacity in the slack steps."""
+        trace = trace_with([[4] * 12, [4] * 12])
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=0.9)
+        # ceil(0.9 * 12) = 11 satisfied steps suffice.
+        assert result.cost == pytest.approx(2 * 11)
+        assert result.availability >= 11 / 12
+
+    def test_on_demand_fills_spot_gaps(self):
+        # Spot vanishes entirely for half the trace.
+        rows = [[4] * 6 + [0] * 6, [0] * 12]
+        trace = trace_with(rows)
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=1.0)
+        assert result.availability == 1.0
+        assert result.od_launched[6:].min() >= 2
+
+    def test_availability_floor_relaxation_saves_cost(self):
+        rows = [[4] * 6 + [0] * 6, [0] * 12]
+        trace = trace_with(rows)
+        strict = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=1.0)
+        loose = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=0.5)
+        assert loose.cost < strict.cost
+
+    def test_capacity_constraint_respected(self):
+        rows = [[1] * 12, [1] * 12]
+        trace = trace_with(rows)
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=1.0)
+        assert result.spot_launched.max() <= 1
+
+    def test_cold_start_requires_continuous_launch(self):
+        """Eq. 4: ready at t needs launches over (t-d, t]."""
+        rows = [[4] * 12, [0] * 12]
+        trace = trace_with(rows, step=600.0)
+        result = solve_omniscient(
+            trace, 2, k=3.0, cold_start=1200.0, avail_target=0.8
+        )
+        # Nothing can be ready in the first two steps (cold start = 2 steps).
+        assert result.spot_ready[:2].sum() == 0
+        assert result.od_ready[:2].sum() == 0
+
+    def test_relative_cost_below_one_with_spot(self):
+        rows = [[4] * 12, [4] * 12]
+        trace = trace_with(rows)
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=0.9)
+        assert result.cost_relative_to_on_demand(2) < 0.5
+
+    def test_per_step_n_tar(self):
+        rows = [[4] * 12, [4] * 12]
+        trace = trace_with(rows)
+        n_tar = [1] * 6 + [3] * 6
+        result = solve_omniscient(trace, n_tar, k=3.0, cold_start=0.0, avail_target=1.0)
+        assert (result.ready_total >= np.asarray(n_tar)).all()
+
+
+class TestResampling:
+    def test_resample_is_conservative_min_pool(self):
+        # One zero step inside the window zeroes the coarse step.
+        rows = [[2, 2, 0, 2, 2, 2], [0] * 6]
+        trace = trace_with(rows, step=600.0)
+        result = solve_omniscient(
+            trace, 1, k=3.0, cold_start=0.0, avail_target=0.0, resample_step=1800.0
+        )
+        assert result.spot_launched.shape[1] == 2
+        assert result.spot_launched[0, 0] == 0  # min(2,2,0) = 0
+
+    def test_finer_resample_rejected(self):
+        trace = trace_with([[1] * 6, [1] * 6], step=600.0)
+        with pytest.raises(ValueError):
+            solve_omniscient(trace, 1, resample_step=60.0)
+
+
+class TestValidation:
+    def test_bad_k(self):
+        trace = trace_with([[1] * 6, [1] * 6])
+        with pytest.raises(ValueError):
+            solve_omniscient(trace, 1, k=0.0)
+
+    def test_bad_avail_target(self):
+        trace = trace_with([[1] * 6, [1] * 6])
+        with pytest.raises(ValueError):
+            solve_omniscient(trace, 1, avail_target=1.5)
+
+    def test_infeasible_without_od_cap_is_satisfiable_via_od(self):
+        # Zero spot capacity everywhere: the ILP must still meet the
+        # availability floor using on-demand replicas alone.
+        trace = trace_with([[0] * 12, [0] * 12])
+        result = solve_omniscient(trace, 2, k=3.0, cold_start=0.0, avail_target=1.0)
+        assert result.availability == 1.0
+        assert result.od_launched.min() >= 2
+        assert result.cost_relative_to_on_demand(2) == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the SpotHedge mixture policy (§3.2)."""
+
+import pytest
+
+from repro.core import (
+    MixturePolicy,
+    OnDemandOnlyPolicy,
+    even_spread_policy,
+    round_robin_policy,
+    spothedge,
+)
+from repro.core.placement import DynamicSpotPlacer
+from repro.serving.policy import Observation
+
+ZONES = ["z1", "z2", "z3"]
+
+
+def obs(n_tar=4, spot_launched=0, spot_ready=0, od_launched=0, od_ready=0, by_zone=None):
+    return Observation(
+        now=0.0,
+        n_tar=n_tar,
+        spot_launched=spot_launched,
+        spot_ready=spot_ready,
+        od_launched=od_launched,
+        od_ready=od_ready,
+        spot_by_zone=by_zone or {},
+    )
+
+
+class TestDynamicFallbackFormula:
+    """O(t) = min(N_Tar, N_Tar + N_Extra - S_r)."""
+
+    def test_no_spot_ready_full_fallback(self):
+        policy = spothedge(ZONES, num_overprovision=2)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=0))
+        assert mix.spot_target == 6
+        assert mix.od_target == 4  # capped at N_Tar
+
+    def test_all_spot_ready_no_fallback(self):
+        policy = spothedge(ZONES, num_overprovision=2)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=6))
+        assert mix.od_target == 0
+
+    def test_partial_spot_partial_fallback(self):
+        policy = spothedge(ZONES, num_overprovision=2)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=4))
+        assert mix.od_target == 2  # 4 + 2 - 4
+
+    def test_fallback_capped_at_n_tar(self):
+        policy = spothedge(ZONES, num_overprovision=3)
+        mix = policy.target_mix(obs(n_tar=2, spot_ready=0))
+        assert mix.od_target == 2
+
+    def test_overprovision_zero(self):
+        policy = spothedge(ZONES, num_overprovision=0)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=4))
+        assert mix.spot_target == 4
+        assert mix.od_target == 0
+
+    def test_base_ondemand_floor(self):
+        policy = spothedge(ZONES, num_overprovision=2, base_ondemand_replicas=1)
+        mix = policy.target_mix(obs(n_tar=4, spot_ready=6))
+        assert mix.od_target == 1
+
+    def test_counts_provisioning_spot(self):
+        """SpotHedge tracks its in-flight launches (unlike MArk/AWSSpot)."""
+        policy = spothedge(ZONES)
+        assert policy.target_mix(obs()).count_provisioning_spot is True
+
+
+class TestPlacementWiring:
+    def test_feedback_reaches_placer(self):
+        policy = spothedge(ZONES)
+        policy.on_spot_preempted("z1")
+        assert "z1" in policy.placer.preempting_zones
+        policy.on_spot_ready("z1")
+        assert "z1" in policy.placer.active_zones
+
+    def test_launch_failure_reaches_placer(self):
+        policy = spothedge(ZONES)
+        policy.on_spot_launch_failed("z2")
+        assert "z2" in policy.placer.preempting_zones
+
+    def test_select_spot_zone_delegates(self):
+        policy = spothedge(ZONES)
+        assert policy.select_spot_zone(obs()) in ZONES
+
+    def test_od_zone_prefers_cheapest(self):
+        policy = MixturePolicy(
+            DynamicSpotPlacer(ZONES),
+            dynamic_ondemand_fallback=True,
+            od_zone_costs={"z1": 5.0, "z2": 1.0, "z3": 3.0},
+        )
+        assert policy.select_od_zone(obs()) == "z2"
+
+    def test_od_zone_respects_exclusion(self):
+        policy = spothedge(ZONES)
+        assert policy.select_od_zone(obs(), frozenset(ZONES)) is None
+
+
+class TestNamedPolicies:
+    def test_names(self):
+        assert spothedge(ZONES).name == "SpotHedge"
+        assert even_spread_policy(ZONES).name == "EvenSpread"
+        assert round_robin_policy(ZONES).name == "RoundRobin"
+
+    def test_baseline_policies_have_no_fallback(self):
+        for factory in (even_spread_policy, round_robin_policy):
+            policy = factory(ZONES)
+            mix = policy.target_mix(obs(n_tar=4, spot_ready=0))
+            assert mix.od_target == 0
+            assert mix.spot_target == 4
+
+    def test_ondemand_only(self):
+        policy = OnDemandOnlyPolicy(ZONES)
+        mix = policy.target_mix(obs(n_tar=3))
+        assert mix.spot_target == 0
+        assert mix.od_target == 3
+        assert policy.select_spot_zone(obs()) is None
+        assert policy.select_od_zone(obs()) == "z1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixturePolicy(DynamicSpotPlacer(ZONES), num_overprovision=-1)
+        with pytest.raises(ValueError):
+            OnDemandOnlyPolicy([])

@@ -1,0 +1,105 @@
+"""Integration tests for the §5.1 end-to-end comparison harness."""
+
+import pytest
+
+from repro.cloud import HOUR
+from repro.experiments import (
+    SINGLE_REGION,
+    SKYSERVE_REGIONS,
+    e2e_trace,
+    run_comparison,
+    spot_zone_costs,
+    standard_policies,
+)
+from repro.workloads import arena_workload
+
+
+class TestE2ETrace:
+    def test_covers_skyserve_regions(self):
+        trace = e2e_trace("available", seed=1)
+        regions = set(trace.regions)
+        assert regions == set(SKYSERVE_REGIONS)
+
+    def test_available_scenario_obtainability(self):
+        """Spot Available: us-west-2 obtainability 91-100%."""
+        trace = e2e_trace("available", duration=12 * HOUR, seed=1)
+        west = [z for z in trace.zone_ids if z.rsplit(":", 1)[0] == SINGLE_REGION]
+        assert trace.pooled_availability(west) >= 0.85
+
+    def test_volatile_scenario_obtainability(self):
+        """Spot Volatile: us-west-2 obtainability ~45-46%."""
+        trace = e2e_trace("volatile", duration=12 * HOUR, seed=1)
+        west = [z for z in trace.zone_ids if z.rsplit(":", 1)[0] == SINGLE_REGION]
+        assert 0.25 <= trace.pooled_availability(west) <= 0.70
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            e2e_trace("nuclear")
+
+
+class TestZoneCosts:
+    def test_costs_for_known_cloud(self):
+        costs = spot_zone_costs(
+            ["aws:us-west-2:us-west-2a", "gcp:us-central1:us-central1-a"], "A100"
+        )
+        assert costs["gcp:us-central1:us-central1-a"] > 0
+
+    def test_zone_without_accelerator_dropped(self):
+        costs = spot_zone_costs(["azure:eastus:eastus-1"], "A10G")
+        assert costs == {}
+
+
+class TestStandardPolicies:
+    def test_four_systems(self):
+        trace = e2e_trace("available", seed=2)
+        policies = standard_policies(trace)
+        assert set(policies) == {"SkyServe", "ASG", "AWSSpot", "MArk"}
+
+    def test_single_region_baselines_restricted(self):
+        trace = e2e_trace("available", seed=2)
+        policies = standard_policies(trace)
+        asg_zones = policies["ASG"].placer.zones
+        assert all(z.rsplit(":", 1)[0] == SINGLE_REGION for z in asg_zones)
+
+    def test_skyserve_spans_all_regions(self):
+        trace = e2e_trace("available", seed=2)
+        policies = standard_policies(trace)
+        regions = {z.rsplit(":", 1)[0] for z in policies["SkyServe"].placer.zones}
+        assert regions == set(SKYSERVE_REGIONS)
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def volatile_results(self):
+        workload = arena_workload(
+            2 * HOUR, base_rate=1.2, burst_multiplier=3.0, seed=3
+        )
+        return run_comparison("volatile", workload, 2 * HOUR, seed=3)
+
+    def test_all_systems_report(self, volatile_results):
+        assert set(volatile_results) == {"SkyServe", "ASG", "AWSSpot", "MArk"}
+        for result in volatile_results.values():
+            assert result.report.total_requests > 0
+
+    def test_skyserve_lowest_failure_rate_under_volatility(self, volatile_results):
+        """The paper's headline: SkyServe 0.34-0.62% vs up to 94%."""
+        sky = volatile_results["SkyServe"].report.failure_rate
+        others = [
+            volatile_results[name].report.failure_rate
+            for name in ("AWSSpot", "MArk")
+        ]
+        assert sky < min(others)
+
+    def test_pure_spot_systems_fail_hard_under_volatility(self, volatile_results):
+        for name in ("AWSSpot", "MArk"):
+            assert volatile_results[name].report.failure_rate > 0.15
+
+    def test_skyserve_higher_availability(self, volatile_results):
+        sky = volatile_results["SkyServe"].report.availability
+        for name in ("ASG", "AWSSpot", "MArk"):
+            assert sky >= volatile_results[name].report.availability
+
+    def test_timelines_recorded(self, volatile_results):
+        for result in volatile_results.values():
+            assert len(result.ready_spot) > 0
+            assert len(result.provisioning_spot) > 0

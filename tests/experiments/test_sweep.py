@@ -1,0 +1,66 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments import SweepPoint, grid_sweep
+
+
+class TestGridSweep:
+    def test_full_cartesian_product_in_order(self):
+        calls = []
+
+        def run(a, b):
+            calls.append((a, b))
+            return a * 10 + b
+
+        points = grid_sweep(run, {"a": [1, 2], "b": [3, 4]})
+        assert calls == [(1, 3), (1, 4), (2, 3), (2, 4)]
+        assert [p.result for p in points] == [13, 14, 23, 24]
+        assert all(p.ok for p in points)
+
+    def test_labels_are_stable(self):
+        points = grid_sweep(lambda x: x, {"x": [1]})
+        assert points[0].label() == "x=1"
+
+    def test_errors_isolated_by_default(self):
+        def run(x):
+            if x == 2:
+                raise RuntimeError("boom")
+            return x
+
+        points = grid_sweep(run, {"x": [1, 2, 3]})
+        assert [p.ok for p in points] == [True, False, True]
+        assert "boom" in points[1].error
+        assert points[1].result is None
+
+    def test_raise_errors_fails_fast(self):
+        def run(x):
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            grid_sweep(run, {"x": [1]}, raise_errors=True)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(lambda: None, {})
+        with pytest.raises(ValueError):
+            grid_sweep(lambda x: x, {"x": []})
+
+    def test_sweep_over_replay(self):
+        """An actual Fig. 14c-style sweep over N_Extra."""
+        from repro.cloud import HOUR, SpotTrace
+        from repro.core import spothedge
+        from repro.experiments import ReplayConfig, TraceReplayer
+        import numpy as np
+
+        zones = ["aws:r:a", "aws:r:b"]
+        trace = SpotTrace("s", zones, 60.0, np.full((2, 120), 4))
+
+        def run(n_extra):
+            replayer = TraceReplayer(trace, ReplayConfig(n_tar=2))
+            return replayer.run(spothedge(zones, num_overprovision=n_extra))
+
+        points = grid_sweep(run, {"n_extra": [0, 1, 2]})
+        assert all(p.ok for p in points)
+        costs = [p.result.relative_cost for p in points]
+        assert costs == sorted(costs)  # more buffer costs more

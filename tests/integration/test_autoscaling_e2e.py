@@ -1,0 +1,123 @@
+"""End-to-end autoscaling: the §4 QPS autoscaler driving SpotHedge.
+
+The paper's evaluation pins N_Tar; these tests exercise the full
+autoscaling path instead — N_Tar follows the offered load with the
+configured hysteresis, and SpotHedge maintains N_Tar + N_Extra spot
+replicas around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceSpec,
+    SkyService,
+    ModelProfile,
+)
+from repro.workloads import Request, Workload
+
+ZONES = [
+    "aws:us-west-2:us-west-2a",
+    "aws:us-west-2:us-west-2b",
+    "aws:us-west-2:us-west-2c",
+]
+HOUR = 3600.0
+
+
+def abundant_trace(hours=6):
+    steps = int(hours * 60)
+    return SpotTrace("auto", ZONES, 60.0, np.full((3, steps), 8))
+
+
+def step_load_workload(low_rate, high_rate, duration):
+    """Low load for the first third, high load in the middle, low again."""
+    requests = []
+    t, i = 0.0, 0
+    while t < duration:
+        third = duration / 3
+        rate = high_rate if third <= t < 2 * third else low_rate
+        t += 1.0 / rate
+        requests.append(Request(i, t, input_tokens=20, output_tokens=20))
+        i += 1
+    return Workload("step", [r for r in requests if r.arrival_time < duration])
+
+
+def build_service(trace, q_tar=0.5):
+    spec = ServiceSpec(
+        name="autoscale",
+        replica_policy=ReplicaPolicyConfig(
+            target_qps_per_replica=q_tar,
+            min_replicas=1,
+            max_replicas=16,
+            num_overprovision=1,
+            qps_window=60.0,
+            upscale_delay=120.0,
+            downscale_delay=300.0,
+        ),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=60.0,
+    )
+    policy = spothedge(ZONES, num_overprovision=1)
+    profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=8)
+    return SkyService(spec, policy, trace, profile=profile, seed=9)
+
+
+class TestAutoscalingEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self):
+        duration = 3 * HOUR
+        trace = abundant_trace(hours=4)
+        service = build_service(trace)
+        workload = step_load_workload(0.3, 3.0, duration)
+        report = service.run(workload, duration)
+        return service, report, duration
+
+    def test_scales_up_under_load(self, run):
+        service, report, duration = run
+        n_tar = service.controller.n_tar_series
+        # During the high-load middle third N_Tar rose well above the
+        # low-load target (ceil(0.3/0.5) = 1 vs ceil(3.0/0.5) = 6).
+        peak = max(
+            n_tar.value_at(t)
+            for t in np.linspace(duration / 3 + 600, 2 * duration / 3, 50)
+        )
+        assert peak >= 4
+
+    def test_scales_back_down_after_peak(self, run):
+        service, report, duration = run
+        n_tar = service.controller.n_tar_series
+        final = n_tar.value_at(duration - 60)
+        assert final <= 2
+
+    def test_replicas_follow_target(self, run):
+        service, report, duration = run
+        ready = service.controller.ready_total_series
+        # Mid-peak, ready replicas reach the raised target.
+        mid = ready.value_at(2 * duration / 3 - 600)
+        assert mid >= 4
+
+    def test_service_stays_healthy_through_scaling(self, run):
+        _, report, _ = run
+        assert report.failure_rate < 0.05
+
+    def test_hysteresis_ignores_transient_spikes(self):
+        """A burst shorter than upscale_delay must not move N_Tar."""
+        trace = abundant_trace(hours=1)
+        service = build_service(trace)
+        # 60 s of heavy traffic inside an otherwise idle hour.
+        requests = [
+            Request(i, 600.0 + i * 0.2, 20, 20) for i in range(300)
+        ]
+        report = service.run(Workload("spike", requests), HOUR)
+        n_tar = service.controller.n_tar_series
+        values = [n_tar.value_at(t) for t in np.linspace(0, HOUR - 1, 100)]
+        assert max(v for v in values if not np.isnan(v)) <= 2

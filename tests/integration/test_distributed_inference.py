@@ -1,0 +1,128 @@
+"""Integration tests: distributed inference over multi-instance replicas
+(§4, "Support for distributed inference").
+
+Replicas partitioned over several spot instances in the same zone,
+with and without SpotServe-style adaptive parallelism, driven through
+the full controller + provider stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.serving.replica import ReplicaState
+from repro.sim import SimulationEngine
+
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+def build(capacity_rows, *, workers=2, adaptive=False, target=1):
+    engine = SimulationEngine()
+    trace = SpotTrace("dist", ZONES, 60.0, np.asarray(capacity_rows))
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=60.0, delay_jitter=0.0),
+    )
+    spec = ServiceSpec(
+        replica_policy=ReplicaPolicyConfig(fixed_target=target, num_overprovision=0),
+        resources=ResourceSpec(
+            accelerator="T4",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            workers_per_replica=workers,
+        ),
+        request_timeout=20.0,
+    )
+    policy = spothedge(ZONES, num_overprovision=0)
+    profile = ModelProfile("opt", overhead=2.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=4)
+    controller = ServiceController(
+        engine, cloud, spec, policy, profile, adaptive_parallelism=adaptive
+    )
+    return engine, cloud, controller
+
+
+class TestMultiWorkerReplicas:
+    def test_replica_ready_only_when_all_workers_up(self):
+        engine, cloud, controller = build([[4] * 30, [4] * 30], workers=3)
+        controller.start()
+        engine.run_until(60.0)  # VM up, model still loading
+        assert controller.ready_replicas() == []
+        engine.run_until(200.0)
+        ready = controller.ready_replicas()
+        assert len(ready) == 1
+        assert len(ready[0].workers) == 3
+
+    def test_workers_colocated_in_one_zone(self):
+        """§4: instances of one replica share a zone (minimise
+        inter-instance traffic); replicas spread across zones."""
+        engine, cloud, controller = build([[4] * 30, [4] * 30], workers=2, target=2)
+        controller.start()
+        engine.run_until(300.0)
+        for replica in controller.ready_replicas():
+            zones = {w.zone_id for w in replica.workers}
+            assert zones == {replica.zone_id}
+        replica_zones = {r.zone_id for r in controller.ready_replicas()}
+        assert len(replica_zones) == 2  # spread across both zones
+
+    def test_partial_capacity_blocks_whole_replica(self):
+        # Zone A can hold only 1 instance: a 2-worker replica cannot fit
+        # there; the launch fails and moves on.
+        rows = [[1] * 30, [4] * 30]
+        engine, cloud, controller = build(rows, workers=2)
+        controller.start()
+        engine.run_until(400.0)
+        ready = controller.ready_replicas()
+        assert len(ready) == 1
+        assert ready[0].zone_id == ZONES[1]
+
+
+class TestAdaptiveParallelism:
+    """SpotServe behaviour through the full stack."""
+
+    def _run_with_partial_preemption(self, adaptive):
+        # Zone A holds 2 instances until t=600, then only 1: one worker
+        # of the replica gets preempted.
+        rows = [[2] * 10 + [1] * 30, [0] * 40]
+        engine, cloud, controller = build(rows, workers=2, adaptive=adaptive)
+        controller.start()
+        engine.run_until(550.0)
+        assert len(controller.ready_replicas()) == 1
+        engine.run_until(700.0)
+        return engine, controller
+
+    def test_without_adaptive_replica_dies(self):
+        engine, controller = self._run_with_partial_preemption(adaptive=False)
+        # The spot replica died (zone A now fits only 1 of 2 workers,
+        # zone B is dead); Dynamic Fallback covers with on-demand.
+        ready = controller.ready_replicas()
+        assert all(not r.spot for r in ready)
+        assert any(not r.spot for r in ready)  # OD fallback took over
+        assert controller.preemption_count.value >= 1
+
+    def test_with_adaptive_replica_survives_degraded(self):
+        engine, controller = self._run_with_partial_preemption(adaptive=True)
+        ready = controller.ready_replicas()
+        assert len(ready) == 1
+        replica = ready[0]
+        assert len(replica.workers) == 1  # one survivor
+        assert replica.server.slowdown == pytest.approx(2.0)
+
+    def test_migration_pause_then_ready(self):
+        rows = [[2] * 10 + [1] * 30, [0] * 40]
+        engine, cloud, controller = build(rows, workers=2, adaptive=True)
+        controller.start()
+        engine.run_until(601.0)  # just after the preemption
+        replicas = [r for r in controller.replicas if r.state is ReplicaState.MIGRATING]
+        assert len(replicas) == 1
+        engine.run_until(640.0)  # past the 30 s migration pause
+        assert replicas[0].state is ReplicaState.READY

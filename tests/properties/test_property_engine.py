@@ -1,0 +1,63 @@
+"""Property-based tests for the simulation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimulationEngine
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_events_always_fire_in_time_order(times):
+    engine = SimulationEngine()
+    fired = []
+    for t in times:
+        engine.call_at(t, lambda t=t: fired.append(t))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30),
+    st.floats(min_value=0.0, max_value=1000.0),
+)
+def test_run_until_partitions_events_exactly(times, cutoff):
+    engine = SimulationEngine()
+    fired = []
+    for t in times:
+        engine.call_at(t, lambda t=t: fired.append(t))
+    engine.run_until(cutoff)
+    assert all(t <= cutoff for t in fired)
+    assert sorted(fired) == sorted(t for t in times if t <= cutoff)
+    assert engine.now == cutoff
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_recurring_timer_fires_expected_count(interval, horizon):
+    engine = SimulationEngine()
+    ticks = []
+    engine.call_every(interval, lambda: ticks.append(engine.now))
+    engine.run_until(horizon)
+    # Floating-point accumulation can move the last tick across the
+    # horizon boundary; allow off-by-one.
+    expected = horizon / interval
+    assert expected - 1 <= len(ticks) <= expected + 1
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_cancellation_never_fires(data):
+    times = data.draw(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=20)
+    )
+    cancel_count = data.draw(st.integers(min_value=1, max_value=len(times)))
+    engine = SimulationEngine()
+    fired = []
+    handles = [engine.call_at(t, lambda t=t: fired.append(t)) for t in times]
+    for handle in handles[:cancel_count]:
+        handle.cancel()
+    engine.run()
+    assert len(fired) == len(times) - cancel_count

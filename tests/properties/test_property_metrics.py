@@ -1,0 +1,75 @@
+"""Property-based tests for metric recorders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import LatencyRecorder, TimeSeries
+
+monotone_samples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=-100.0, max_value=100.0),
+    ),
+    min_size=1,
+    max_size=50,
+).map(lambda pairs: sorted(pairs, key=lambda p: p[0]))
+
+
+@given(monotone_samples)
+def test_value_at_returns_last_sample_at_or_before(samples):
+    series = TimeSeries("s")
+    for t, v in samples:
+        series.record(t, v)
+    query = samples[-1][0] + 1.0
+    # The last recorded value at each timestamp wins.
+    last = {}
+    for t, v in samples:
+        last[t] = v
+    expected = last[max(last)]
+    assert series.value_at(query) == expected
+
+
+@given(monotone_samples, st.floats(min_value=1.0, max_value=1e4))
+def test_integral_equals_weighted_sum(samples, extra):
+    series = TimeSeries("s")
+    for t, v in samples:
+        series.record(t, v)
+    start = samples[0][0]
+    end = samples[-1][0] + extra
+    # Independent oracle: sum value * segment-length over the recorded
+    # breakpoints (last sample at a timestamp wins, as documented).
+    last: dict[float, float] = {}
+    for t, v in samples:
+        last[t] = v
+    points = sorted(last)
+    expected = 0.0
+    for i, t in enumerate(points):
+        seg_end = points[i + 1] if i + 1 < len(points) else end
+        expected += last[t] * (min(seg_end, end) - max(t, start))
+    exact = series.integrate(start, end)
+    assert exact == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@given(monotone_samples, st.floats(min_value=-50, max_value=50))
+def test_fraction_at_least_is_a_fraction(samples, threshold):
+    series = TimeSeries("s")
+    for t, v in samples:
+        series.record(t, v)
+    start = samples[0][0]
+    end = samples[-1][0] + 10.0
+    fraction = series.fraction_at_least(threshold, start, end)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=200))
+def test_latency_percentiles_ordered(latencies):
+    recorder = LatencyRecorder()
+    recorder.extend(latencies)
+    summary = recorder.summary()
+    assert summary.p50 <= summary.p90 <= summary.p99
+    # Allow a few ulps of float summation error around the extremes.
+    tolerance = 1e-9 * max(abs(max(latencies)), 1.0)
+    assert min(latencies) - tolerance <= summary.mean <= max(latencies) + tolerance
+    assert summary.count == len(latencies)

@@ -1,0 +1,95 @@
+"""Property-based tests for the Alg. 1 placer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicSpotPlacer, EvenSpreadPlacer, RoundRobinPlacer
+
+zones_strategy = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+events_strategy = st.lists(
+    st.tuples(st.sampled_from(["preempt", "fail", "active"]), st.integers(0, 7)),
+    max_size=60,
+)
+
+
+@given(zones_strategy, events_strategy)
+@settings(max_examples=200)
+def test_za_zp_partition_invariant(zones, events):
+    """Z_A and Z_P always partition the enabled zone set (Alg. 1)."""
+    placer = DynamicSpotPlacer(zones)
+    for kind, index in events:
+        zone = zones[index % len(zones)]
+        if kind == "preempt":
+            placer.handle_preemption(zone)
+        elif kind == "fail":
+            placer.handle_launch_failure(zone)
+        else:
+            placer.handle_active(zone)
+        combined = sorted(placer.active_zones + placer.preempting_zones)
+        assert combined == sorted(zones)
+        # Rebalancing guarantee: never cornered into a single zone.
+        assert len(placer.active_zones) >= min(2, len(zones))
+
+
+@given(zones_strategy, events_strategy)
+@settings(max_examples=100)
+def test_selection_always_from_active_zones_when_available(zones, events):
+    placer = DynamicSpotPlacer(zones)
+    for kind, index in events:
+        zone = zones[index % len(zones)]
+        if kind == "preempt":
+            placer.handle_preemption(zone)
+        elif kind == "active":
+            placer.handle_active(zone)
+        chosen = placer.select_zone({})
+        assert chosen in placer.active_zones
+
+
+@given(zones_strategy, st.integers(min_value=0, max_value=20))
+def test_even_spread_quotas_sum_to_target(zones, target):
+    placer = EvenSpreadPlacer(zones)
+    placer.set_target(target)
+    quotas = placer.quotas()
+    assert sum(quotas.values()) == target
+    assert max(quotas.values()) - min(quotas.values()) <= 1
+
+
+@given(zones_strategy, st.integers(min_value=1, max_value=12))
+def test_even_spread_fills_exactly_target_then_stops(zones, target):
+    placer = EvenSpreadPlacer(zones)
+    placer.set_target(target)
+    placements = {}
+    launched = 0
+    while True:
+        zone = placer.select_zone(placements)
+        if zone is None:
+            break
+        placements[zone] = placements.get(zone, 0) + 1
+        launched += 1
+        assert launched <= target
+    assert launched == target
+
+
+@given(zones_strategy, st.integers(min_value=1, max_value=40))
+def test_round_robin_is_fair_over_full_cycles(zones, cycles):
+    placer = RoundRobinPlacer(zones)
+    counts = {z: 0 for z in zones}
+    for _ in range(cycles * len(zones)):
+        counts[placer.select_zone({})] += 1
+    assert set(counts.values()) == {cycles}
+
+
+@given(zones_strategy)
+def test_dynamic_placer_prefers_empty_zones(zones):
+    placer = DynamicSpotPlacer(zones)
+    placements = {}
+    for _ in range(len(zones)):
+        zone = placer.select_zone(placements)
+        assert placements.get(zone, 0) == 0  # always an unused zone first
+        placements[zone] = placements.get(zone, 0) + 1

@@ -1,0 +1,84 @@
+"""Property-based tests for policy invariants (§3.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import ASGPolicy, AWSSpotPolicy
+from repro.core import spothedge
+from repro.serving.policy import Observation
+
+ZONES = ["aws:r1:a", "aws:r1:b", "aws:r1:c"]
+
+
+def make_obs(n_tar, spot_launched, spot_ready, od_launched, od_ready):
+    return Observation(
+        now=0.0,
+        n_tar=n_tar,
+        spot_launched=spot_launched,
+        spot_ready=min(spot_ready, spot_launched),
+        od_launched=od_launched,
+        od_ready=min(od_ready, od_launched),
+        spot_by_zone={},
+    )
+
+
+observations = st.builds(
+    make_obs,
+    n_tar=st.integers(1, 20),
+    spot_launched=st.integers(0, 30),
+    spot_ready=st.integers(0, 30),
+    od_launched=st.integers(0, 20),
+    od_ready=st.integers(0, 20),
+)
+
+
+@given(observations, st.integers(0, 5))
+def test_spothedge_mix_invariants(obs, n_extra):
+    """For every observable state: spot target = N_Tar + N_Extra and
+    0 <= O(t) <= N_Tar (the §3.2 bound)."""
+    policy = spothedge(ZONES, num_overprovision=n_extra)
+    mix = policy.target_mix(obs)
+    assert mix.spot_target == obs.n_tar + n_extra
+    assert 0 <= mix.od_target <= obs.n_tar
+
+
+@given(observations, st.integers(0, 5))
+def test_spothedge_od_covers_ready_deficit(obs, n_extra):
+    """When fewer than N_Tar spot replicas are ready, on-demand must
+    cover the deficit up to N_Tar."""
+    policy = spothedge(ZONES, num_overprovision=n_extra)
+    mix = policy.target_mix(obs)
+    if obs.spot_ready < obs.n_tar:
+        assert mix.od_target >= min(obs.n_tar - obs.spot_ready, obs.n_tar)
+    if obs.spot_ready >= obs.n_tar + n_extra:
+        assert mix.od_target == 0
+
+
+@given(observations)
+def test_asg_mixture_is_static_in_readiness(obs):
+    """ASG's pool split depends only on N_Tar, never on spot health."""
+    policy = ASGPolicy(ZONES)
+    mix_now = policy.target_mix(obs)
+    starved = make_obs(obs.n_tar, 0, 0, 0, 0)
+    mix_starved = policy.target_mix(starved)
+    assert (mix_now.spot_target, mix_now.od_target) == (
+        mix_starved.spot_target,
+        mix_starved.od_target,
+    )
+    assert mix_now.spot_target + mix_now.od_target == obs.n_tar
+
+
+@given(observations)
+def test_awsspot_never_uses_on_demand(obs):
+    mix = AWSSpotPolicy(ZONES).target_mix(obs)
+    assert mix.od_target == 0
+    assert mix.spot_target == obs.n_tar
+
+
+@given(observations, st.integers(0, 5))
+def test_spothedge_selects_only_enabled_zones(obs, n_extra):
+    policy = spothedge(ZONES, num_overprovision=n_extra)
+    zone = policy.select_spot_zone(obs)
+    assert zone in ZONES
+    od_zone = policy.select_od_zone(obs)
+    assert od_zone in ZONES

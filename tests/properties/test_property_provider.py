@@ -1,0 +1,93 @@
+"""Property-based tests of the simulated provider's capacity contract."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.sim import SimulationEngine
+
+ZONES = ["aws:r1:a", "aws:r1:b"]
+
+
+@st.composite
+def traces(draw):
+    n_steps = draw(st.integers(min_value=10, max_value=30))
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 5), min_size=n_steps, max_size=n_steps),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    return SpotTrace("prov", ZONES, 60.0, np.asarray(rows))
+
+
+@given(traces(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spot_usage_never_exceeds_capacity(trace, seed):
+    """Launch greedily every 30 s; at every sampled instant, alive spot
+    usage respects the trace capacity (after preemption settles)."""
+    from repro.sim.rng import RngRegistry
+
+    engine = SimulationEngine()
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=10.0, setup_delay_mean=10.0,
+                           delay_jitter=0.0),
+        rng=RngRegistry(seed),
+    )
+    violations = []
+
+    def launch_greedily():
+        for zone in ZONES:
+            if cloud.spot_room(zone) > 0:
+                cloud.request_instance(zone, "p3.2xlarge", spot=True)
+
+    def check():
+        # Sample just after capacity-change events have run.
+        for zone in ZONES:
+            capacity = trace.capacity_at(zone, engine.now)
+            if cloud.spot_usage(zone) > capacity:
+                violations.append((engine.now, zone))
+
+    engine.call_every(30.0, launch_greedily)
+    engine.call_every(60.0, check, start_delay=61.0)
+    engine.run_until(trace.duration)
+    assert violations == []
+
+
+@given(traces(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_billing_monotone_while_instances_live(trace, seed):
+    from repro.sim.rng import RngRegistry
+
+    engine = SimulationEngine()
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=10.0, setup_delay_mean=10.0,
+                           delay_jitter=0.0),
+        rng=RngRegistry(seed),
+    )
+    cloud.request_instance(ZONES[0], "p3.2xlarge", spot=True)
+    cloud.request_instance(ZONES[1], "p3.2xlarge", spot=False)
+    totals = []
+    engine.call_every(60.0, lambda: totals.append(cloud.billing.total(engine.now)))
+    engine.run_until(trace.duration)
+    assert all(b >= a - 1e-12 for a, b in zip(totals, totals[1:]))
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_zero_capacity_zone_never_hosts_spot(trace):
+    zero = SpotTrace("zero", ZONES, trace.step, np.zeros_like(trace.capacity))
+    engine = SimulationEngine()
+    cloud = SimCloud(engine, zero, config=CloudConfig(delay_jitter=0.0))
+    instances = [
+        cloud.request_instance(ZONES[0], "p3.2xlarge", spot=True) for _ in range(3)
+    ]
+    engine.run_until(zero.duration)
+    assert all(i.state.value == "failed" for i in instances)
+    assert cloud.billing.total(engine.now) == 0.0

@@ -1,0 +1,77 @@
+"""Property-based tests for trace generation and statistics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import HOUR, SpotTrace, TraceZoneSpec, make_correlated_trace
+
+zone_specs = st.lists(
+    st.builds(
+        TraceZoneSpec,
+        zone_id=st.sampled_from(
+            ["aws:r1:a", "aws:r1:b", "aws:r2:a", "gcp:r3:a", "gcp:r3:b"]
+        ),
+        mean_up=st.floats(min_value=0.5 * HOUR, max_value=24 * HOUR),
+        mean_down=st.floats(min_value=0.5 * HOUR, max_value=24 * HOUR),
+        capacity_up=st.integers(1, 16),
+    ),
+    min_size=1,
+    max_size=5,
+    unique_by=lambda s: s.zone_id,
+)
+
+
+@given(zone_specs, st.integers(1, 4), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_generated_traces_are_valid(specs, days, seed):
+    trace = make_correlated_trace(
+        "prop", specs, duration=days * 24 * HOUR, seed=seed,
+        region_shock_rate=1 / (12 * HOUR),
+    )
+    assert trace.capacity.min() >= 0
+    assert trace.n_steps == int(days * 24 * HOUR / trace.step)
+    for spec in specs:
+        row = trace.zone_row(spec.zone_id)
+        assert row.max() <= spec.capacity_up
+        assert 0.0 <= trace.availability(spec.zone_id) <= 1.0
+
+
+@given(zone_specs, st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_json_round_trip_lossless(specs, seed):
+    trace = make_correlated_trace("prop", specs, duration=6 * HOUR, seed=seed)
+    restored = SpotTrace.from_json(trace.to_json())
+    np.testing.assert_array_equal(restored.capacity, trace.capacity)
+    assert restored.zone_ids == trace.zone_ids
+    assert restored.step == trace.step
+
+
+@given(zone_specs, st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_pooled_availability_at_least_best_zone(specs, seed):
+    """Pooling zones can only help: pooled availability >= max single."""
+    trace = make_correlated_trace("prop", specs, duration=2 * 24 * HOUR, seed=seed)
+    best_single = max(trace.availability(z) for z in trace.zone_ids)
+    assert trace.pooled_availability() >= best_single - 1e-12
+
+
+@given(zone_specs, st.integers(0, 1000), st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_availability_monotone_in_threshold(specs, seed, threshold):
+    trace = make_correlated_trace("prop", specs, duration=24 * HOUR, seed=seed)
+    low = trace.pooled_availability(threshold=threshold)
+    high = trace.pooled_availability(threshold=threshold + 1)
+    assert high <= low
+
+
+@given(zone_specs, st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_preemption_indicator_matches_capacity_drops(specs, seed):
+    trace = make_correlated_trace("prop", specs, duration=24 * HOUR, seed=seed)
+    for spec in specs:
+        row = trace.zone_row(spec.zone_id)
+        indicator = trace.preemption_indicator(spec.zone_id)
+        assert not indicator[0]
+        drops = np.where(indicator)[0]
+        assert (row[drops] < row[drops - 1]).all()

@@ -1,0 +1,97 @@
+"""Unit tests for the QPS-window autoscaler (§4)."""
+
+import pytest
+
+from repro.serving import Autoscaler, ReplicaPolicyConfig
+
+
+def config(**kwargs):
+    defaults = dict(
+        target_qps_per_replica=1.0,
+        qps_window=60.0,
+        upscale_delay=300.0,
+        downscale_delay=600.0,
+        min_replicas=1,
+        max_replicas=10,
+    )
+    defaults.update(kwargs)
+    return ReplicaPolicyConfig(**defaults)
+
+
+def feed_rate(scaler, rate, start, end, step=1.0):
+    """Feed a constant request rate into the window."""
+    t = start
+    while t < end:
+        count = rate * step
+        whole = int(count)
+        for i in range(whole):
+            scaler.record_request(t + i * step / max(whole, 1))
+        t += step
+
+
+class TestCandidate:
+    def test_candidate_is_ceil_rate_over_qtar(self):
+        scaler = Autoscaler(config(target_qps_per_replica=2.0))
+        for i in range(300):  # 5 req/s over the last 60s
+            scaler.record_request(940.0 + i * 0.2)
+        assert scaler.candidate_target(1000.0) == 3  # ceil(5/2)
+
+    def test_candidate_clamped_to_bounds(self):
+        scaler = Autoscaler(config(max_replicas=4))
+        for i in range(600):
+            scaler.record_request(999.0)
+        assert scaler.candidate_target(1000.0) == 4
+
+    def test_rate_window_expires_old_arrivals(self):
+        scaler = Autoscaler(config())
+        scaler.record_request(0.0)
+        assert scaler.request_rate(1000.0) == 0.0
+
+
+class TestHoldTimes:
+    def test_upscale_only_after_sustained_load(self):
+        scaler = Autoscaler(config(), initial_target=1)
+        # High load at t=0: candidate jumps but target holds.
+        feed_rate(scaler, 5.0, 0.0, 60.0)
+        assert scaler.evaluate(60.0) == 1
+        # Still high 100s later (short of the 300s delay).
+        feed_rate(scaler, 5.0, 60.0, 160.0)
+        assert scaler.evaluate(160.0) == 1
+        # Past the upscale delay: target moves.
+        feed_rate(scaler, 5.0, 160.0, 400.0)
+        assert scaler.evaluate(400.0) == 5
+
+    def test_downscale_slower_than_upscale(self):
+        scaler = Autoscaler(config(), initial_target=5)
+        # Low load: candidate = 1, but downscale needs 600 s.
+        assert scaler.evaluate(0.0) == 5
+        assert scaler.evaluate(400.0) == 5
+        assert scaler.evaluate(700.0) == 1
+
+    def test_blip_does_not_move_target(self):
+        scaler = Autoscaler(config(), initial_target=1)
+        feed_rate(scaler, 5.0, 0.0, 60.0)
+        scaler.evaluate(60.0)
+        # Load vanishes before the hold expires: candidate back to <= 1.
+        assert scaler.evaluate(200.0) == 1
+        assert scaler.evaluate(400.0) == 1
+
+
+class TestFixedTarget:
+    def test_fixed_target_ignores_load(self):
+        scaler = Autoscaler(config(fixed_target=4))
+        feed_rate(scaler, 50.0, 0.0, 60.0)
+        assert scaler.evaluate(60.0) == 4
+        assert scaler.n_tar == 4
+
+    def test_fixed_target_clamped(self):
+        scaler = Autoscaler(config(fixed_target=99, max_replicas=10))
+        assert scaler.evaluate(0.0) == 10
+
+
+class TestInitialTarget:
+    def test_initial_target_respected(self):
+        assert Autoscaler(config(), initial_target=3).n_tar == 3
+
+    def test_initial_target_clamped(self):
+        assert Autoscaler(config(max_replicas=2), initial_target=5).n_tar == 2

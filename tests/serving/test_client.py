@@ -1,0 +1,171 @@
+"""Unit tests for the workload replay client: timeouts, retries, and
+latency accounting (§5.1 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceClient,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request, Workload
+
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+def build(capacity_rows, workload, *, timeout=50.0, service_seconds=2.0):
+    engine = SimulationEngine()
+    trace = SpotTrace("cli", ZONES, 60.0, np.asarray(capacity_rows))
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=30.0, delay_jitter=0.0),
+    )
+    spec = ServiceSpec(
+        replica_policy=ReplicaPolicyConfig(fixed_target=1, num_overprovision=0),
+        resources=ResourceSpec(
+            accelerator="V100", any_of=(DomainFilter(cloud="aws", region="us-west-2"),)
+        ),
+        request_timeout=timeout,
+    )
+    policy = spothedge(ZONES, num_overprovision=0)
+    profile = ModelProfile("m", overhead=service_seconds, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=4)
+    controller = ServiceController(engine, cloud, spec, policy, profile)
+    client = ServiceClient(controller, workload, retry_interval=2.0)
+    return engine, controller, client
+
+
+def workload_at(times):
+    return Workload(
+        "w", [Request(i, t, 10, 10) for i, t in enumerate(times)]
+    )
+
+
+def full_rows(steps=60):
+    return [[2] * steps, [2] * steps]
+
+
+class TestHappyPath:
+    def test_request_completes_with_latency(self):
+        engine, controller, client = build(full_rows(), workload_at([100.0]))
+        controller.start()
+        client.start()
+        engine.run_until(300.0)
+        stats = client.stats()
+        assert stats.completed == 1
+        assert stats.failed == 0
+        # ~2 s compute plus a sub-second WAN round trip.
+        assert 2.0 <= stats.latency.p50 <= 3.0
+
+    def test_latency_includes_wan_rtt(self):
+        engine, controller, client = build(full_rows(), workload_at([100.0]))
+        controller.start()
+        client.start()
+        engine.run_until(300.0)
+        assert client.stats().latency.p50 > 2.0
+
+    def test_all_requests_served(self):
+        times = [100.0 + 5 * i for i in range(20)]
+        engine, controller, client = build(full_rows(), workload_at(times))
+        controller.start()
+        client.start()
+        engine.run_until(500.0)
+        assert client.stats().completed == 20
+
+
+class TestDowntime:
+    def test_no_replicas_times_out(self):
+        rows = [[0] * 60, [0] * 60]
+        engine, controller, client = build(rows, workload_at([100.0]), timeout=20.0)
+        # No on-demand fallback in this policy config? SpotHedge falls
+        # back to OD, so disable by blocking OD via capacity-free spec:
+        # instead, simply don't start the controller -> no replicas ever.
+        client.start()
+        engine.run_until(300.0)
+        stats = client.stats()
+        assert stats.failed == 1
+        assert stats.completed == 0
+
+    def test_request_waits_until_replica_ready(self):
+        # Capacity exists but replicas are cold until ~60s; a request at
+        # t=10 with a generous timeout completes after readiness.
+        engine, controller, client = build(full_rows(), workload_at([10.0]), timeout=90.0)
+        controller.start()
+        client.start()
+        engine.run_until(300.0)
+        stats = client.stats()
+        assert stats.completed == 1
+        # It waited tens of seconds for the first replica.
+        assert stats.latency.p50 > 30.0
+
+    def test_completion_after_deadline_counts_as_failure(self):
+        engine, controller, client = build(
+            full_rows(), workload_at([10.0]), timeout=20.0
+        )
+        controller.start()
+        client.start()
+        engine.run_until(400.0)
+        stats = client.stats()
+        assert stats.failed == 1
+        assert stats.completed == 0
+
+
+class TestPreemptionRetry:
+    def test_aborted_request_retried_on_surviving_replica(self):
+        # Zone a dies at t=120; its in-flight work must retry on zone b.
+        rows = [[1] * 2 + [0] * 58, [1] * 60]
+        engine, controller, client = build(
+            rows, workload_at([100.0 + i for i in range(10)]),
+            timeout=150.0, service_seconds=10.0,
+        )
+        controller.start()
+        client.start()
+        engine.run_until(600.0)
+        stats = client.stats()
+        assert stats.retries > 0
+        assert stats.completed + stats.failed == 10
+        assert stats.completed >= 5
+
+    def test_failure_time_included_in_latency(self):
+        rows = [[1] * 2 + [0] * 58, [1] * 60]
+        engine, controller, client = build(
+            rows, workload_at([110.0]), timeout=200.0, service_seconds=30.0,
+        )
+        controller.start()
+        client.start()
+        engine.run_until(600.0)
+        stats = client.stats()
+        if stats.retries and stats.completed:
+            # Wasted work before the preemption stays in the latency.
+            assert stats.latency.p50 > 30.0
+
+
+class TestValidation:
+    def test_double_start_rejected(self):
+        engine, controller, client = build(full_rows(), workload_at([1.0]))
+        client.start()
+        with pytest.raises(RuntimeError):
+            client.start()
+
+    def test_invalid_retry_interval(self):
+        engine, controller, _ = build(full_rows(), workload_at([1.0]))
+        with pytest.raises(ValueError):
+            ServiceClient(controller, workload_at([1.0]), retry_interval=0.0)
+
+    def test_stats_on_empty_workload(self):
+        engine, controller, client = build(full_rows(), workload_at([]))
+        client.start()
+        engine.run_until(10.0)
+        stats = client.stats()
+        assert stats.total_requests == 0
+        assert stats.failure_rate == 0.0
+        assert stats.latency is None

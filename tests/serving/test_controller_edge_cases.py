@@ -1,0 +1,190 @@
+"""Edge-case tests for the service controller: scale-down draining,
+status snapshots, cooldowns, the MArk worldview, and replica bounds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AWSSpotPolicy
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+ZONES = [
+    "aws:us-west-2:us-west-2a",
+    "aws:us-west-2:us-west-2b",
+    "aws:us-west-2:us-west-2c",
+]
+
+
+def build(capacity_rows, *, policy=None, fixed_target=2, overprovision=0,
+          service_seconds=30.0, max_replicas=64):
+    engine = SimulationEngine()
+    trace = SpotTrace("edge", ZONES, 60.0, np.asarray(capacity_rows))
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=30.0,
+                           delay_jitter=0.0),
+    )
+    spec = ServiceSpec(
+        replica_policy=ReplicaPolicyConfig(
+            fixed_target=fixed_target,
+            num_overprovision=overprovision,
+            max_replicas=max_replicas,
+        ),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=120.0,
+    )
+    policy = policy or spothedge(ZONES, num_overprovision=overprovision)
+    profile = ModelProfile("m", overhead=service_seconds, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=8)
+    controller = ServiceController(engine, cloud, spec, policy, profile)
+    return engine, cloud, controller
+
+
+def full(steps=120, cap=8):
+    return [[cap] * steps] * 3
+
+
+class TestScaleDownDraining:
+    def test_busy_surplus_replica_drains_before_termination(self):
+        engine, cloud, controller = build(full(), overprovision=0)
+        controller.start()
+        engine.run_until(120.0)
+        ready = controller.ready_replicas()
+        assert len(ready) == 2
+        # Put a long request on one replica, then force a scale-down by
+        # dropping the target.
+        victim = ready[0]
+        victim.handle(Request(0, engine.now, 10, 10), lambda r: None, lambda r: None)
+        controller.autoscaler.config = ReplicaPolicyConfig(
+            fixed_target=1, num_overprovision=0
+        )
+        engine.run_until(140.0)
+        # The surplus replica drains (still alive, excluded from routing)
+        # rather than aborting the in-flight request.
+        draining = [r for r in controller.replicas if r.draining]
+        assert len(draining) == 1
+        assert draining[0].ongoing_requests == 1
+        assert draining[0] not in controller.ready_replicas()
+        # Once the request finishes (30 s service), the replica is reaped.
+        engine.run_until(250.0)
+        assert all(not r.draining for r in controller.replicas)
+        assert len(controller.replicas) == 1
+
+    def test_idle_surplus_terminated_immediately(self):
+        engine, cloud, controller = build(full(), overprovision=1)
+        controller.start()
+        engine.run_until(120.0)
+        assert len(controller.ready_replicas()) == 3
+        controller.autoscaler.config = ReplicaPolicyConfig(
+            fixed_target=1, num_overprovision=0
+        )
+        controller.policy.num_overprovision = 0
+        engine.run_until(140.0)
+        assert len(controller.replicas) == 1
+
+
+class TestStatusSnapshot:
+    def test_status_rows(self):
+        engine, cloud, controller = build(full(), overprovision=1)
+        controller.start()
+        engine.run_until(120.0)
+        rows = controller.status()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["market"] == "spot"
+            assert row["state"] == "ready"
+            assert row["zone"] in ZONES
+            assert row["ongoing_requests"] == 0
+
+    def test_status_marks_draining(self):
+        engine, cloud, controller = build(full(), overprovision=0)
+        controller.start()
+        engine.run_until(120.0)
+        replica = controller.ready_replicas()[0]
+        replica.handle(Request(0, engine.now, 10, 10), lambda r: None, lambda r: None)
+        replica.draining = True
+        rows = {r["replica"]: r for r in controller.status()}
+        assert "draining" in rows[replica.id]["state"]
+
+
+class TestZoneCooldown:
+    def test_failed_zone_excluded_until_cooldown(self):
+        # Zone a has zero capacity: the first launch attempt fails and
+        # the zone cools down; the fleet lands in zones b/c.
+        rows = [[0] * 120, [8] * 120, [8] * 120]
+        engine, cloud, controller = build(rows, fixed_target=2)
+        controller.start()
+        engine.run_until(300.0)
+        obs = controller.observe()
+        assert "aws:us-west-2:us-west-2a" not in obs.spot_by_zone
+        assert obs.spot_ready == 2
+
+    def test_cooldown_expires(self):
+        engine, cloud, controller = build(full(), fixed_target=1)
+        controller._zone_cooldown["aws:us-west-2:us-west-2a"] = 100.0
+        controller.start()
+        engine.run_until(50.0)
+        assert "aws:us-west-2:us-west-2a" in controller._cooling_zones()
+        engine.run_until(150.0)
+        assert controller._cooling_zones() == frozenset()
+
+
+class TestPolicyWorldview:
+    def test_mark_style_policy_sees_only_ready(self):
+        """With count_provisioning_spot=False the policy's per-zone view
+        hides in-flight launches (the Fig. 12 blindness)."""
+        policy = AWSSpotPolicy(ZONES)
+        engine, cloud, controller = build(full(), policy=policy, fixed_target=3)
+        controller.start()
+        engine.run_until(15.0)  # replicas provisioning, none ready
+        obs = controller.observe()
+        mix = policy.target_mix(obs)
+        view = controller._policy_view(obs, mix)
+        assert view.spot_by_zone == {}
+        assert view.spot_launched == 0
+
+    def test_spothedge_sees_everything(self):
+        engine, cloud, controller = build(full(), fixed_target=3)
+        controller.start()
+        engine.run_until(15.0)
+        obs = controller.observe()
+        mix = controller.policy.target_mix(obs)
+        view = controller._policy_view(obs, mix)
+        assert view is obs  # no filtering for launch-counting policies
+
+
+class TestReplicaBounds:
+    def test_max_replicas_caps_autoscaled_target(self):
+        engine, cloud, controller = build(
+            full(cap=16), fixed_target=50, max_replicas=3
+        )
+        controller.start()
+        engine.run_until(300.0)
+        # fixed_target is clamped by max_replicas in the autoscaler.
+        assert controller.autoscaler.n_tar == 3
+        assert len(controller.ready_replicas()) <= 3
+
+    def test_overrequest_cap_bounds_mark_fleet(self):
+        policy = AWSSpotPolicy(ZONES)
+        # Zero capacity everywhere: MArk-style policies would launch
+        # forever; the controller's valve caps alive replicas.
+        rows = [[0] * 120] * 3
+        engine, cloud, controller = build(rows, policy=policy, fixed_target=4)
+        controller.start()
+        engine.run_until(600.0)
+        alive = [r for r in controller.replicas]
+        assert len(alive) <= 4 * 4  # _MAX_OVERREQUEST_FACTOR * target

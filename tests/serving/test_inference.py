@@ -1,0 +1,129 @@
+"""Unit tests for the simulated inference engine."""
+
+import pytest
+
+from repro.serving import (
+    InferenceServer,
+    ModelProfile,
+    llama2_70b_profile,
+    opt_6_7b_profile,
+    vicuna_13b_profile,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+
+def req(i=0, inp=20, out=44, t=0.0):
+    return Request(i, t, input_tokens=inp, output_tokens=out)
+
+
+class TestModelProfile:
+    def test_processing_time_linear_in_tokens(self):
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.01,
+                               decode_per_token=0.1, max_concurrency=4)
+        assert profile.processing_time(req(inp=10, out=20)) == pytest.approx(
+            1.0 + 0.1 + 2.0
+        )
+
+    def test_slowdown_scales(self):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 4)
+        base = profile.processing_time(req())
+        assert profile.processing_time(req(), slowdown=2.0) == pytest.approx(2 * base)
+
+    def test_slowdown_below_one_rejected(self):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 4)
+        with pytest.raises(ValueError):
+            profile.processing_time(req(), slowdown=0.5)
+
+    def test_ttft_excludes_decode(self):
+        profile = ModelProfile("m", 1.0, 0.01, 0.1, 4)
+        assert profile.time_to_first_token(req(inp=100, out=500)) == pytest.approx(2.0)
+
+    def test_fig6a_vicuna_request_takes_seconds(self):
+        """Fig. 6a: a 20-in/44-out request on Vicuna-13B takes seconds of
+        compute, far above any WAN RTT."""
+        assert 1.0 <= vicuna_13b_profile().processing_time(req()) <= 10.0
+
+    def test_llama70b_slower_than_opt67b(self):
+        r = req(inp=60, out=150)
+        assert llama2_70b_profile().processing_time(r) > opt_6_7b_profile().processing_time(r)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProfile("m", -1.0, 0.0, 0.1, 4)
+        with pytest.raises(ValueError):
+            ModelProfile("m", 1.0, 0.0, 0.1, 0)
+
+
+class TestInferenceServer:
+    def make(self, concurrency=2):
+        engine = SimulationEngine()
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                               decode_per_token=0.0, max_concurrency=concurrency)
+        return engine, InferenceServer(engine, profile)
+
+    def test_completion_after_processing_time(self):
+        engine, server = self.make()
+        done = []
+        server.submit(req(0), done.append, lambda r: None)
+        engine.run()
+        assert [r.request_id for r in done] == [0]
+        assert engine.now == pytest.approx(1.0)
+
+    def test_concurrency_limit_queues_requests(self):
+        engine, server = self.make(concurrency=2)
+        done_times = {}
+        for i in range(3):
+            server.submit(req(i), lambda r: done_times.__setitem__(r.request_id, engine.now),
+                          lambda r: None)
+        assert server.executing == 2
+        assert server.ongoing == 3
+        engine.run()
+        assert done_times[0] == pytest.approx(1.0)
+        assert done_times[1] == pytest.approx(1.0)
+        assert done_times[2] == pytest.approx(2.0)  # waited for a slot
+
+    def test_fifo_queue_order(self):
+        engine, server = self.make(concurrency=1)
+        order = []
+        for i in range(3):
+            server.submit(req(i), lambda r: order.append(r.request_id), lambda r: None)
+        engine.run()
+        assert order == [0, 1, 2]
+
+    def test_abort_all_fails_queued_and_running(self):
+        engine, server = self.make(concurrency=1)
+        completed, aborted = [], []
+        for i in range(3):
+            server.submit(req(i), completed.append, lambda r: aborted.append(r.request_id))
+        server.abort_all()
+        engine.run()
+        assert completed == []
+        assert sorted(aborted) == [0, 1, 2]
+        assert server.ongoing == 0
+
+    def test_submissions_after_abort_are_rejected(self):
+        engine, server = self.make()
+        server.abort_all()
+        aborted = []
+        server.submit(req(9), lambda r: None, lambda r: aborted.append(r.request_id))
+        assert aborted == [9]
+
+    def test_slowdown_applies_to_new_requests(self):
+        engine, server = self.make(concurrency=1)
+        done = {}
+        server.set_slowdown(3.0)
+        server.submit(req(0), lambda r: done.__setitem__(r.request_id, engine.now), lambda r: None)
+        engine.run()
+        assert done[0] == pytest.approx(3.0)
+
+    def test_invalid_slowdown_rejected(self):
+        _, server = self.make()
+        with pytest.raises(ValueError):
+            server.set_slowdown(0.9)
+
+    def test_jitter_validation(self):
+        engine = SimulationEngine()
+        profile = llama2_70b_profile()
+        with pytest.raises(ValueError):
+            InferenceServer(engine, profile, jitter=1.0)

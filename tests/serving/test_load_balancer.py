@@ -1,0 +1,121 @@
+"""Unit tests for the three load balancers (§4 and §6)."""
+
+import pytest
+
+from repro.cloud import default_network
+from repro.serving import (
+    LeastLoadBalancer,
+    LocalityAwareBalancer,
+    ModelProfile,
+    Replica,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+
+def make_ready_replica(engine, zone_id, ongoing=0):
+    profile = ModelProfile("m", overhead=100.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=64)
+    replica = Replica(engine, profile, zone_id=zone_id, spot=True)
+    from repro.serving.replica import ReplicaState
+
+    replica.state = ReplicaState.READY
+    for i in range(ongoing):
+        replica.server.submit(Request(1000 + i, 0.0, 1, 1), lambda r: None, lambda r: None)
+    return replica
+
+
+def request(i=0):
+    return Request(i, 0.0, 10, 10)
+
+
+class TestRoundRobin:
+    def test_cycles_through_replicas(self):
+        engine = SimulationEngine()
+        replicas = [make_ready_replica(engine, "aws:us-west-2:us-west-2a") for _ in range(3)]
+        balancer = RoundRobinBalancer()
+        picks = [balancer.pick(replicas, request(i)).id for i in range(6)]
+        assert picks[:3] == picks[3:]
+        assert len(set(picks[:3])) == 3
+
+    def test_empty_returns_none(self):
+        assert RoundRobinBalancer().pick([], request()) is None
+
+    def test_membership_change_keeps_cycling(self):
+        engine = SimulationEngine()
+        replicas = [make_ready_replica(engine, "aws:us-west-2:us-west-2a") for _ in range(2)]
+        balancer = RoundRobinBalancer()
+        balancer.pick(replicas, request())
+        replicas.append(make_ready_replica(engine, "aws:us-west-2:us-west-2a"))
+        assert balancer.pick(replicas, request()) is not None
+
+
+class TestLeastLoad:
+    def test_prefers_least_ongoing(self):
+        engine = SimulationEngine()
+        busy = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=5)
+        idle = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=0)
+        balancer = LeastLoadBalancer()
+        assert balancer.pick([busy, idle], request()) is idle
+
+    def test_tie_broken_by_id(self):
+        engine = SimulationEngine()
+        a = make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+        b = make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+        balancer = LeastLoadBalancer()
+        assert balancer.pick([b, a], request()) is min(a, b, key=lambda r: r.id)
+
+    def test_empty_returns_none(self):
+        assert LeastLoadBalancer().pick([], request()) is None
+
+
+class TestLocalityAware:
+    """§6: route to the closest replica unless it is overloaded."""
+
+    def test_prefers_local_region(self):
+        engine = SimulationEngine()
+        local = make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a")
+        balancer = LocalityAwareBalancer("aws:us-west-2", default_network())
+        assert balancer.pick([remote, local], request()) is local
+
+    def test_overloaded_local_spills_to_remote(self):
+        engine = SimulationEngine()
+        local = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=8)
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a")
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([local, remote], request()) is remote
+
+    def test_all_overloaded_falls_back_to_least_load(self):
+        engine = SimulationEngine()
+        local = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=10)
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a", ongoing=9)
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([local, remote], request()) is remote
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LocalityAwareBalancer("aws:us-west-2", default_network(), overload_threshold=0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_balancer("round_robin"), RoundRobinBalancer)
+        assert isinstance(make_balancer("least_load"), LeastLoadBalancer)
+        assert isinstance(
+            make_balancer("locality", network=default_network()), LocalityAwareBalancer
+        )
+
+    def test_locality_needs_network(self):
+        with pytest.raises(ValueError):
+            make_balancer("locality", network=None)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_balancer("hash_ring")

@@ -1,0 +1,126 @@
+"""Tests for best-effort preemption-warning handling (§4, §2.3).
+
+With a warning grace period configured on the cloud, the provider
+issues termination notices ahead of each capacity drop.  The controller
+reacts by launching the replacement immediately while the doomed
+replica keeps serving until the actual reclaim — recovery starts up to
+the warning period earlier.  §2.3's limit also holds: warnings shorter
+than the cold start cannot fully hide the gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+def build(capacity_rows, warning):
+    engine = SimulationEngine()
+    trace = SpotTrace("warn", ZONES, 60.0, np.asarray(capacity_rows))
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(
+            provision_delay_mean=60.0,
+            setup_delay_mean=120.0,
+            delay_jitter=0.0,
+            preempt_warning=warning,
+        ),
+    )
+    spec = ServiceSpec(
+        replica_policy=ReplicaPolicyConfig(fixed_target=1, num_overprovision=0),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+    )
+    policy = spothedge(ZONES, num_overprovision=0)
+    profile = ModelProfile("m", overhead=5.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=4)
+    controller = ServiceController(engine, cloud, spec, policy, profile)
+    return engine, cloud, controller
+
+
+# Zone A capacity drops at t=600 (step 10); zone B always available.
+# With a 120 s warning, the termination notice arrives at t=480.
+ROWS = [[1] * 10 + [0] * 50, [1] * 60]
+
+
+class TestWarningHandling:
+    def test_warned_replica_keeps_serving_until_reclaim(self):
+        engine, cloud, controller = build(ROWS, warning=120.0)
+        controller.start()
+        engine.run_until(470.0)
+        assert len(controller.ready_replicas()) == 1
+        # Warning fires at t=480; the replica stays routable until the
+        # actual reclaim at t=600 (no capacity thrown away).
+        engine.run_until(550.0)
+        doomed = [r for r in controller.replicas if r.doomed]
+        assert len(doomed) == 1
+        assert doomed[0] in controller.ready_replicas()
+        engine.run_until(610.0)
+        assert doomed[0] not in controller.ready_replicas()
+
+    def test_replacement_launches_during_grace(self):
+        engine, cloud, controller = build(ROWS, warning=120.0)
+        controller.start()
+        engine.run_until(500.0)
+        # Right after the t=480 warning a replacement is launching in
+        # the healthy zone while the doomed replica still serves.
+        launching = [
+            r
+            for r in controller.replicas
+            if r.spot and not r.doomed and r.zone_id == ZONES[1]
+        ]
+        assert launching
+
+    def test_warning_shortens_recovery_gap(self):
+        def downtime(warning):
+            engine, cloud, controller = build(ROWS, warning=warning)
+            controller.start()
+            engine.run_until(1200.0)
+            series = controller.ready_total_series
+            # Time with zero routable replicas between the drop and
+            # full recovery.
+            return 1.0 - series.fraction_at_least(1, 550.0, 1200.0)
+
+        with_warning = downtime(120.0)
+        without_warning = downtime(0.0)
+        assert with_warning < without_warning
+
+    def test_warning_cannot_hide_cold_start(self):
+        """§2.3: 183 s cold start > 120 s warning -> a gap remains."""
+        engine, cloud, controller = build(ROWS, warning=120.0)
+        controller.start()
+        engine.run_until(1200.0)
+        gap = 1.0 - controller.ready_total_series.fraction_at_least(
+            1, 550.0, 1200.0
+        )
+        assert gap > 0.0
+
+    def test_in_flight_request_completes_during_grace(self):
+        engine, cloud, controller = build(ROWS, warning=120.0)
+        controller.start()
+        engine.run_until(550.0)
+        replica = controller.ready_replicas()[0]
+        done = []
+        engine.call_at(560.0, lambda: replica.handle(
+            Request(0, 560.0, 10, 10), lambda r: done.append(r.request_id),
+            lambda r: None,
+        ))
+        engine.run_until(640.0)
+        # 5 s of compute finished inside the 120 s grace window.
+        assert done == [0]

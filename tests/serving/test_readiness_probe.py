@@ -1,0 +1,142 @@
+"""Tests for readiness probing (§4) and silent-failure detection.
+
+The probe is "an actual user-defined compute workload" sent
+periodically; a replica that stops answering — a *frozen* endpoint that
+accepts requests but never completes them — is detected only by the
+probe and replaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceClient,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request, Workload
+
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+def build(*, probe_interval=30.0, probe_timeout=20.0, fixed_target=1):
+    engine = SimulationEngine()
+    trace = SpotTrace("probe", ZONES, 60.0, np.full((2, 120), 4))
+    cloud = SimCloud(
+        engine,
+        trace,
+        config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=30.0,
+                           delay_jitter=0.0),
+    )
+    spec = ServiceSpec(
+        replica_policy=ReplicaPolicyConfig(
+            fixed_target=fixed_target, num_overprovision=0
+        ),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=90.0,
+    )
+    policy = spothedge(ZONES, num_overprovision=0)
+    profile = ModelProfile("m", overhead=2.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=8)
+    controller = ServiceController(
+        engine, cloud, spec, policy, profile,
+        probe_interval=probe_interval, probe_timeout=probe_timeout,
+    )
+    return engine, cloud, controller
+
+
+class TestFreeze:
+    def test_frozen_server_hangs_requests(self):
+        from repro.serving import InferenceServer
+
+        engine = SimulationEngine()
+        profile = ModelProfile("m", 1.0, 0.0, 0.0, 4)
+        server = InferenceServer(engine, profile)
+        done, aborted = [], []
+        server.submit(Request(0, 0.0, 1, 1), done.append, aborted.append)
+        server.freeze()
+        engine.run()
+        assert done == []
+        assert aborted == []  # silent: nothing is notified
+        assert server.frozen
+
+
+class TestProbing:
+    def test_healthy_replica_passes_probes(self):
+        engine, cloud, controller = build()
+        controller.start()
+        engine.run_until(600.0)
+        assert controller.probe_failure_count.value == 0
+        assert len(controller.ready_replicas()) == 1
+
+    def test_frozen_replica_detected_and_replaced(self):
+        engine, cloud, controller = build()
+        controller.start()
+        engine.run_until(120.0)
+        victim = controller.ready_replicas()[0]
+        engine.call_at(150.0, victim.server.freeze)
+        engine.run_until(400.0)
+        assert controller.probe_failure_count.value >= 1
+        ready = controller.ready_replicas()
+        assert len(ready) == 1
+        assert ready[0] is not victim
+
+    def test_detection_latency_bounded_by_interval_plus_timeout(self):
+        engine, cloud, controller = build(probe_interval=30.0, probe_timeout=20.0)
+        controller.start()
+        engine.run_until(120.0)
+        victim = controller.ready_replicas()[0]
+        engine.call_at(130.0, victim.server.freeze)
+        # Worst case: freeze right after a probe -> next probe at +30,
+        # timeout +20 -> detected by ~180.
+        engine.run_until(185.0)
+        assert controller.probe_failure_count.value >= 1
+
+    def test_no_probing_when_disabled(self):
+        engine, cloud, controller = build(probe_interval=None)
+        controller.start()
+        engine.run_until(120.0)
+        victim = controller.ready_replicas()[0]
+        engine.call_at(130.0, victim.server.freeze)
+        engine.run_until(600.0)
+        # Without probes the frozen replica is never detected.
+        assert controller.probe_failure_count.value == 0
+        assert victim in controller.ready_replicas()
+
+    def test_probes_protect_client_traffic(self):
+        engine, cloud, controller = build(fixed_target=2)
+        workload = Workload(
+            "w", [Request(i, 200.0 + 2.0 * i, 10, 10) for i in range(100)]
+        )
+        client = ServiceClient(controller, workload)
+        controller.start()
+        client.start()
+        # Freeze one of the two replicas mid-run.
+        def freeze_one():
+            ready = controller.ready_replicas()
+            if ready:
+                ready[0].server.freeze()
+
+        engine.call_at(250.0, freeze_one)
+        engine.run_until(700.0)
+        stats = client.stats()
+        # Requests stuck on the frozen replica are lost (their failure),
+        # but the service recovers and the vast majority complete.
+        assert stats.completed >= 80
+        assert controller.probe_failure_count.value >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build(probe_interval=0.0)
+        with pytest.raises(ValueError):
+            build(probe_timeout=0.0)

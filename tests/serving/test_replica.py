@@ -1,0 +1,169 @@
+"""Unit tests for replica lifecycle, including SpotServe-style
+adaptive parallelism."""
+
+import pytest
+
+from repro.cloud import InstanceState, default_catalog
+from repro.cloud.instance import Instance
+from repro.serving import ModelProfile, Replica, ReplicaState
+from repro.sim import SimulationEngine
+from repro.workloads import Request
+
+ZONE = "aws:us-west-2:us-west-2a"
+
+
+def make_replica(engine, workers=1, adaptive=False):
+    profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=4)
+    replica = Replica(
+        engine, profile, zone_id=ZONE, spot=True,
+        adaptive_parallelism=adaptive, migration_pause=30.0,
+    )
+    instances = []
+    for _ in range(workers):
+        instance = Instance(
+            zone_id=ZONE,
+            instance_type=default_catalog().get("g4dn.12xlarge"),
+            spot=True,
+            launched_at=0.0,
+        )
+        replica.attach_worker(instance)
+        instances.append(instance)
+    return replica, instances
+
+
+def ready_up(replica, instances, engine):
+    for instance in instances:
+        instance.transition(InstanceState.INITIALIZING, engine.now)
+        instance.transition(InstanceState.READY, engine.now)
+        replica.worker_ready(instance)
+
+
+class TestSingleWorker:
+    def test_ready_when_worker_ready(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine)
+        assert not replica.is_ready
+        ready_up(replica, instances, engine)
+        assert replica.is_ready
+        assert replica.state is ReplicaState.READY
+
+    def test_worker_lost_kills_replica(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine)
+        ready_up(replica, instances, engine)
+        replica.worker_lost(instances[0])
+        assert replica.state is ReplicaState.DEAD
+
+    def test_death_aborts_inflight_requests(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine)
+        ready_up(replica, instances, engine)
+        aborted = []
+        replica.handle(Request(0, 0.0, 10, 10), lambda r: None,
+                       lambda r: aborted.append(r.request_id))
+        replica.worker_lost(instances[0])
+        assert aborted == [0]
+
+    def test_requests_rejected_when_not_ready(self):
+        engine = SimulationEngine()
+        replica, _ = make_replica(engine)
+        aborted = []
+        replica.handle(Request(0, 0.0, 10, 10), lambda r: None,
+                       lambda r: aborted.append(r.request_id))
+        assert aborted == [0]
+
+    def test_region_id(self):
+        engine = SimulationEngine()
+        replica, _ = make_replica(engine)
+        assert replica.region_id == "aws:us-west-2"
+
+    def test_worker_zone_mismatch_rejected(self):
+        engine = SimulationEngine()
+        replica, _ = make_replica(engine)
+        stray = Instance(
+            zone_id="aws:us-east-1:us-east-1a",
+            instance_type=default_catalog().get("g4dn.12xlarge"),
+            spot=True,
+            launched_at=0.0,
+        )
+        with pytest.raises(ValueError):
+            replica.attach_worker(stray)
+
+
+class TestMultiWorker:
+    def test_ready_requires_all_workers(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2)
+        instances[0].transition(InstanceState.INITIALIZING, 0.0)
+        instances[0].transition(InstanceState.READY, 0.0)
+        became = replica.worker_ready(instances[0])
+        assert became is False
+        assert replica.state is ReplicaState.INITIALIZING
+        instances[1].transition(InstanceState.INITIALIZING, 0.0)
+        instances[1].transition(InstanceState.READY, 0.0)
+        became = replica.worker_ready(instances[1])
+        assert became is True
+        assert replica.is_ready
+
+    def test_partial_loss_without_adaptive_kills(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2, adaptive=False)
+        ready_up(replica, instances, engine)
+        replica.worker_lost(instances[0])
+        assert replica.state is ReplicaState.DEAD
+
+
+class TestAdaptiveParallelism:
+    """The SpotServe behaviour: re-parallelise over surviving workers."""
+
+    def test_partial_loss_triggers_migration_then_recovers(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2, adaptive=True)
+        ready_up(replica, instances, engine)
+        instances[0].transition(InstanceState.PREEMPTED, 0.0)
+        replica.worker_lost(instances[0])
+        assert replica.state is ReplicaState.MIGRATING
+        engine.run_until(31.0)
+        assert replica.state is ReplicaState.READY
+
+    def test_degraded_throughput_after_loss(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2, adaptive=True)
+        ready_up(replica, instances, engine)
+        instances[0].transition(InstanceState.PREEMPTED, 0.0)
+        replica.worker_lost(instances[0])
+        # 2 workers -> 1 survivor: 2x slowdown.
+        assert replica.server.slowdown == pytest.approx(2.0)
+
+    def test_requests_survive_migration(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2, adaptive=True)
+        ready_up(replica, instances, engine)
+        done = []
+        instances[0].transition(InstanceState.PREEMPTED, 0.0)
+        replica.worker_lost(instances[0])
+        replica.handle(Request(0, 0.0, 10, 10), lambda r: done.append(r.request_id),
+                       lambda r: None)
+        engine.run()
+        assert done == [0]
+
+    def test_losing_last_worker_kills_even_adaptive(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=1, adaptive=True)
+        ready_up(replica, instances, engine)
+        replica.worker_lost(instances[0])
+        assert replica.state is ReplicaState.DEAD
+
+    def test_loss_before_ready_kills(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine, workers=2, adaptive=True)
+        replica.worker_lost(instances[0])
+        assert replica.state is ReplicaState.DEAD
+
+    def test_kill_is_idempotent(self):
+        engine = SimulationEngine()
+        replica, instances = make_replica(engine)
+        replica.kill()
+        replica.kill()
+        assert replica.state is ReplicaState.DEAD

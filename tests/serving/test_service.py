@@ -1,0 +1,116 @@
+"""Integration tests for the SkyService facade."""
+
+import pytest
+
+from repro.cloud import HOUR, aws1
+from repro.core import OnDemandOnlyPolicy, spothedge
+from repro.serving import (
+    DomainFilter,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceSpec,
+    SkyService,
+)
+from repro.workloads import poisson_workload
+
+
+def make_spec(**policy_kwargs):
+    return ServiceSpec(
+        name="svc",
+        replica_policy=ReplicaPolicyConfig(fixed_target=2, **policy_kwargs),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=60.0,
+    )
+
+
+class TestSkyService:
+    def test_run_produces_report(self):
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=1)
+        workload = poisson_workload(HOUR, rate=0.1, seed=1)
+        report = service.run(workload, HOUR)
+        assert report.system == "SpotHedge"
+        assert report.total_requests == len(workload)
+        assert report.completed + report.failed <= report.total_requests
+        assert report.total_cost > 0
+        assert 0.0 <= report.availability <= 1.0
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            trace = aws1()
+            service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=7)
+            workload = poisson_workload(HOUR, rate=0.1, seed=3)
+            results.append(service.run(workload, HOUR))
+        a, b = results
+        assert a.completed == b.completed
+        assert a.failed == b.failed
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_on_demand_only_costs_more_than_spothedge(self):
+        trace = aws1()
+        workload = poisson_workload(2 * HOUR, rate=0.1, seed=2)
+        od_service = SkyService(
+            make_spec(), OnDemandOnlyPolicy(trace.zone_ids), trace, seed=2
+        )
+        od_report = od_service.run(workload, 2 * HOUR)
+        sh_service = SkyService(
+            make_spec(), spothedge(trace.zone_ids), trace, seed=2
+        )
+        sh_report = sh_service.run(workload, 2 * HOUR)
+        assert od_report.od_cost > 0
+        assert od_report.spot_cost == 0
+        assert sh_report.total_cost < od_report.total_cost
+
+    def test_cost_relative_normalisation(self):
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=4)
+        report = service.run(poisson_workload(HOUR, rate=0.05, seed=4), HOUR)
+        relative = report.cost_relative_to_on_demand(od_hourly=3.06, n_tar=2)
+        assert 0.0 < relative < 2.0
+
+    def test_report_before_run_rejected(self):
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace)
+        with pytest.raises(RuntimeError):
+            service.report(100.0)
+
+
+class TestTeardown:
+    def test_down_terminates_all_instances(self):
+        from repro.cloud import InstanceState
+
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=5)
+        workload = poisson_workload(HOUR, rate=0.05, seed=5)
+        service.run(workload, HOUR)
+        assert service.controller.replicas  # something was running
+        service.down()
+        assert service.controller.replicas == []
+        for instance in service.cloud.billing.instances:
+            assert instance.state.is_terminal
+
+    def test_billing_stops_after_down(self):
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=6)
+        service.run(poisson_workload(HOUR, rate=0.05, seed=6), HOUR)
+        service.down()
+        cost_at_down = service.cloud.billing.total(service.engine.now)
+        service.engine.run_until(2 * HOUR)
+        assert service.cloud.billing.total(service.engine.now) == pytest.approx(
+            cost_at_down
+        )
+
+
+class TestBoxPlot:
+    def test_report_latency_boxplot(self):
+        trace = aws1()
+        service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=8)
+        report = service.run(poisson_workload(HOUR, rate=0.1, seed=8), HOUR)
+        box = report.latency_boxplot()
+        assert box is not None
+        assert box.p10 <= box.p50 <= box.p90
+        assert box.count == report.completed

@@ -1,0 +1,142 @@
+"""Unit tests for the service spec (Listing 1)."""
+
+import pytest
+
+from repro.cloud import default_topology
+from repro.serving import DomainFilter, ReplicaPolicyConfig, ResourceSpec, ServiceSpec
+
+
+class TestDomainFilter:
+    def test_cloud_only(self):
+        f = DomainFilter(cloud="gcp")
+        assert f.to_dict() == {"cloud": "gcp"}
+
+    def test_region_requires_cloud(self):
+        with pytest.raises(ValueError):
+            DomainFilter(region="us-east-1")
+
+    def test_zone_requires_region(self):
+        with pytest.raises(ValueError):
+            DomainFilter(cloud="aws", zone="us-east-1a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DomainFilter()
+
+    def test_round_trip(self):
+        f = DomainFilter(cloud="aws", region="us-east-1", zone="us-east-1a")
+        assert DomainFilter.from_dict(f.to_dict()) == f
+
+
+class TestReplicaPolicyConfig:
+    def test_paper_defaults(self):
+        config = ReplicaPolicyConfig()
+        assert config.num_overprovision == 2
+        assert config.dynamic_ondemand_fallback is True
+        assert config.spot_placer == "dynamic"
+        assert config.qps_window == 60.0
+
+    def test_invalid_qps(self):
+        with pytest.raises(ValueError):
+            ReplicaPolicyConfig(target_qps_per_replica=0.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ReplicaPolicyConfig(min_replicas=5, max_replicas=2)
+
+    def test_invalid_placer(self):
+        with pytest.raises(ValueError):
+            ReplicaPolicyConfig(spot_placer="magic")
+
+    def test_invalid_fixed_target(self):
+        with pytest.raises(ValueError):
+            ReplicaPolicyConfig(fixed_target=0)
+
+    def test_round_trip(self):
+        config = ReplicaPolicyConfig(num_overprovision=3, fixed_target=4)
+        assert ReplicaPolicyConfig.from_dict(config.to_dict()) == config
+
+
+class TestResourceSpec:
+    def test_listing1_any_of(self):
+        """Listing 1: one AWS region plus all of GCP."""
+        spec = ResourceSpec(
+            accelerator="A100",
+            any_of=(
+                DomainFilter(cloud="aws", region="us-east-1"),
+                DomainFilter(cloud="gcp"),
+            ),
+        )
+        zones = spec.allowed_zones(default_topology())
+        ids = {z.id for z in zones}
+        assert any(z.startswith("aws:us-east-1:") for z in ids)
+        assert any(z.startswith("gcp:") for z in ids)
+        assert not any(z.startswith("aws:us-west-2:") for z in ids)
+
+    def test_empty_any_of_allows_everything(self):
+        topo = default_topology()
+        assert len(ResourceSpec().allowed_zones(topo)) == len(topo.zones)
+
+    def test_workers_per_replica_validation(self):
+        with pytest.raises(ValueError):
+            ResourceSpec(workers_per_replica=0)
+
+    def test_round_trip(self):
+        spec = ResourceSpec(
+            accelerator="T4",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            workers_per_replica=2,
+        )
+        assert ResourceSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestServiceSpec:
+    def test_defaults(self):
+        spec = ServiceSpec()
+        assert spec.request_timeout == 100.0
+        assert spec.load_balancing_policy == "least_load"
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(request_timeout=0.0)
+
+    def test_invalid_balancer(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(load_balancing_policy="random")
+
+    def test_full_round_trip(self):
+        spec = ServiceSpec(
+            name="llm",
+            readiness_probe_path="/v1/chat/completions",
+            replica_policy=ReplicaPolicyConfig(target_qps_per_replica=1.0, num_overprovision=2),
+            resources=ResourceSpec(accelerator="A100"),
+            request_timeout=100.0,
+        )
+        restored = ServiceSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_listing1_shape(self):
+        """Build the Listing 1 config from a plain dict, as YAML would."""
+        spec = ServiceSpec.from_dict(
+            {
+                "readiness_probe": {"path": "/v1/chat/completions"},
+                "replica_policy": {
+                    "target_qps_per_replica": 1.0,
+                    "num_overprovision": 2,
+                    "dynamic_ondemand_fallback": True,
+                    "spot_placer": "dynamic",
+                },
+                "resources": {
+                    "accelerator": "A100",
+                    "ports": 8080,
+                    "any_of": [
+                        {"cloud": "aws", "region": "us-east-1"},
+                        {"cloud": "gcp"},
+                    ],
+                },
+            }
+        )
+        assert spec.readiness_probe_path == "/v1/chat/completions"
+        assert spec.replica_policy.num_overprovision == 2
+        assert spec.resources.accelerator == "A100"
+        assert len(spec.resources.any_of) == 2

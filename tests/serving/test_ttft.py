@@ -1,0 +1,130 @@
+"""Tests for time-to-first-token tracking (§3.1 footnote, §6)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    InferenceServer,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    ServiceClient,
+    ServiceController,
+    ServiceSpec,
+)
+from repro.sim import SimulationEngine
+from repro.workloads import Request, Workload
+
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+class TestServerFirstToken:
+    def make(self, concurrency=1):
+        engine = SimulationEngine()
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.1,
+                               decode_per_token=0.5, max_concurrency=concurrency)
+        return engine, InferenceServer(engine, profile)
+
+    def test_first_token_before_completion(self):
+        engine, server = self.make()
+        events = []
+        server.submit(
+            Request(0, 0.0, input_tokens=10, output_tokens=10),
+            on_complete=lambda r: events.append(("done", engine.now)),
+            on_abort=lambda r: None,
+            on_first_token=lambda r: events.append(("ttft", engine.now)),
+        )
+        engine.run()
+        assert events[0][0] == "ttft"
+        # TTFT = overhead 1.0 + prefill 10 * 0.1 = 2.0.
+        assert events[0][1] == pytest.approx(2.0)
+        assert events[1][0] == "done"
+        assert events[1][1] > events[0][1]
+
+    def test_queueing_delays_first_token(self):
+        engine, server = self.make(concurrency=1)
+        ttfts = {}
+        for i in range(2):
+            server.submit(
+                Request(i, 0.0, 10, 10),
+                on_complete=lambda r: None,
+                on_abort=lambda r: None,
+                on_first_token=lambda r: ttfts.__setitem__(r.request_id, engine.now),
+            )
+        engine.run()
+        assert ttfts[1] > ttfts[0]  # second request queued first
+
+    def test_abort_suppresses_pending_first_token(self):
+        engine, server = self.make()
+        fired = []
+        server.submit(
+            Request(0, 0.0, 10, 10),
+            on_complete=lambda r: None,
+            on_abort=lambda r: None,
+            on_first_token=lambda r: fired.append(r.request_id),
+        )
+        server.abort_all()
+        engine.run()
+        assert fired == []
+
+
+class TestClientTtft:
+    def build(self):
+        engine = SimulationEngine()
+        trace = SpotTrace("ttft", ZONES, 60.0, np.full((2, 60), 2))
+        cloud = SimCloud(
+            engine,
+            trace,
+            config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=30.0,
+                               delay_jitter=0.0),
+        )
+        spec = ServiceSpec(
+            replica_policy=ReplicaPolicyConfig(fixed_target=1, num_overprovision=0),
+            resources=ResourceSpec(
+                accelerator="V100",
+                any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            ),
+            request_timeout=60.0,
+        )
+        policy = spothedge(ZONES, num_overprovision=0)
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.01,
+                               decode_per_token=0.1, max_concurrency=8)
+        controller = ServiceController(engine, cloud, spec, policy, profile)
+        return engine, controller
+
+    def test_ttft_recorded_and_below_latency(self):
+        engine, controller = self.build()
+        workload = Workload(
+            "w", [Request(i, 200.0 + 5 * i, 20, 40) for i in range(10)]
+        )
+        client = ServiceClient(controller, workload)
+        controller.start()
+        client.start()
+        engine.run_until(600.0)
+        stats = client.stats()
+        assert stats.completed == 10
+        assert stats.ttft is not None
+        assert stats.ttft.count == 10
+        # TTFT strictly below end-to-end latency (decode dominates).
+        assert stats.ttft.p50 < stats.latency.p50
+
+    def test_ttft_includes_wan_rtt(self):
+        engine, controller = self.build()
+        workload = Workload("w", [Request(0, 200.0, 20, 40)])
+        client = ServiceClient(controller, workload, client_region="aws:eu-central-1")
+        controller.start()
+        client.start()
+        engine.run_until(400.0)
+        stats = client.stats()
+        # overhead 1.0 + prefill 0.2 + EU<->us-west-2 RTT 0.14.
+        assert stats.ttft.p50 == pytest.approx(1.2 + 0.14, abs=0.05)
+
+    def test_ttft_empty_when_nothing_served(self):
+        engine, controller = self.build()
+        client = ServiceClient(controller, Workload("w", []))
+        client.start()
+        engine.run_until(10.0)
+        assert client.stats().ttft is None

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        engine = SimulationEngine()
+        assert engine.now == 0.0
+
+    def test_custom_start_time(self):
+        engine = SimulationEngine(start_time=100.0)
+        assert engine.now == 100.0
+
+    def test_call_at_runs_at_time(self):
+        engine = SimulationEngine()
+        times = []
+        engine.call_at(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+
+    def test_call_after_relative(self):
+        engine = SimulationEngine()
+        engine.call_at(3.0, lambda: engine.call_after(2.0, lambda: seen.append(engine.now)))
+        seen = []
+        engine.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.call_after(-1.0, lambda: None)
+
+    def test_events_ordered_by_time(self):
+        engine = SimulationEngine()
+        order = []
+        engine.call_at(3.0, lambda: order.append("c"))
+        engine.call_at(1.0, lambda: order.append("a"))
+        engine.call_at(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        for label in "abcde":
+            engine.call_at(1.0, lambda l=label: order.append(l))
+        engine.run()
+        assert order == list("abcde")
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.call_at(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.call_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: None)
+        handle = engine.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending_events == 1
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        engine = SimulationEngine()
+        handle = engine.call_at(1.0, lambda: None)
+        handle.cancel()
+        engine.call_at(2.0, lambda: None)
+        engine.step()
+        assert engine.now == 2.0
+
+
+class TestRunUntil:
+    def test_clock_lands_exactly_on_end(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: None)
+        engine.run_until(7.5)
+        assert engine.now == 7.5
+
+    def test_events_at_end_time_execute(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.call_at(5.0, lambda: fired.append(1))
+        engine.run_until(5.0)
+        assert fired == [1]
+
+    def test_events_after_end_survive(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.call_at(10.0, lambda: fired.append(1))
+        engine.run_until(5.0)
+        assert fired == []
+        engine.run_until(15.0)
+        assert fired == [1]
+
+    def test_run_until_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_step_returns_false_when_empty(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+
+
+class TestRecurring:
+    def test_call_every_fires_repeatedly(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.call_every(10.0, lambda: ticks.append(engine.now))
+        engine.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_start_delay_controls_first_firing(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.call_every(10.0, lambda: ticks.append(engine.now), start_delay=0.0)
+        engine.run_until(25.0)
+        assert ticks == [0.0, 10.0, 20.0]
+
+    def test_cancel_stops_recurrence(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.call_every(10.0, lambda: ticks.append(engine.now))
+        engine.call_at(25.0, handle.cancel)
+        engine.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_non_positive_interval_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.call_every(0.0, lambda: None)
+
+
+class TestNestedScheduling:
+    def test_callback_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(depth):
+            seen.append(engine.now)
+            if depth > 0:
+                engine.call_after(1.0, lambda: chain(depth - 1))
+
+        engine.call_at(0.0, lambda: chain(3))
+        engine.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_zero_delay_event_runs_same_timestamp(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.call_at(1.0, lambda: engine.call_after(0.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.0]

@@ -1,0 +1,163 @@
+"""Unit tests for metric recorders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, LatencyRecorder, TimeSeries, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_median_of_odd_list(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_matches_numpy(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 50, 90, 99, 100):
+            assert percentile(data, q) == pytest.approx(np.percentile(data, q))
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_add_accumulates(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+
+class TestTimeSeries:
+    def test_record_and_lookup(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(10.0, 3.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 3.0
+        assert series.value_at(100.0) == 3.0
+
+    def test_lookup_before_first_sample_is_nan(self):
+        series = TimeSeries("s")
+        series.record(10.0, 1.0)
+        assert math.isnan(series.value_at(5.0))
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries("s")
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5.0, 2.0)
+
+    def test_same_timestamp_overwrites(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        series.record(1.0, 9.0)
+        assert len(series) == 1
+        assert series.value_at(1.0) == 9.0
+
+    def test_integrate_step_function(self):
+        series = TimeSeries("s")
+        series.record(0.0, 2.0)
+        series.record(10.0, 4.0)
+        # 10s at 2 plus 10s at 4
+        assert series.integrate(0.0, 20.0) == pytest.approx(60.0)
+
+    def test_integrate_partial_window(self):
+        series = TimeSeries("s")
+        series.record(0.0, 2.0)
+        series.record(10.0, 4.0)
+        assert series.integrate(5.0, 15.0) == pytest.approx(2.0 * 5 + 4.0 * 5)
+
+    def test_integrate_before_first_sample_is_zero(self):
+        series = TimeSeries("s")
+        series.record(10.0, 5.0)
+        assert series.integrate(0.0, 10.0) == 0.0
+
+    def test_time_weighted_mean(self):
+        series = TimeSeries("s")
+        series.record(0.0, 0.0)
+        series.record(5.0, 10.0)
+        assert series.time_weighted_mean(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_fraction_at_least(self):
+        series = TimeSeries("s")
+        series.record(0.0, 4.0)
+        series.record(25.0, 2.0)
+        series.record(75.0, 4.0)
+        assert series.fraction_at_least(4.0, 0.0, 100.0) == pytest.approx(0.5)
+
+    def test_fraction_counts_pre_sample_time_as_unavailable(self):
+        series = TimeSeries("s")
+        series.record(50.0, 4.0)
+        assert series.fraction_at_least(1.0, 0.0, 100.0) == pytest.approx(0.5)
+
+    def test_fraction_empty_series_is_zero(self):
+        assert TimeSeries("s").fraction_at_least(1.0, 0.0, 10.0) == 0.0
+
+    def test_empty_window_rejected(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.fraction_at_least(1.0, 5.0, 5.0)
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_none(self):
+        assert LatencyRecorder().summary() is None
+
+    def test_summary_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 101))
+        summary = recorder.summary()
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p90 == pytest.approx(90.1)
+        assert summary.p99 == pytest.approx(99.01)
+        assert summary.mean == pytest.approx(50.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_samples_copy(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        samples = recorder.samples
+        samples.append(2.0)
+        assert len(recorder) == 1
+
+
+class TestBoxPlotStats:
+    def test_boxplot_percentiles(self):
+        from repro.sim import BoxPlotStats
+
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 101))
+        box = recorder.boxplot()
+        assert isinstance(box, BoxPlotStats)
+        assert box.p10 <= box.p25 <= box.p50 <= box.p75 <= box.p90
+        assert box.p50 == pytest.approx(50.5)
+        assert box.count == 100
+
+    def test_empty_boxplot_is_none(self):
+        assert LatencyRecorder().boxplot() is None
+
+    def test_matches_fig9_format(self):
+        """Fig. 9 box plots: 10/90 whiskers, 25/75 box, median, mean."""
+        recorder = LatencyRecorder()
+        recorder.extend([1.0, 2.0, 3.0, 4.0, 100.0])
+        box = recorder.boxplot()
+        assert box.mean == pytest.approx(22.0)
+        assert box.p90 < 100.0  # whisker below the outlier

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cloud import aws1
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace == "aws1"
+        assert args.workload == "arena"
+        assert args.target == 4
+
+    def test_compare_scenario_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare"])
+        args = build_parser().parse_args(["compare", "volatile"])
+        assert args.scenario == "volatile"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+
+class TestReplayCommand:
+    def test_replay_prints_all_policies(self, capsys):
+        assert main(["replay", "--trace", "aws1", "--target", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SpotHedge", "RoundRobin", "EvenSpread", "OnDemand"):
+            assert name in out
+        assert "availability" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(["replay", "--trace", "aws1", "--target", "2",
+                     "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert set(data["experiments"]["replay"]) == {
+            "SpotHedge", "RoundRobin", "EvenSpread", "OnDemand",
+        }
+        assert data["metadata"]["n_tar"] == 2
+
+    def test_deterministic_output(self, capsys):
+        main(["replay", "--trace", "aws1", "--target", "2"])
+        first = capsys.readouterr().out
+        main(["replay", "--trace", "aws1", "--target", "2"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTraceCommand:
+    def test_summary(self, capsys):
+        assert main(["trace", "aws1"]) == 0
+        out = capsys.readouterr().out
+        assert "AWS 1" in out
+        assert "us-west-2a" in out
+
+    def test_export_json_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert main(["trace", "aws1", "--out", str(out_path)]) == 0
+        from repro.cloud import SpotTrace
+
+        restored = SpotTrace.load(out_path)
+        assert restored.zone_ids == aws1().zone_ids
+
+    def test_export_csv(self, tmp_path):
+        out_path = tmp_path / "t.csv"
+        assert main(["trace", "gcp1", "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("zone,time,capacity")
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "azure9"])
+
+    def test_loading_exported_trace_file(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        main(["trace", "aws1", "--out", str(out_path)])
+        assert main(["trace", str(out_path)]) == 0
+        assert "AWS 1" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_correlation_and_curve(self, capsys):
+        assert main(["analyze", "--trace", "gcp1"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-region" in out
+        assert "search space" in out
+
+
+class TestServeCommand:
+    def test_serve_short_run(self, capsys):
+        assert main([
+            "serve", "--trace", "aws1", "--hours", "0.5",
+            "--workload", "poisson", "--rate", "0.1", "--target", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "availability:" in out
+        assert "final replica status:" in out
+
+    def test_serve_with_spec_file(self, tmp_path, capsys):
+        spec = {
+            "name": "from-file",
+            "replica_policy": {"fixed_target": 2, "num_overprovision": 1},
+            "resources": {"accelerator": "V100"},
+            "request_timeout": 60.0,
+        }
+        spec_path = tmp_path / "svc.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main([
+            "serve", "--trace", "aws1", "--spec", str(spec_path),
+            "--hours", "0.5", "--workload", "poisson", "--rate", "0.1",
+        ]) == 0
+        assert "from-file" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_short_run(self, capsys):
+        assert main([
+            "compare", "volatile", "--hours", "0.5", "--rate", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ("SkyServe", "ASG", "AWSSpot", "MArk"):
+            assert name in out
+        assert "cost vs OD" in out
+
+    def test_compare_json_export(self, tmp_path, capsys):
+        out_path = tmp_path / "cmp.json"
+        assert main([
+            "compare", "available", "--hours", "0.5", "--rate", "0.3",
+            "--json", str(out_path),
+        ]) == 0
+        data = json.loads(out_path.read_text())
+        assert set(data["experiments"]["compare"]) == {
+            "SkyServe", "ASG", "AWSSpot", "MArk",
+        }
+        assert data["metadata"]["scenario"] == "available"

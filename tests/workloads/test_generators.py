@@ -1,0 +1,113 @@
+"""Unit tests for the Poisson, Arena, and MAF workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.traces import DAY, HOUR
+from repro.workloads import (
+    arena_workload,
+    maf_workload,
+    poisson_workload,
+    rate_modulated_arrivals,
+)
+
+
+class TestPoisson:
+    def test_rate_close_to_lambda(self):
+        # The paper's replay workload uses λ = 0.15 req/s.
+        workload = poisson_workload(12 * HOUR, rate=0.15, seed=0)
+        assert workload.mean_rate() == pytest.approx(0.15, rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_workload(HOUR, seed=1)
+        b = poisson_workload(HOUR, seed=1)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_seeds_differ(self):
+        a = poisson_workload(HOUR, seed=1)
+        b = poisson_workload(HOUR, seed=2)
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]
+
+    def test_burstiness_near_one(self):
+        # Poisson interarrivals have CV = 1.
+        workload = poisson_workload(24 * HOUR, rate=0.2, seed=3)
+        assert workload.burstiness() == pytest.approx(1.0, abs=0.15)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_workload(HOUR, rate=0.0)
+
+    def test_tokens_positive_and_bounded(self):
+        workload = poisson_workload(2 * HOUR, seed=4)
+        for request in workload:
+            assert 1 <= request.input_tokens <= 4096
+            assert 1 <= request.output_tokens <= 4096
+
+
+class TestArena:
+    def test_burstier_than_poisson(self):
+        """Fig. 11: Arena has bursty traffic — interarrival CV well
+        above Poisson's 1.0."""
+        arena = arena_workload(24 * HOUR, seed=5)
+        poisson = poisson_workload(24 * HOUR, rate=arena.mean_rate(), seed=5)
+        assert arena.burstiness() > poisson.burstiness() + 0.3
+
+    def test_bursts_create_rate_spikes(self):
+        workload = arena_workload(24 * HOUR, seed=6, burst_multiplier=8.0)
+        _, rates = workload.rate_series(bin_seconds=300.0)
+        assert rates.max() > 3.0 * max(np.median(rates), 1e-9)
+
+    def test_deterministic(self):
+        a = arena_workload(6 * HOUR, seed=7)
+        b = arena_workload(6 * HOUR, seed=7)
+        assert len(a) == len(b)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_output_lengths_vary_widely(self):
+        """Arena prompts need very different amounts of processing."""
+        workload = arena_workload(12 * HOUR, seed=8)
+        outputs = np.array([r.output_tokens for r in workload])
+        assert np.percentile(outputs, 90) > 3 * np.percentile(outputs, 10)
+
+
+class TestMAF:
+    def test_diurnal_pattern(self):
+        """MAF shows a strong day/night swing in per-hour rates."""
+        workload = maf_workload(2 * DAY, seed=9, spike_rate_per_day=0.0)
+        _, rates = workload.rate_series(bin_seconds=3600.0)
+        assert rates.max() > 1.8 * max(rates.min(), 1e-9)
+
+    def test_spikes_present(self):
+        with_spikes = maf_workload(2 * DAY, seed=10, spike_multiplier=15.0)
+        _, rates = with_spikes.rate_series(bin_seconds=120.0)
+        assert rates.max() > 4 * max(np.median(rates), 1e-9)
+
+    def test_deterministic(self):
+        a = maf_workload(6 * HOUR, seed=11)
+        b = maf_workload(6 * HOUR, seed=11)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+
+class TestThinning:
+    def test_constant_rate_matches_poisson(self):
+        rng = np.random.default_rng(0)
+        arrivals = rate_modulated_arrivals(lambda t: 0.5, 10_000.0, rng, max_rate=0.5)
+        assert len(arrivals) == pytest.approx(5000, rel=0.1)
+
+    def test_rate_above_bound_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rate_modulated_arrivals(lambda t: 2.0, 1000.0, rng, max_rate=1.0)
+
+    def test_invalid_max_rate(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rate_modulated_arrivals(lambda t: 0.1, 100.0, rng, max_rate=0.0)
+
+    def test_arrivals_sorted_and_in_range(self):
+        rng = np.random.default_rng(1)
+        arrivals = rate_modulated_arrivals(
+            lambda t: 0.2 if t < 500 else 0.05, 1000.0, rng, max_rate=0.2
+        )
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 1000.0 for t in arrivals)

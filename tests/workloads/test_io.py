@@ -1,0 +1,86 @@
+"""Tests for workload trace round-trips."""
+
+import pytest
+
+from repro.cloud import HOUR
+from repro.workloads import (
+    Request,
+    Workload,
+    arena_workload,
+    load_requests_csv,
+    save_requests_csv,
+)
+
+
+class TestRequestCsv:
+    def test_round_trip(self, tmp_path):
+        original = arena_workload(HOUR, base_rate=0.5, seed=3)
+        path = tmp_path / "arena.csv"
+        save_requests_csv(original, path)
+        restored = load_requests_csv(path)
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.arrival_time == pytest.approx(b.arrival_time)
+            assert a.input_tokens == b.input_tokens
+            assert a.output_tokens == b.output_tokens
+
+    def test_unsorted_rows_are_ordered(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "arrival_time,input_tokens,output_tokens\n"
+            "20.0,10,20\n"
+            "5.0,30,40\n"
+            "10.0,50,60\n"
+        )
+        workload = load_requests_csv(path)
+        assert [r.arrival_time for r in workload] == [5.0, 10.0, 20.0]
+        assert [r.request_id for r in workload] == [0, 1, 2]
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "prod-trace.csv"
+        save_requests_csv(Workload("x", [Request(0, 1.0, 2, 3)]), path)
+        assert load_requests_csv(path).name == "prod-trace"
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,tokens\n1,2\n")
+        with pytest.raises(ValueError):
+            load_requests_csv(path)
+
+    def test_loaded_workload_is_servable(self, tmp_path):
+        """A loaded trace drives the full serving path."""
+        import numpy as np
+
+        from repro.cloud import SpotTrace
+        from repro.core import spothedge
+        from repro.serving import (
+            DomainFilter,
+            ReplicaPolicyConfig,
+            ResourceSpec,
+            ServiceSpec,
+            SkyService,
+            opt_6_7b_profile,
+        )
+
+        path = tmp_path / "w.csv"
+        save_requests_csv(
+            Workload("w", [Request(i, 300.0 + i * 5, 20, 40) for i in range(20)]),
+            path,
+        )
+        workload = load_requests_csv(path)
+        zones = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+        trace = SpotTrace("flat", zones, 60.0, np.full((2, 60), 2))
+        spec = ServiceSpec(
+            replica_policy=ReplicaPolicyConfig(fixed_target=1, num_overprovision=0),
+            resources=ResourceSpec(
+                accelerator="T4",
+                any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            ),
+            request_timeout=30.0,
+        )
+        service = SkyService(
+            spec, spothedge(zones, num_overprovision=0), trace,
+            profile=opt_6_7b_profile(), seed=1,
+        )
+        report = service.run(workload, HOUR)
+        assert report.completed == 20

@@ -1,0 +1,74 @@
+"""Unit tests for requests and workload containers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Request, Workload
+
+
+def make_workload(arrivals):
+    return Workload(
+        "w",
+        [Request(i, t, input_tokens=10, output_tokens=20) for i, t in enumerate(arrivals)],
+    )
+
+
+class TestRequest:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, -1.0, 10, 10)
+
+    def test_zero_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 0, 10)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 10, 0)
+
+
+class TestWorkload:
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload([2.0, 1.0])
+
+    def test_len_and_iter(self):
+        workload = make_workload([0.0, 1.0, 2.0])
+        assert len(workload) == 3
+        assert [r.arrival_time for r in workload] == [0.0, 1.0, 2.0]
+
+    def test_duration(self):
+        assert make_workload([0.0, 5.0]).duration == 5.0
+        assert make_workload([]).duration == 0.0
+
+    def test_interarrival_times(self):
+        workload = make_workload([0.0, 1.0, 3.0])
+        np.testing.assert_allclose(workload.interarrival_times(), [1.0, 2.0])
+
+    def test_interarrival_empty_for_single_request(self):
+        assert make_workload([1.0]).interarrival_times().size == 0
+
+    def test_mean_rate(self):
+        workload = make_workload([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert workload.mean_rate() == pytest.approx(5 / 4)
+
+    def test_rate_series_bins(self):
+        workload = make_workload([0.0, 30.0, 70.0])
+        times, rates = workload.rate_series(bin_seconds=60.0)
+        np.testing.assert_allclose(times, [0.0, 60.0])
+        np.testing.assert_allclose(rates, [2 / 60, 1 / 60])
+
+    def test_rate_series_invalid_bin(self):
+        with pytest.raises(ValueError):
+            make_workload([0.0]).rate_series(0.0)
+
+    def test_burstiness_of_regular_arrivals_is_zero(self):
+        workload = make_workload([float(i) for i in range(100)])
+        assert workload.burstiness() == pytest.approx(0.0)
+
+    def test_slice_retimes(self):
+        workload = make_workload([0.0, 10.0, 20.0, 30.0])
+        window = workload.slice(10.0, 30.0)
+        assert [r.arrival_time for r in window] == [0.0, 10.0]
+
+    def test_slice_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload([0.0]).slice(5.0, 5.0)
