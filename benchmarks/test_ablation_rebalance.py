@@ -13,6 +13,7 @@ from conftest import print_header, print_rows, run_once
 
 from repro.core import DynamicSpotPlacer, MixturePolicy
 from repro.experiments import ReplayConfig, TraceReplayer
+from repro.telemetry import PolicyAuditLog
 
 
 class _NoRebalancePlacer(DynamicSpotPlacer):
@@ -49,13 +50,17 @@ def without_rebalance(zones):
 @pytest.fixture(scope="module")
 def results(trace_aws3):
     out = {}
+    audits = {}
     for name, factory in (
         ("rebalance on", with_rebalance),
         ("rebalance off", without_rebalance),
     ):
         replayer = TraceReplayer(trace_aws3, ReplayConfig(n_tar=4, k=4.0))
-        out[name] = replayer.run(factory(trace_aws3.zone_ids))
-    return out
+        policy = factory(trace_aws3.zone_ids)
+        policy.attach_audit(PolicyAuditLog(policy=policy.name))
+        audits[name] = policy.audit
+        out[name] = replayer.run(policy)
+    return out, audits
 
 
 def _max_zone_concentration(result):
@@ -66,6 +71,7 @@ def _max_zone_concentration(result):
 
 
 def test_ablation_zone_rebalancing(benchmark, results):
+    results, _ = results
     rows = run_once(
         benchmark,
         lambda: [
@@ -85,3 +91,31 @@ def test_ablation_zone_rebalancing(benchmark, results):
     # launches rehabilitate zones either way).
     assert abs(on.availability - off.availability) <= 0.08
     assert on.availability >= 0.85
+
+
+def test_rebalance_decisions_in_audit_log(results):
+    """Assert the *mechanism*, not just the outcome: the audit log shows
+    the |Z_A| < 2 trigger actually firing and restoring Z_P zones."""
+    _, audits = results
+    on = audits["rebalance on"]
+    off = audits["rebalance off"]
+
+    rebalances = on.records("rebalance")
+    assert rebalances, "AWS 3 drains Z_A; the trigger must fire at least once"
+    for record in rebalances:
+        restored = record.data["restored"]
+        active_after = record.data["active"]
+        # The trigger condition: before restoring, Z_A had < 2 zones.
+        assert len(active_after) - len(restored) < 2
+        assert restored  # only non-empty restores are recorded
+
+    # Every rebalance is preceded by Z_A -> Z_P drains.
+    assert on.count("zone_to_preempting") >= len(rebalances)
+    # The ablated placer never rebalances (its override records nothing).
+    assert off.count("rebalance") == 0
+    print(
+        f"\nrebalance-on audit: {len(on)} records "
+        f"({len(rebalances)} rebalances, "
+        f"{on.count('zone_to_preempting')} zone drains, "
+        f"{on.count('zone_to_active')} zone restores)"
+    )

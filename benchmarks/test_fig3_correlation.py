@@ -8,7 +8,6 @@ paper bolds intra-region correlations >= 0.3 and finds near-zero
 inter-region correlation.
 """
 
-import numpy as np
 from conftest import print_header, print_rows, run_once
 
 from repro.analysis import preemption_correlation

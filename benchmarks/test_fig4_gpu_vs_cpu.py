@@ -5,7 +5,6 @@ The paper measures 16.7-90.4% availability for spot GPUs versus
 transitions for GPUs.
 """
 
-import numpy as np
 from conftest import print_header, print_rows, run_once
 
 

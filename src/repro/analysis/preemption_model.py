@@ -24,7 +24,6 @@ become testable statements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

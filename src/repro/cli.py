@@ -15,22 +15,28 @@ Subcommands:
 ``repro analyze``
     Preemption-correlation and search-space analysis of a trace
     (Figs. 3 and 5).
+``repro events``
+    Summarise a JSONL telemetry log written by ``repro serve --events``:
+    replica timeline, preemption counts, per-leg latency percentiles,
+    and policy decision counts.
 
 All randomness is seeded; the same command line always prints the same
-numbers.
+numbers.  ``--log-level`` (global) controls the stdlib logging verbosity
+of every ``repro.*`` module.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.analysis import availability_by_search_space, preemption_correlation
 from repro.cloud import HOUR, SpotTrace, aws1, aws2, aws3, cpu_trace, default_catalog, gcp1
-from repro.cloud.trace_io import load_capacity_csv, save_capacity_csv
+from repro.cloud.trace_io import save_capacity_csv
 from repro.core import (
     OnDemandOnlyPolicy,
     even_spread_policy,
@@ -49,6 +55,14 @@ from repro.serving import (
     llama2_70b_profile,
     opt_6_7b_profile,
     vicuna_13b_profile,
+)
+from repro.telemetry import (
+    EventBus,
+    JsonlSink,
+    PrometheusSnapshot,
+    configure_logging,
+    format_summary,
+    read_events,
 )
 from repro.workloads import arena_workload, maf_workload, poisson_workload
 
@@ -136,10 +150,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     duration = args.hours * HOUR
     workload = _make_workload(args.workload, duration, args.rate, args.seed)
     policy = spothedge(trace.zone_ids, num_overprovision=args.overprovision)
+    telemetry = None
+    jsonl_sink = None
+    prom_sink = None
+    if args.events or args.metrics_out:
+        telemetry = EventBus()
+        if args.events:
+            try:
+                jsonl_sink = JsonlSink(args.events)
+            except OSError as exc:
+                raise SystemExit(f"cannot write event log {args.events}: {exc}")
+            telemetry.attach(jsonl_sink)
+        if args.metrics_out:
+            prom_sink = PrometheusSnapshot()
+            telemetry.attach(prom_sink)
     service = SkyService(
-        spec, policy, trace, profile=_PROFILES[args.profile](), seed=args.seed
+        spec,
+        policy,
+        trace,
+        profile=_PROFILES[args.profile](),
+        seed=args.seed,
+        telemetry=telemetry,
     )
     report = service.run(workload, duration)
+    if telemetry is not None:
+        telemetry.close()
     print(f"service:      {spec.name} ({args.profile} on {args.accelerator})")
     print(f"requests:     {report.total_requests} "
           f"({report.failed} failed, {report.failure_rate:.2%})")
@@ -158,6 +193,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for r in service.controller.status()
         ],
     )
+    if jsonl_sink is not None:
+        print(f"\nwrote {jsonl_sink.count} events to {args.events} "
+              f"(summarise with: repro events {args.events})")
+    if prom_sink is not None:
+        Path(args.metrics_out).write_text(prom_sink.render())
+        print(f"wrote Prometheus metrics snapshot to {args.metrics_out}")
     return 0
 
 
@@ -281,6 +322,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_events(args: argparse.Namespace) -> int:
+    path = Path(args.log)
+    if not path.exists():
+        raise SystemExit(f"no such event log: {args.log}")
+    try:
+        events = read_events(path)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"malformed event log {args.log}: {exc}")
+    if args.kind:
+        events = [e for e in events if e.kind == args.kind]
+        if not events:
+            print(f"no {args.kind!r} events in {args.log}")
+            return 0
+    if args.timeline:
+        for event in events:
+            data = event.to_dict()
+            kind = data.pop("kind")
+            time = data.pop("time")
+            fields = " ".join(f"{k}={v}" for k, v in data.items())
+            print(f"t={time:10.1f}  {kind:<24} {fields}")
+        return 0
+    print(format_summary(events, replica_limit=args.replica_limit))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -290,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SkyServe/SpotHedge reproduction — simulated sky serve",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="stdlib logging level for all repro.* modules",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -306,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--profile", default="llama2-70b", choices=sorted(_PROFILES))
     serve.add_argument("--timeout", type=float, default=100.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--events",
+                       help="write every telemetry event to this JSONL file")
+    serve.add_argument("--metrics-out",
+                       help="write a Prometheus text-format snapshot here")
     serve.set_defaults(func=_cmd_serve)
 
     compare = sub.add_parser("compare", help="run the SS5.1 four-system comparison")
@@ -335,13 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--threshold", type=int, default=1)
     analyze.set_defaults(func=_cmd_analyze)
 
+    events = sub.add_parser("events", help="summarise a JSONL telemetry log")
+    events.add_argument("log", help="JSONL file written by serve --events")
+    events.add_argument("--kind", help="only consider events of this kind")
+    events.add_argument("--timeline", action="store_true",
+                        help="print every event in order instead of a summary")
+    events.add_argument("--replica-limit", type=int, default=40,
+                        help="max rows in the replica timeline table")
+    events.set_defaults(func=_cmd_events)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.log_level)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro events log | head``).
+        # Point stdout at devnull so interpreter shutdown doesn't raise
+        # again while flushing, and exit with the conventional 128+SIGPIPE.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,3 +60,12 @@ class BillingMeter:
 
     def total(self, now: float) -> float:
         return self.breakdown(now).total
+
+    def snapshot(self, now: float) -> dict[str, float]:
+        """Flat accrued-cost snapshot, the shape telemetry sinks want."""
+        breakdown = self.breakdown(now)
+        return {
+            "spot": breakdown.spot,
+            "on_demand": breakdown.on_demand,
+            "total": breakdown.total,
+        }

@@ -28,6 +28,7 @@ Timing model (defaults follow §2.3):
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
@@ -39,8 +40,11 @@ from repro.cloud.traces import SpotTrace
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Counter
 from repro.sim.rng import RngRegistry
+from repro.telemetry.events import ZoneCapacity
 
 __all__ = ["CloudConfig", "SimCloud"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -167,6 +171,16 @@ class SimCloud:
             self.engine.call_at(kill_time, lambda i=instance: self._kill(i))
 
     def _on_capacity_change(self, zone_id: str, new_capacity: int) -> None:
+        logger.debug(
+            "t=%.1f zone %s spot capacity -> %d", self.engine.now, zone_id, new_capacity
+        )
+        bus = self.engine.telemetry
+        if bus.enabled:
+            bus.emit(
+                ZoneCapacity(
+                    time=self.engine.now, zone=zone_id, capacity=new_capacity
+                )
+            )
         alive = self._alive[zone_id]
         # Doomed instances die via their own scheduled kills at this
         # same timestamp; count only the survivors against capacity.

@@ -11,7 +11,7 @@ about region- and cloud-level structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Zone", "Region", "CloudDesc", "Topology", "default_topology"]
 

@@ -18,8 +18,6 @@ grids so real collected data can drive every experiment in this repo:
 from __future__ import annotations
 
 import csv
-import io
-import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence

@@ -26,7 +26,10 @@ ordering on simulated zone processes.
 from __future__ import annotations
 
 import abc
-from typing import AbstractSet, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry.audit import PolicyAuditLog
 
 __all__ = [
     "DynamicSpotPlacer",
@@ -41,6 +44,11 @@ class SpotPlacer(abc.ABC):
     """Chooses the zone for each new spot replica."""
 
     name: str = "placer"
+
+    #: Optional decision audit log, propagated down from the owning
+    #: policy's ``attach_audit``.  Placers record zone-list transitions
+    #: only when one is attached.
+    audit: Optional["PolicyAuditLog"] = None
 
     def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
         if not zones:
@@ -106,10 +114,24 @@ class DynamicSpotPlacer(SpotPlacer):
         if zone in self.active_zones:
             self.active_zones.remove(zone)
             self.preempting_zones.append(zone)
+            if self.audit is not None:
+                self.audit.record(
+                    "zone_to_preempting",
+                    zone=zone,
+                    active=list(self.active_zones),
+                    preempting=list(self.preempting_zones),
+                )
         if len(self.active_zones) < 2:
             # Zone rebalancing: never get cornered into a single zone.
+            restored = list(self.preempting_zones)
             self.active_zones.extend(self.preempting_zones)
             self.preempting_zones.clear()
+            if self.audit is not None and restored:
+                self.audit.record(
+                    "rebalance",
+                    restored=restored,
+                    active=list(self.active_zones),
+                )
 
     def handle_preemption(self, zone: str) -> None:
         self._move_to_preempting(zone)
@@ -122,6 +144,13 @@ class DynamicSpotPlacer(SpotPlacer):
         if zone in self.preempting_zones:
             self.preempting_zones.remove(zone)
             self.active_zones.append(zone)
+            if self.audit is not None:
+                self.audit.record(
+                    "zone_to_active",
+                    zone=zone,
+                    active=list(self.active_zones),
+                    preempting=list(self.preempting_zones),
+                )
 
     # -- SELECT-NEXT-ZONE ----------------------------------------------
     def _min_cost(self, zones: Sequence[str], placements: Mapping[str, int]) -> str:

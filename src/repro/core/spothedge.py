@@ -24,7 +24,7 @@ N_Tar, and scales them down once spot capacity returns.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Mapping, Optional, Sequence
 
 from repro.core.placement import (
     DynamicSpotPlacer,
@@ -33,6 +33,9 @@ from repro.core.placement import (
     SpotPlacer,
 )
 from repro.serving.policy import MixTarget, Observation, ServingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry.audit import PolicyAuditLog
 
 __all__ = [
     "MixturePolicy",
@@ -96,6 +99,13 @@ class MixturePolicy(ServingPolicy):
             raise ValueError("no on-demand zones")
         self._od_zone_costs = dict(od_zone_costs or {z: 1.0 for z in self.od_zones})
         self.name = name or f"mixture({placer.name})"
+        self._last_mix: Optional[MixTarget] = None
+
+    def attach_audit(self, audit: "PolicyAuditLog") -> None:
+        """Record mixture decisions here and placement decisions in the
+        placer against the same log."""
+        super().attach_audit(audit)
+        self.placer.audit = audit
 
     # ------------------------------------------------------------------
     # Mixture (§3.2)
@@ -104,10 +114,25 @@ class MixturePolicy(ServingPolicy):
         spot_target = obs.n_tar + self.num_overprovision
         self.placer.set_target(spot_target)
         od_target = self.base_ondemand_replicas
+        fallback = 0
         if self.dynamic_ondemand_fallback:
             fallback = min(obs.n_tar, spot_target - obs.spot_ready)
             od_target = max(od_target, max(fallback, 0))
-        return MixTarget(spot_target=spot_target, od_target=od_target)
+        mix = MixTarget(spot_target=spot_target, od_target=od_target)
+        if self.audit is not None:
+            self.audit.touch(obs.now)
+            if mix != self._last_mix:
+                self.audit.record(
+                    "target_mix",
+                    spot_target=spot_target,
+                    od_target=od_target,
+                    n_tar=obs.n_tar,
+                    n_extra=self.num_overprovision,
+                    spot_ready=obs.spot_ready,
+                    fallback=fallback,
+                )
+                self._last_mix = mix
+        return mix
 
     # ------------------------------------------------------------------
     # Placement (§3.1)
@@ -115,7 +140,16 @@ class MixturePolicy(ServingPolicy):
     def select_spot_zone(
         self, obs: Observation, excluded: AbstractSet[str] = frozenset()
     ) -> Optional[str]:
-        return self.placer.select_zone(obs.spot_by_zone, excluded)
+        zone = self.placer.select_zone(obs.spot_by_zone, excluded)
+        if self.audit is not None and zone is not None:
+            self.audit.touch(obs.now)
+            self.audit.record(
+                "select_zone",
+                zone=zone,
+                placements=dict(obs.spot_by_zone),
+                excluded=sorted(excluded),
+            )
+        return zone
 
     def select_od_zone(
         self, obs: Observation, excluded: AbstractSet[str] = frozenset()

@@ -21,7 +21,7 @@ obtainability 91–100%) and *Spot Volatile* (45–46%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines import ASGPolicy, AWSSpotPolicy, MArkPolicy
 from repro.cloud.catalog import Catalog, default_catalog
@@ -33,6 +33,7 @@ from repro.serving.policy import ServingPolicy
 from repro.serving.service import ServiceReport, SkyService
 from repro.serving.spec import ReplicaPolicyConfig, ResourceSpec, ServiceSpec
 from repro.sim.metrics import TimeSeries
+from repro.telemetry.events import EventBus
 from repro.workloads.request import Workload
 
 __all__ = [
@@ -178,11 +179,14 @@ def run_system(
     catalog: Optional[Catalog] = None,
     seed: int = 0,
     single_region: Optional[str] = None,
+    telemetry: Optional[EventBus] = None,
 ) -> EndToEndResult:
     """Deploy one system on the simulated cloud and serve the workload.
 
     ``single_region`` restricts the service spec's failure domains (the
-    baselines launch only in us-west-2).
+    baselines launch only in us-west-2).  ``telemetry`` (an
+    :class:`~repro.telemetry.events.EventBus` with sinks attached)
+    captures the full event stream of the run.
     """
     if spec is None:
         any_of = ()
@@ -205,6 +209,7 @@ def run_system(
         topology=topology,
         catalog=catalog,
         seed=seed,
+        telemetry=telemetry,
     )
     report = service.run(workload, duration)
     return EndToEndResult(

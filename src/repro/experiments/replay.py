@@ -15,15 +15,25 @@ workload (Figs. 14c/d and 15).
 
 from __future__ import annotations
 
+import logging
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.cloud.traces import SpotTrace
 from repro.serving.policy import Observation, ServingPolicy
 from repro.sim.rng import RngRegistry
+from repro.telemetry.events import (
+    NULL_BUS,
+    EventBus,
+    FleetSample,
+    ReplicaLaunch,
+    ReplicaLaunchFailed,
+    ReplicaPreempted,
+    ReplicaTerminated,
+)
 from repro.workloads.request import Workload
 
 __all__ = [
@@ -33,6 +43,8 @@ __all__ = [
     "erlang_c_wait",
     "estimate_latency",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,7 @@ class _ReplayInstance:
     zone: Optional[str]  # None for on-demand
     spot: bool
     ready_at: float
+    id: int = -1  # replica id in telemetry events; -1 when untracked
 
 
 @dataclass(frozen=True)
@@ -108,15 +121,19 @@ class TraceReplayer:
         config: Optional[ReplayConfig] = None,
         *,
         seed: int = 0,
+        telemetry: Optional[EventBus] = None,
     ) -> None:
         self.trace = trace
         self.config = config or ReplayConfig()
         self._rng = RngRegistry(seed).stream("replay")
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
+        self._next_id = 0
 
     def run(self, policy: ServingPolicy, *, spot_zones: Optional[Sequence[str]] = None) -> ReplayResult:
         """Replay ``policy`` over the full trace."""
         cfg = self.config
         trace = self.trace
+        bus = self.telemetry
         zones = list(spot_zones) if spot_zones is not None else list(trace.zone_ids)
         step = trace.step
         d = cfg.cold_start
@@ -127,6 +144,9 @@ class TraceReplayer:
         spot_cost = 0.0
         od_cost = 0.0
         ready_series = np.zeros(trace.n_steps, dtype=int)
+        logger.info(
+            "replaying %s over %s (%d steps)", policy.name, trace.name, trace.n_steps
+        )
 
         for k_step in range(trace.n_steps):
             now = k_step * step
@@ -139,8 +159,14 @@ class TraceReplayer:
                 if excess > 0:
                     victims = self._rng.choice(len(in_zone), size=excess, replace=False)
                     for index in sorted(victims, reverse=True):
-                        spot.remove(in_zone[index])
+                        victim = in_zone[index]
+                        spot.remove(victim)
                         preemptions += 1
+                        if bus.enabled:
+                            # Positional construction: kwargs cost ~2x
+                            # on this hot path (fields: time,
+                            # replica_id, zone, spot).
+                            bus.emit(ReplicaPreempted(now, victim.id, zone, True))
                         policy.on_spot_preempted(zone)
 
             # 2. Observe and ask the policy for targets.
@@ -185,17 +211,34 @@ class TraceReplayer:
                 capacity = int(trace.zone_row(zone)[k_step])
                 used = sum(1 for i in spot if i.zone == zone)
                 if used < capacity:
-                    spot.append(_ReplayInstance(zone=zone, spot=True, ready_at=now + d))
+                    self._next_id += 1
+                    spot.append(
+                        _ReplayInstance(
+                            zone=zone, spot=True, ready_at=now + d, id=self._next_id
+                        )
+                    )
+                    if bus.enabled:
+                        bus.emit(ReplicaLaunch(now, self._next_id, zone, True))
                     policy.on_spot_ready(zone)  # launch succeeded in this zone
                     counted += 1
                 else:
                     launch_failures += 1
                     failed_zones.add(zone)
+                    if bus.enabled:
+                        # No replica object ever existed for a failed
+                        # attempt at this granularity: id -1.
+                        bus.emit(ReplicaLaunchFailed(now, -1, zone, True))
                     policy.on_spot_launch_failed(zone)
             while len(spot) > mix.spot_target:
                 # Scale down: drop the newest (least likely to be ready).
                 spot.sort(key=lambda i: i.ready_at)
-                spot.pop()
+                victim = spot.pop()
+                if bus.enabled:
+                    bus.emit(
+                        ReplicaTerminated(
+                            now, victim.id, victim.zone or "", True, "scale_down"
+                        )
+                    )
 
             # 4. Reconcile on-demand fleet (always obtainable, §5.1).
             while len(od) < mix.od_target:
@@ -214,6 +257,10 @@ class TraceReplayer:
             ready_series[k_step] = sum(1 for i in spot if i.ready_at <= now) + sum(
                 1 for i in od if i.ready_at <= now
             )
+            if bus.enabled and (
+                k_step == 0 or ready_series[k_step] != ready_series[k_step - 1]
+            ):
+                bus.emit(FleetSample(now, int(ready_series[k_step]), cfg.n_tar))
 
         baseline = cfg.k * cfg.n_tar * (trace.n_steps * step / 3600.0)
         return ReplayResult(

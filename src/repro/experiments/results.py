@@ -22,7 +22,7 @@ __all__ = ["ResultStore", "replay_result_to_dict", "service_report_to_dict"]
 
 
 def _summary_to_dict(summary: Optional[LatencySummary]) -> Optional[dict[str, float]]:
-    if summary is None:
+    if not summary:  # None or a NaN-safe empty summary (count == 0)
         return None
     return {
         "count": summary.count,

@@ -11,6 +11,7 @@ for experiments that hold the desired replica count constant (§5.2).
 
 from __future__ import annotations
 
+import logging
 import math
 from collections import deque
 from typing import Optional
@@ -18,6 +19,8 @@ from typing import Optional
 from repro.serving.spec import ReplicaPolicyConfig
 
 __all__ = ["Autoscaler"]
+
+logger = logging.getLogger(__name__)
 
 
 class Autoscaler:
@@ -67,6 +70,7 @@ class Autoscaler:
             if self._above_since is None:
                 self._above_since = now
             if now - self._above_since >= self.config.upscale_delay:
+                logger.debug("t=%.1f upscale to N_Tar=%d", now, candidate)
                 self._n_tar = candidate
                 self._above_since = None
         elif candidate < self._n_tar:
@@ -74,6 +78,7 @@ class Autoscaler:
             if self._below_since is None:
                 self._below_since = now
             if now - self._below_since >= self.config.downscale_delay:
+                logger.debug("t=%.1f downscale to N_Tar=%d", now, candidate)
                 self._n_tar = candidate
                 self._below_since = None
         else:

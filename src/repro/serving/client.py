@@ -21,14 +21,18 @@ reproducing the §5.1 client behaviour:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.serving.controller import ServiceController
 from repro.serving.replica import Replica
 from repro.sim.metrics import Counter, LatencyRecorder, LatencySummary
+from repro.telemetry.spans import SpanRecorder
 from repro.workloads.request import Request, Workload
 
 __all__ = ["ClientStats", "ServiceClient"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,9 @@ class ServiceClient:
         self.ttfts = LatencyRecorder("ttft")
         self.failures = Counter("failed_requests")
         self.retries = Counter("request_retries")
+        #: Per-request span breakdown (queue/prefill/decode/wan legs);
+        #: spans publish onto the engine's telemetry bus when enabled.
+        self.spans = SpanRecorder(bus=self.engine.telemetry)
         self._completed: set[int] = set()
         self._failed: set[int] = set()
         self._ttft_seen: set[int] = set()
@@ -92,6 +99,7 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def _arrive(self, request: Request) -> None:
         deadline = request.arrival_time + self.timeout
+        self.spans.open(request.request_id, request.arrival_time)
         self.engine.call_at(deadline, lambda: self._deadline(request))
         self._attempt(request, deadline)
 
@@ -100,6 +108,10 @@ class ServiceClient:
             return
         self._failed.add(request.request_id)
         self.failures.add()
+        self.spans.fail(request.request_id, self.engine.now)
+        logger.debug(
+            "t=%.1f request %d timed out", self.engine.now, request.request_id
+        )
 
     def _attempt(self, request: Request, deadline: float) -> None:
         if request.request_id in self._failed or request.request_id in self._completed:
@@ -111,11 +123,15 @@ class ServiceClient:
                     self.retry_interval, lambda: self._attempt(request, deadline)
                 )
             return
+        span = self.spans.get(request.request_id)
+        if span is not None:
+            span.note_attempt(replica.id, replica.zone_id)
         replica.handle(
             request,
             on_complete=lambda r, rep=replica: self._complete(r, rep),
             on_abort=lambda r: self._aborted(r, deadline),
             on_first_token=lambda r, rep=replica: self._first_token(r, rep),
+            span=span,
         )
 
     def _aborted(self, request: Request, deadline: float) -> None:
@@ -123,6 +139,9 @@ class ServiceClient:
         if request.request_id in self._failed or request.request_id in self._completed:
             return
         self.retries.add()
+        span = self.spans.get(request.request_id)
+        if span is not None:
+            span.note_abort()
         self._attempt(request, deadline)
 
     def _first_token(self, request: Request, replica: Replica) -> None:
@@ -145,9 +164,14 @@ class ServiceClient:
             if request.request_id not in self._failed:
                 self._failed.add(request.request_id)
                 self.failures.add()
+                self.spans.fail(request.request_id, self.engine.now)
             return
         self._completed.add(request.request_id)
         self.latencies.record(latency)
+        # engine.now is the server-side completion; the span adds the
+        # WAN return trip as its own leg, so span.total == latency (up
+        # to float rounding).
+        self.spans.complete(request.request_id, self.engine.now, rtt)
 
     # ------------------------------------------------------------------
     # Results

@@ -15,12 +15,13 @@ from the attached :class:`~repro.serving.policy.ServingPolicy`
 
 from __future__ import annotations
 
-import math
+import itertools
+import logging
 from typing import Optional
 
 import numpy as np
 
-from repro.cloud.instance import Instance, InstanceCallbacks, InstanceState
+from repro.cloud.instance import Instance, InstanceCallbacks
 from repro.cloud.network import NetworkModel, default_network
 from repro.cloud.provider import SimCloud
 from repro.serving.autoscaler import Autoscaler
@@ -31,9 +32,22 @@ from repro.serving.replica import Replica, ReplicaState
 from repro.serving.spec import ServiceSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Counter, TimeSeries
+from repro.telemetry.events import (
+    AutoscaleDecision,
+    PreemptWarning,
+    ProbeFailure,
+    ReplicaLaunch,
+    ReplicaLaunchFailed,
+    ReplicaPreempted,
+    ReplicaReady,
+    ReplicaTerminated,
+    RouteDecision,
+)
 from repro.workloads.request import Request
 
 __all__ = ["ServiceController"]
+
+logger = logging.getLogger(__name__)
 
 # Safety valve for policies that do not count in-flight launches
 # (MArk/AWSSpot): never hold more than this many times the target in
@@ -79,6 +93,7 @@ class ServiceController:
             spec.replica_policy, initial_target=spec.replica_policy.min_replicas
         )
         self.replicas: list[Replica] = []
+        self._replica_ids = itertools.count(1)
         self._instance_replica: dict[int, Replica] = {}
         self._adaptive_parallelism = adaptive_parallelism
 
@@ -217,7 +232,20 @@ class ServiceController:
     def route(self, request: Request) -> Optional[Replica]:
         """Route one request; feeds the autoscaler's QPS window."""
         self.autoscaler.record_request(self.engine.now)
-        return self.balancer.pick(self.ready_replicas(), request)
+        replica = self.balancer.pick(self.ready_replicas(), request)
+        bus = self.engine.telemetry
+        if bus.enabled and replica is not None:
+            bus.emit(
+                RouteDecision(
+                    time=self.engine.now,
+                    request_id=request.request_id,
+                    replica_id=replica.id,
+                    zone=replica.zone_id,
+                    balancer=type(self.balancer).__name__,
+                    ongoing=replica.ongoing_requests,
+                )
+            )
+        return replica
 
     def status(self) -> list[dict[str, object]]:
         """A ``sky serve status``-style snapshot of every live replica."""
@@ -245,7 +273,25 @@ class ServiceController:
     def _tick(self) -> None:
         if getattr(self, "_stopped", False):
             return
+        old_target = self.autoscaler.n_tar
         self.autoscaler.evaluate(self.engine.now)
+        if self.autoscaler.n_tar != old_target:
+            logger.info(
+                "t=%.1f autoscale: N_Tar %d -> %d",
+                self.engine.now,
+                old_target,
+                self.autoscaler.n_tar,
+            )
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    AutoscaleDecision(
+                        time=self.engine.now,
+                        old_target=old_target,
+                        new_target=self.autoscaler.n_tar,
+                        request_rate=self.autoscaler.request_rate(self.engine.now),
+                    )
+                )
         self._reap_drained()
         obs = self.observe()
         mix = self.policy.target_mix(obs)
@@ -344,20 +390,34 @@ class ServiceController:
         if replica.is_ready and replica.ongoing_requests > 0:
             replica.draining = True  # excluded from routing; reaped later
             return
-        self._destroy(replica)
+        self._destroy(replica, reason="scale_down")
 
     def _reap_drained(self) -> None:
         for replica in list(self.replicas):
             if replica.draining and replica.ongoing_requests == 0:
-                self._destroy(replica)
+                self._destroy(replica, reason="drained")
 
-    def _destroy(self, replica: Replica) -> None:
+    def _destroy(self, replica: Replica, *, reason: str = "teardown") -> None:
         for worker in list(replica.workers):
             self.cloud.terminate(worker)
             self._instance_replica.pop(worker.id, None)
         replica.kill()
         if replica in self.replicas:
             self.replicas.remove(replica)
+        logger.debug(
+            "t=%.1f replica %d terminated (%s)", self.engine.now, replica.id, reason
+        )
+        bus = self.engine.telemetry
+        if bus.enabled:
+            bus.emit(
+                ReplicaTerminated(
+                    time=self.engine.now,
+                    replica_id=replica.id,
+                    zone=replica.zone_id,
+                    spot=replica.spot,
+                    reason=reason,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Launch path and lifecycle callbacks
@@ -374,6 +434,7 @@ class ServiceController:
             spot=spot,
             rng=self._rng,
             adaptive_parallelism=self._adaptive_parallelism,
+            replica_id=next(self._replica_ids),
         )
         self.replicas.append(replica)
         itype = self._zone_itype[zone_id]
@@ -389,6 +450,23 @@ class ServiceController:
             )
             replica.attach_worker(instance)
             self._instance_replica[instance.id] = replica
+        logger.debug(
+            "t=%.1f launch replica %d in %s (%s)",
+            self.engine.now,
+            replica.id,
+            zone_id,
+            "spot" if spot else "on-demand",
+        )
+        bus = self.engine.telemetry
+        if bus.enabled:
+            bus.emit(
+                ReplicaLaunch(
+                    time=self.engine.now,
+                    replica_id=replica.id,
+                    zone=zone_id,
+                    spot=spot,
+                )
+            )
         return replica
 
     def _on_instance_ready(self, instance: Instance) -> None:
@@ -398,7 +476,24 @@ class ServiceController:
             return
         became_ready = replica.worker_ready(instance)
         if became_ready:
+            logger.debug(
+                "t=%.1f replica %d ready in %s",
+                self.engine.now,
+                replica.id,
+                replica.zone_id,
+            )
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ReplicaReady(
+                        time=self.engine.now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                        spot=replica.spot,
+                    )
+                )
             if replica.spot:
+                self._touch_audit()
                 self.policy.on_spot_ready(replica.zone_id)
             self._after_event()
 
@@ -415,9 +510,28 @@ class ServiceController:
                 self.cloud.terminate(worker)
                 self._instance_replica.pop(worker.id, None)
             self.preemption_count.add()
+            logger.info(
+                "t=%.1f replica %d preempted in %s (warned=%s)",
+                self.engine.now,
+                replica.id,
+                replica.zone_id,
+                instance.preempt_warned,
+            )
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ReplicaPreempted(
+                        time=self.engine.now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                        spot=replica.spot,
+                        warned=instance.preempt_warned,
+                    )
+                )
         if replica.spot and not instance.crashed:
             # A hardware fault says nothing about the zone's spot
             # market, so the placer is not penalised for it.
+            self._touch_audit()
             self.policy.on_spot_preempted(replica.zone_id)
         self._after_event()
 
@@ -434,8 +548,20 @@ class ServiceController:
         replica = self._instance_replica.get(instance.id)
         if replica is None or replica.state is ReplicaState.DEAD:
             return
+        already_doomed = replica.doomed
         replica.doomed = True
+        if not already_doomed:
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    PreemptWarning(
+                        time=self.engine.now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                    )
+                )
         if replica.spot:
+            self._touch_audit()
             self.policy.on_spot_preempted(replica.zone_id)
         self._after_event()
 
@@ -452,10 +578,27 @@ class ServiceController:
                 self.cloud.terminate(worker)
                 self._instance_replica.pop(worker.id, None)
             self.launch_failure_count.add()
+            logger.info(
+                "t=%.1f replica %d launch failed in %s",
+                self.engine.now,
+                replica.id,
+                replica.zone_id,
+            )
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ReplicaLaunchFailed(
+                        time=self.engine.now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                        spot=replica.spot,
+                    )
+                )
         if replica.spot:
             self._zone_cooldown[replica.zone_id] = (
                 self.engine.now + self.zone_failure_cooldown
             )
+            self._touch_audit()
             self.policy.on_spot_launch_failed(replica.zone_id)
         self._after_event()
 
@@ -487,7 +630,22 @@ class ServiceController:
             if state["answered"] or replica.state is ReplicaState.DEAD:
                 return
             self.probe_failure_count.add()
-            self._destroy(replica)
+            logger.warning(
+                "t=%.1f replica %d failed readiness probe in %s",
+                self.engine.now,
+                replica.id,
+                replica.zone_id,
+            )
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ProbeFailure(
+                        time=self.engine.now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                    )
+                )
+            self._destroy(replica, reason="probe_failure")
             self._after_event()
 
         self.engine.call_after(self.probe_timeout, check)
@@ -495,6 +653,17 @@ class ServiceController:
     def _after_event(self) -> None:
         """Reconcile promptly after a lifecycle event (not re-entrantly)."""
         self.engine.call_after(0.0, self._tick)
+
+    def _touch_audit(self) -> None:
+        """Advance the policy audit clock before a lifecycle callback.
+
+        The ``on_spot_*`` notifications carry no :class:`Observation`, so
+        without this the audit log would stamp Z_A/Z_P transitions with
+        the time of the *previous* reconcile tick.
+        """
+        audit = self.policy.audit
+        if audit is not None:
+            audit.touch(self.engine.now)
 
     # ------------------------------------------------------------------
     # Metrics

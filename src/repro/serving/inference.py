@@ -22,6 +22,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.sim.engine import SimulationEngine
+from repro.telemetry.spans import RequestSpan
 from repro.workloads.request import Request
 
 __all__ = [
@@ -119,6 +120,23 @@ def vicuna_13b_profile() -> ModelProfile:
     )
 
 
+@dataclass
+class _Pending:
+    """One admitted request and everything needed to resolve it.
+
+    Replaces the ad-hoc ``(request, on_complete, on_abort,
+    on_first_token)`` queue tuples; ``span`` threads the telemetry
+    request span (when one is being recorded) down to the point where
+    execution actually starts.
+    """
+
+    request: Request
+    on_complete: Callable[[Request], None]
+    on_abort: Callable[[Request], None]
+    on_first_token: Optional[Callable[[Request], None]] = None
+    span: Optional[RequestSpan] = None
+
+
 class InferenceServer:
     """FIFO-queued, concurrency-limited execution of requests.
 
@@ -143,8 +161,8 @@ class InferenceServer:
         self.slowdown = 1.0
         self._rng = rng
         self._jitter = jitter
-        self._queue: list[tuple] = []  # (request, on_complete, on_abort, on_first_token)
-        self._in_flight: dict[int, tuple[Request, Callable, Callable]] = {}
+        self._queue: list[_Pending] = []
+        self._in_flight: dict[int, _Pending] = {}
         self._aborted = False
         self._frozen = False
         self._generation = 0  # bumped on abort; stale completions are dropped
@@ -165,65 +183,77 @@ class InferenceServer:
         on_complete: Callable[[Request], None],
         on_abort: Callable[[Request], None],
         on_first_token: Optional[Callable[[Request], None]] = None,
+        *,
+        span: Optional[RequestSpan] = None,
     ) -> None:
         """Enqueue a request for execution.
 
         ``on_first_token`` fires when the prefill phase finishes — the
         server-side component of TTFT (queueing + overhead + prefill).
+        ``span`` (optional) gets its execution-start and first-token
+        marks stamped as the request moves through the queue.
         """
         if self._aborted:
             on_abort(request)
             return
-        self._queue.append((request, on_complete, on_abort, on_first_token))
+        self._queue.append(
+            _Pending(request, on_complete, on_abort, on_first_token, span)
+        )
         self._drain()
 
     def _drain(self) -> None:
         while self._queue and len(self._in_flight) < self.profile.max_concurrency:
-            request, on_complete, on_abort, on_first_token = self._queue.pop(0)
-            self._in_flight[request.request_id] = (request, on_complete, on_abort)
+            pending = self._queue.pop(0)
+            request = pending.request
+            self._in_flight[request.request_id] = pending
+            if pending.span is not None:
+                pending.span.mark_exec_start(self.engine.now)
             duration = self.profile.processing_time(request, slowdown=self.slowdown)
             if self._rng is not None and self._jitter > 0:
                 duration *= float(
                     self._rng.uniform(1 - self._jitter, 1 + self._jitter)
                 )
             generation = self._generation
-            if on_first_token is not None:
+            if pending.on_first_token is not None or pending.span is not None:
                 ttft = self.profile.time_to_first_token(
                     request, slowdown=self.slowdown
                 )
                 self.engine.call_after(
                     min(ttft, duration),
-                    lambda r=request, g=generation, cb=on_first_token: (
-                        cb(r) if g == self._generation else None
-                    ),
+                    lambda p=pending, g=generation: self._first_token(p, g),
                 )
             self.engine.call_after(
                 duration, lambda r=request, g=generation: self._finish(r, g)
             )
+
+    def _first_token(self, pending: _Pending, generation: int) -> None:
+        if generation != self._generation:
+            return
+        if pending.span is not None:
+            pending.span.mark_first_token(self.engine.now)
+        if pending.on_first_token is not None:
+            pending.on_first_token(pending.request)
 
     def _finish(self, request: Request, generation: int) -> None:
         if generation != self._generation:
             return  # killed by an abort since this was scheduled
         if self._frozen:
             return  # stuck endpoint: requests hang, nothing completes
-        entry = self._in_flight.pop(request.request_id, None)
-        if entry is None:
+        pending = self._in_flight.pop(request.request_id, None)
+        if pending is None:
             return
-        _, on_complete, _ = entry
-        on_complete(request)
+        pending.on_complete(request)
         self._drain()
 
     def abort_all(self) -> None:
         """Kill the endpoint (preemption): fail everything on it."""
         self._aborted = True
         self._generation += 1
-        pending = [entry[:3] for entry in self._queue] + list(
-            self._in_flight.values()
-        )
+        pending = list(self._queue) + list(self._in_flight.values())
         self._queue.clear()
         self._in_flight.clear()
-        for request, _, on_abort in pending:
-            on_abort(request)
+        for entry in pending:
+            entry.on_abort(entry.request)
 
     def freeze(self) -> None:
         """Silent failure injection: the endpoint stops responding.

@@ -12,6 +12,7 @@ controller, which calls :meth:`LoadBalancer.pick` per request.
 from __future__ import annotations
 
 import abc
+import logging
 from typing import Optional, Sequence
 
 from repro.cloud.network import NetworkModel
@@ -25,6 +26,8 @@ __all__ = [
     "RoundRobinBalancer",
     "make_balancer",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class LoadBalancer(abc.ABC):
@@ -103,6 +106,12 @@ class LocalityAwareBalancer(LoadBalancer):
         for replica in by_rtt:
             if replica.ongoing_requests < self.overload_threshold:
                 return replica
+        logger.debug(
+            "request %d: every replica at/over %d ongoing, falling back to "
+            "globally least loaded",
+            request.request_id,
+            self.overload_threshold,
+        )
         return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
 
 

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import AbstractSet, Optional
+from typing import TYPE_CHECKING, AbstractSet, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry.audit import PolicyAuditLog
 
 __all__ = ["MixTarget", "Observation", "ServingPolicy"]
 
@@ -81,6 +84,18 @@ class ServingPolicy(abc.ABC):
     #: behaviour and keep hammering unavailable zones — which is what
     #: produces the Fig. 12 over-requesting.
     respects_zone_cooldown: bool = True
+
+    #: Decision audit log (``repro.telemetry.audit``); ``None`` keeps the
+    #: policy silent.  Attached by the service when telemetry is on.
+    audit: Optional["PolicyAuditLog"] = None
+
+    def attach_audit(self, audit: "PolicyAuditLog") -> None:
+        """Start recording this policy's decisions into ``audit``.
+
+        Subclasses with internal decision-makers (placers) should
+        override to propagate the log to them as well.
+        """
+        self.audit = audit
 
     @abc.abstractmethod
     def target_mix(self, obs: Observation) -> MixTarget:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.cloud.instance import Instance, InstanceState
 from repro.serving.inference import InferenceServer, ModelProfile
 from repro.sim.engine import SimulationEngine
+from repro.telemetry.spans import RequestSpan
 from repro.workloads.request import Request
 
 __all__ = ["Replica", "ReplicaState"]
@@ -53,8 +54,13 @@ class Replica:
         rng: Optional[np.random.Generator] = None,
         adaptive_parallelism: bool = False,
         migration_pause: float = 30.0,
+        replica_id: Optional[int] = None,
     ) -> None:
-        self.id = next(_replica_ids)
+        # The controller passes its own per-service counter so replica
+        # ids (and hence telemetry event streams) are reproducible
+        # run-to-run within one process; the module-global counter only
+        # backs directly constructed replicas.
+        self.id = replica_id if replica_id is not None else next(_replica_ids)
         self.engine = engine
         self.profile = profile
         self.zone_id = zone_id
@@ -160,12 +166,14 @@ class Replica:
         on_complete: Callable[[Request], None],
         on_abort: Callable[[Request], None],
         on_first_token: Optional[Callable[[Request], None]] = None,
+        *,
+        span: Optional[RequestSpan] = None,
     ) -> None:
         """Accept a routed request.  Only valid on a ready replica."""
         if self.state not in (ReplicaState.READY, ReplicaState.MIGRATING):
             on_abort(request)
             return
-        self.server.submit(request, on_complete, on_abort, on_first_token)
+        self.server.submit(request, on_complete, on_abort, on_first_token, span=span)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "spot" if self.spot else "od"

@@ -7,6 +7,7 @@ model profile, a spot trace, and a workload; run it; read the report.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
@@ -15,7 +16,7 @@ import numpy as np
 from repro.cloud.catalog import Catalog
 from repro.cloud.network import NetworkModel, default_network
 from repro.cloud.provider import CloudConfig, SimCloud
-from repro.cloud.topology import Topology, default_topology
+from repro.cloud.topology import Topology
 from repro.cloud.traces import SpotTrace
 from repro.serving.client import ClientStats, ServiceClient
 from repro.serving.controller import ServiceController
@@ -25,9 +26,13 @@ from repro.serving.spec import ServiceSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import LatencySummary
 from repro.sim.rng import RngRegistry
+from repro.telemetry.audit import PolicyAuditLog
+from repro.telemetry.events import CostSnapshot, EventBus
 from repro.workloads.request import Workload
 
 __all__ = ["ServiceReport", "SkyService"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -103,11 +108,19 @@ class SkyService:
         client_region: str = "aws:us-west-2",
         seed: int = 0,
         adaptive_parallelism: bool = False,
+        telemetry: Optional[EventBus] = None,
     ) -> None:
         self.spec = spec
         self.policy = policy
         self.rng = RngRegistry(seed)
-        self.engine = SimulationEngine()
+        self.engine = SimulationEngine(telemetry=telemetry)
+        self.telemetry = self.engine.telemetry
+        if self.telemetry.enabled and policy.audit is None:
+            # Every Alg. 1 step lands in the audit log and, through the
+            # bus, in whatever sinks the caller attached.
+            policy.attach_audit(
+                PolicyAuditLog(policy=policy.name, bus=self.telemetry)
+            )
         self.network = network or default_network()
         self.cloud = SimCloud(
             self.engine,
@@ -133,6 +146,12 @@ class SkyService:
 
     def run(self, workload: Workload, duration: float) -> ServiceReport:
         """Serve ``workload`` for ``duration`` seconds and report."""
+        logger.info(
+            "serving %d requests for %.0fs with %s",
+            len(workload),
+            duration,
+            self.policy.name,
+        )
         self.client = ServiceClient(
             self.controller, workload, client_region=self.client_region
         )
@@ -160,6 +179,15 @@ class SkyService:
             raise RuntimeError("run() must be called before report()")
         stats: ClientStats = self.client.stats()
         cost = self.cloud.billing.breakdown(self.engine.now)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                CostSnapshot(
+                    time=self.engine.now,
+                    spot=cost.spot,
+                    on_demand=cost.on_demand,
+                    total=cost.total,
+                )
+            )
         n_tar = self.controller.autoscaler.n_tar
         return ServiceReport(
             system=self.policy.name,

@@ -23,7 +23,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.events import EventBus
 
 __all__ = ["EventHandle", "SimulationEngine", "SimulationError"]
 
@@ -74,12 +77,28 @@ class EventHandle:
 class SimulationEngine:
     """A deterministic discrete-event loop with a float-seconds clock."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        telemetry: Optional["EventBus"] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        if telemetry is None:
+            # Local import: telemetry depends on sim.metrics, so a
+            # module-level import would be circular.
+            from repro.telemetry.events import NULL_BUS
+
+            telemetry = NULL_BUS
+        #: Telemetry bus shared by every component scheduling on this
+        #: engine.  Disabled (the shared null bus) unless a configured
+        #: :class:`~repro.telemetry.events.EventBus` is passed in —
+        #: publishers guard with ``if engine.telemetry.enabled``.
+        self.telemetry = telemetry
 
     @property
     def now(self) -> float:

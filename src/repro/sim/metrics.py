@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -104,9 +104,16 @@ class TimeSeries:
         return self._values[index]
 
     def time_weighted_mean(self, start: float, end: float) -> float:
-        """Average value over ``[start, end]`` weighting by duration."""
-        if end <= start:
-            raise ValueError(f"empty window [{start}, {end}]")
+        """Average value over ``[start, end]`` weighting by duration.
+
+        A zero-width window (``end == start`` — e.g. a series with a
+        single sample queried at its own timestamp) degenerates to the
+        step-function value at ``start`` instead of dividing by zero.
+        """
+        if end < start:
+            raise ValueError(f"inverted window [{start}, {end}]")
+        if end == start:
+            return self.value_at(start)
         total = self.integrate(start, end)
         return total / (end - start)
 
@@ -167,6 +174,11 @@ class LatencySummary:
     p90: float
     p99: float
 
+    def __bool__(self) -> bool:
+        """Falsy when empty, so ``if summary:`` keeps reading naturally
+        now that empty recorders return NaN summaries instead of None."""
+        return self.count > 0
+
     def __str__(self) -> str:  # pragma: no cover - formatting helper
         return (
             f"n={self.count} mean={self.mean:.2f}s "
@@ -186,6 +198,9 @@ class BoxPlotStats:
     p75: float
     p90: float
     mean: float
+
+    def __bool__(self) -> bool:
+        return self.count > 0
 
     def __str__(self) -> str:  # pragma: no cover - formatting helper
         return (
@@ -218,10 +233,13 @@ class LatencyRecorder:
     def samples(self) -> list[float]:
         return list(self._samples)
 
-    def summary(self) -> Optional[LatencySummary]:
-        """Percentile summary, or ``None`` when no samples were recorded."""
+    def summary(self) -> LatencySummary:
+        """Percentile summary.  An empty recorder yields a NaN-safe
+        summary with ``count == 0`` that is *falsy*, so both
+        ``summary.p50`` (NaN, no crash) and ``if summary:`` work."""
         if not self._samples:
-            return None
+            nan = math.nan
+            return LatencySummary(count=0, mean=nan, p50=nan, p90=nan, p99=nan)
         data = np.asarray(self._samples, dtype=float)
         return LatencySummary(
             count=int(data.size),
@@ -231,10 +249,13 @@ class LatencyRecorder:
             p99=float(np.percentile(data, 99)),
         )
 
-    def boxplot(self) -> Optional[BoxPlotStats]:
-        """Fig. 9's box-plot elements, or ``None`` with no samples."""
+    def boxplot(self) -> BoxPlotStats:
+        """Fig. 9's box-plot elements; NaN-safe and falsy when empty."""
         if not self._samples:
-            return None
+            nan = math.nan
+            return BoxPlotStats(
+                count=0, p10=nan, p25=nan, p50=nan, p75=nan, p90=nan, mean=nan
+            )
         data = np.asarray(self._samples, dtype=float)
         p10, p25, p50, p75, p90 = (
             float(np.percentile(data, q)) for q in (10, 25, 50, 75, 90)

@@ -1,0 +1,95 @@
+"""Structured telemetry: event bus, request spans, policy audit log.
+
+The observability layer of the reproduction (see
+``docs/OBSERVABILITY.md``):
+
+``repro.telemetry.events``
+    Typed, timestamped events plus the :class:`EventBus` they flow over.
+``repro.telemetry.sinks``
+    Ring buffer, JSONL file, and Prometheus-text-format sinks.
+``repro.telemetry.spans``
+    Per-request latency legs (queue / prefill / decode / WAN) that sum
+    exactly to the client-recorded end-to-end latency.
+``repro.telemetry.audit``
+    The policy decision audit log: every Alg. 1 step with its inputs.
+``repro.telemetry.render``
+    Timeline/summary rendering for the ``repro events`` CLI subcommand.
+``repro.telemetry.logsetup``
+    Stdlib logging configuration under the single ``repro`` root logger.
+
+Telemetry is opt-in and zero-overhead when disabled: components publish
+onto :data:`NULL_BUS` unless a configured :class:`EventBus` is passed in
+(``SkyService(..., telemetry=bus)``, ``TraceReplayer(..., telemetry=bus)``,
+or ``repro serve --events out.jsonl`` from the CLI).
+"""
+
+from repro.telemetry.audit import AuditRecord, PolicyAuditLog
+from repro.telemetry.events import (
+    NULL_BUS,
+    AutoscaleDecision,
+    CostSnapshot,
+    EventBus,
+    FleetSample,
+    GenericEvent,
+    PolicyDecision,
+    PreemptWarning,
+    ProbeFailure,
+    ReplicaLaunch,
+    ReplicaLaunchFailed,
+    ReplicaPreempted,
+    ReplicaReady,
+    ReplicaTerminated,
+    RequestSpanEvent,
+    RouteDecision,
+    TelemetryEvent,
+    ZoneCapacity,
+    event_from_dict,
+    event_kinds,
+)
+from repro.telemetry.logsetup import configure_logging, root_logger
+from repro.telemetry.render import EventLogSummary, format_summary, summarize
+from repro.telemetry.sinks import (
+    JsonlSink,
+    PrometheusSnapshot,
+    RingBufferSink,
+    iter_events,
+    read_events,
+)
+from repro.telemetry.spans import RequestSpan, SpanRecorder
+
+__all__ = [
+    "NULL_BUS",
+    "AuditRecord",
+    "AutoscaleDecision",
+    "CostSnapshot",
+    "EventBus",
+    "EventLogSummary",
+    "FleetSample",
+    "GenericEvent",
+    "JsonlSink",
+    "PolicyAuditLog",
+    "PolicyDecision",
+    "PreemptWarning",
+    "ProbeFailure",
+    "PrometheusSnapshot",
+    "ReplicaLaunch",
+    "ReplicaLaunchFailed",
+    "ReplicaPreempted",
+    "ReplicaReady",
+    "ReplicaTerminated",
+    "RequestSpan",
+    "RequestSpanEvent",
+    "RingBufferSink",
+    "RouteDecision",
+    "SpanRecorder",
+    "TelemetryEvent",
+    "ZoneCapacity",
+    "configure_logging",
+    "event_from_dict",
+    "event_kinds",
+    "format_summary",
+    "iter_events",
+    "read_events",
+    "root_logger",
+    "summarize",
+]

@@ -1,0 +1,103 @@
+"""Policy decision audit log.
+
+Records every step SpotHedge's Algorithm 1 (and any other
+:class:`~repro.serving.policy.ServingPolicy`) takes, *with its inputs*:
+
+* ``target_mix`` — the spot/on-demand sizing, including the Dynamic
+  Fallback computation ``O = min(N_Tar, N_Tar + N_Extra - S_r)``;
+* ``select_zone`` — which zone SELECT-NEXT-ZONE picked and from which
+  candidate set;
+* ``zone_to_preempting`` / ``zone_to_active`` — Z_A <-> Z_P transitions;
+* ``rebalance`` — the ``|Z_A| < 2`` trigger returning every Z_P zone.
+
+Ablation benchmarks assert on these *decisions* rather than only on
+outcome metrics, which pins down mechanisms (e.g. that rebalancing fired
+at all) instead of inferring them from availability deltas.
+
+Policies do not know simulated time; callers with an :class:`Observation`
+feed it via :meth:`PolicyAuditLog.touch`, and subsequent records reuse
+the latest known timestamp.  Records forward to a telemetry bus as
+``policy.decision`` events when one is attached.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.telemetry.events import NULL_BUS, EventBus, PolicyDecision
+
+__all__ = ["AuditRecord", "PolicyAuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited decision with its inputs."""
+
+    seq: int
+    time: float
+    policy: str
+    decision: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class PolicyAuditLog:
+    """Append-only log of policy decisions."""
+
+    def __init__(
+        self,
+        *,
+        policy: str = "",
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.policy = policy
+        self.bus = bus if bus is not None else NULL_BUS
+        self._records: list[AuditRecord] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    def touch(self, time: float) -> None:
+        """Update the clock used to timestamp subsequent records."""
+        self._now = time
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def record(self, decision: str, **data: Any) -> AuditRecord:
+        entry = AuditRecord(
+            seq=next(self._seq),
+            time=self._now,
+            policy=self.policy,
+            decision=decision,
+            data=data,
+        )
+        self._records.append(entry)
+        if self.bus.enabled:
+            self.bus.emit(
+                PolicyDecision(
+                    time=entry.time,
+                    policy=entry.policy,
+                    decision=entry.decision,
+                    data=dict(data),
+                )
+            )
+        return entry
+
+    # -- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, decision: Optional[str] = None) -> list[AuditRecord]:
+        """All records, or only those of one decision type."""
+        if decision is None:
+            return list(self._records)
+        return [r for r in self._records if r.decision == decision]
+
+    def count(self, decision: str) -> int:
+        return sum(1 for r in self._records if r.decision == decision)
+
+    def last(self, decision: Optional[str] = None) -> Optional[AuditRecord]:
+        entries = self.records(decision)
+        return entries[-1] if entries else None

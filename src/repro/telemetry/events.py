@@ -1,0 +1,350 @@
+"""Typed telemetry events and the event bus.
+
+Every observable fact about a run — replica lifecycle transitions,
+preemptions and their warnings, autoscaling moves, load-balancer routing,
+per-request spans, policy decisions, cost snapshots — is a slotted
+dataclass with a stable ``kind`` string and a flat, JSON-friendly field
+set.  Components publish events onto an :class:`EventBus`; sinks
+(``repro.telemetry.sinks``) consume them.
+
+Events are immutable *by convention*, not enforcement: construction is
+on the simulation hot path, and a plain slotted dataclass builds ~3x
+faster than a frozen one (``frozen=True`` routes every field through
+``object.__setattr__``).  Sinks must never mutate an event they accept —
+the same object is shared by every sink on the bus.
+
+The bus is *zero-overhead when disabled*: publishers are expected to
+guard construction of the event object itself::
+
+    bus = self.engine.telemetry
+    if bus.enabled:
+        bus.emit(ReplicaReady(time=now, replica_id=r.id, zone=z, spot=True))
+
+so a run without telemetry pays one attribute load and one branch per
+would-be event, nothing more.  :data:`NULL_BUS` is the shared disabled
+bus used wherever no telemetry was configured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Iterable
+
+__all__ = [
+    "NULL_BUS",
+    "AutoscaleDecision",
+    "CostSnapshot",
+    "EventBus",
+    "FleetSample",
+    "GenericEvent",
+    "PolicyDecision",
+    "PreemptWarning",
+    "ProbeFailure",
+    "ReplicaLaunch",
+    "ReplicaLaunchFailed",
+    "ReplicaPreempted",
+    "ReplicaReady",
+    "ReplicaTerminated",
+    "RequestSpanEvent",
+    "RouteDecision",
+    "TelemetryEvent",
+    "ZoneCapacity",
+    "event_from_dict",
+    "event_kinds",
+]
+
+
+_REGISTRY: dict[str, type["TelemetryEvent"]] = {}
+
+
+def _register(cls: type["TelemetryEvent"]) -> type["TelemetryEvent"]:
+    """Class decorator adding an event type to the kind registry."""
+    if cls.kind in _REGISTRY:
+        raise ValueError(f"duplicate event kind {cls.kind!r}")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def event_kinds() -> list[str]:
+    """All registered event kind strings, sorted."""
+    return sorted(_REGISTRY)
+
+
+@dataclass(slots=True)
+class TelemetryEvent:
+    """Base event: a simulated timestamp plus a class-level ``kind``."""
+
+    kind: ClassVar[str] = "event"
+
+    time: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-serialisable representation, ``kind`` included."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaLaunch(TelemetryEvent):
+    """A replica's instances were requested from the cloud."""
+
+    kind: ClassVar[str] = "replica.launch"
+
+    replica_id: int
+    zone: str
+    spot: bool
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaReady(TelemetryEvent):
+    """All of a replica's workers reached READY; it can serve traffic."""
+
+    kind: ClassVar[str] = "replica.ready"
+
+    replica_id: int
+    zone: str
+    spot: bool
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaPreempted(TelemetryEvent):
+    """The cloud reclaimed a replica (spot preemption or crash)."""
+
+    kind: ClassVar[str] = "replica.preempted"
+
+    replica_id: int
+    zone: str
+    spot: bool
+    warned: bool = False
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaTerminated(TelemetryEvent):
+    """The controller tore a replica down deliberately."""
+
+    kind: ClassVar[str] = "replica.terminated"
+
+    replica_id: int
+    zone: str
+    spot: bool
+    reason: str = "scale_down"  # scale_down | drained | probe_failure | teardown
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaLaunchFailed(TelemetryEvent):
+    """A launch attempt died before READY (InsufficientCapacity etc.).
+
+    ``replica_id`` is ``-1`` for launch attempts that never got a
+    replica object (the replica-granularity trace replayer).
+    """
+
+    kind: ClassVar[str] = "replica.launch_failed"
+
+    replica_id: int
+    zone: str
+    spot: bool
+
+
+@_register
+@dataclass(slots=True)
+class PreemptWarning(TelemetryEvent):
+    """Best-effort termination notice arrived for a replica."""
+
+    kind: ClassVar[str] = "replica.preempt_warning"
+
+    replica_id: int
+    zone: str
+
+
+@_register
+@dataclass(slots=True)
+class ProbeFailure(TelemetryEvent):
+    """A readiness probe timed out; the replica will be replaced."""
+
+    kind: ClassVar[str] = "probe.failure"
+
+    replica_id: int
+    zone: str
+
+
+@_register
+@dataclass(slots=True)
+class AutoscaleDecision(TelemetryEvent):
+    """The autoscaler moved N_Tar."""
+
+    kind: ClassVar[str] = "autoscale.target"
+
+    old_target: int
+    new_target: int
+    request_rate: float
+
+
+@_register
+@dataclass(slots=True)
+class RouteDecision(TelemetryEvent):
+    """The load balancer routed one request to a replica."""
+
+    kind: ClassVar[str] = "lb.route"
+
+    request_id: int
+    replica_id: int
+    zone: str
+    balancer: str
+    ongoing: int
+
+
+@_register
+@dataclass(slots=True)
+class RequestSpanEvent(TelemetryEvent):
+    """Per-request latency breakdown (see ``repro.telemetry.spans``).
+
+    ``queue + prefill + decode + wan == total`` exactly; for completed
+    requests ``total`` equals the client-recorded end-to-end latency.
+    """
+
+    kind: ClassVar[str] = "request.span"
+
+    request_id: int
+    status: str  # ok | failed
+    queue: float
+    prefill: float
+    decode: float
+    wan: float
+    total: float
+    retries: int
+    replica_id: int = -1
+    zone: str = ""
+
+
+@_register
+@dataclass(slots=True)
+class ZoneCapacity(TelemetryEvent):
+    """A zone's spot capacity changed in the trace."""
+
+    kind: ClassVar[str] = "zone.capacity"
+
+    zone: str
+    capacity: int
+
+
+@_register
+@dataclass(slots=True)
+class PolicyDecision(TelemetryEvent):
+    """One audited policy decision (see ``repro.telemetry.audit``)."""
+
+    kind: ClassVar[str] = "policy.decision"
+
+    policy: str
+    decision: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(slots=True)
+class CostSnapshot(TelemetryEvent):
+    """Accrued spot/on-demand cost at a point in time."""
+
+    kind: ClassVar[str] = "cost.snapshot"
+
+    spot: float
+    on_demand: float
+    total: float
+
+
+@_register
+@dataclass(slots=True)
+class FleetSample(TelemetryEvent):
+    """Ready-replica count changed (replica-granularity replay)."""
+
+    kind: ClassVar[str] = "fleet.ready"
+
+    ready: int
+    target: int
+
+
+@dataclass(slots=True)
+class GenericEvent(TelemetryEvent):
+    """Fallback for unknown kinds read back from a JSONL log.
+
+    Keeps forward compatibility: logs written by a newer schema still
+    load, with unrecognised fields preserved in ``data``.
+    """
+
+    name: str = "generic"
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.name, "time": self.time, **self.data}
+
+
+def event_from_dict(payload: dict[str, Any]) -> TelemetryEvent:
+    """Reconstruct a typed event from its :meth:`TelemetryEvent.to_dict`
+    form; unknown kinds come back as :class:`GenericEvent`."""
+    data = dict(payload)
+    kind = data.pop("kind", "generic")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        time = float(data.pop("time", math.nan))
+        return GenericEvent(time=time, name=kind, data=data)
+    known = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class EventBus:
+    """Fans events out to attached sinks.
+
+    ``enabled`` is a plain attribute (not a property) so the hot-path
+    guard ``if bus.enabled`` costs one dict lookup.  A bus with no sinks
+    is disabled; attaching the first sink enables it.
+    """
+
+    def __init__(self, sinks: Iterable[Any] = ()) -> None:
+        self._sinks: list[Any] = list(sinks)
+        self.enabled: bool = bool(self._sinks)
+
+    def attach(self, sink: Any) -> None:
+        """Add a sink (anything with ``accept(event)``)."""
+        self._sinks.append(sink)
+        self.enabled = True
+
+    @property
+    def sinks(self) -> list[Any]:
+        return list(self._sinks)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Deliver one event to every sink.  No-op when disabled."""
+        if not self.enabled:
+            return
+        for sink in self._sinks:
+            sink.accept(event)
+
+    def close(self) -> None:
+        """Close every sink that supports it (flushes file sinks)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class _NullBus(EventBus):
+    """The shared always-disabled bus.  Attaching a sink is an error —
+    it would silently enable telemetry for every component that ever
+    defaulted to the null bus."""
+
+    def attach(self, sink: Any) -> None:
+        raise RuntimeError(
+            "cannot attach a sink to the shared null bus; "
+            "construct an EventBus and pass it explicitly"
+        )
+
+
+NULL_BUS = _NullBus()

@@ -1,0 +1,68 @@
+"""Stdlib logging configuration for the ``repro`` package.
+
+Every module in ``src/repro`` logs through ``logging.getLogger(__name__)``,
+so the whole tree hangs off the single ``repro`` root logger.  Nothing is
+configured at import time — library code must not touch global logging
+state — and the default level is WARNING so benchmark and experiment
+output stays clean.  The CLI's ``--log-level`` flag calls
+:func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, TextIO, Union
+
+__all__ = ["configure_logging", "root_logger"]
+
+_FORMAT = "[%(levelname)s] %(name)s: %(message)s"
+
+
+def root_logger() -> logging.Logger:
+    """The ``repro`` root logger every module logger descends from."""
+    return logging.getLogger("repro")
+
+
+def configure_logging(
+    level: Union[int, str] = "WARNING",
+    *,
+    stream: Optional[TextIO] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root at ``level``.
+
+    Idempotent: a second call adjusts the level of the existing handler
+    instead of stacking a duplicate (unless ``force`` replaces it).
+    Returns the configured root logger.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = root_logger()
+    root.setLevel(level)
+    existing = [
+        h
+        for h in root.handlers
+        if getattr(h, "_repro_handler", False)
+    ]
+    if existing and force:
+        for handler in existing:
+            root.removeHandler(handler)
+        existing = []
+    if existing:
+        for handler in existing:
+            handler.setLevel(level)
+            if stream is not None:
+                handler.setStream(stream)  # type: ignore[attr-defined]
+    else:
+        handler = logging.StreamHandler(stream)
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    # The repro tree is self-contained; don't duplicate into the root
+    # logger's handlers if an application configured basicConfig().
+    root.propagate = False
+    return root

@@ -1,0 +1,241 @@
+"""Render a telemetry event log into a human-readable summary.
+
+Backs the ``repro events`` CLI subcommand: given the typed events read
+back from a JSONL log, produce the run's timeline and aggregates —
+replica lifecycle table, preemption counts per zone, per-leg latency
+percentiles from request spans, and policy decision counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sim.metrics import percentile
+from repro.telemetry.events import TelemetryEvent
+
+__all__ = ["EventLogSummary", "format_summary", "summarize"]
+
+
+def _fmt_time(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.0f}s"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list[str]:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out = [line, "-" * len(line)]
+    for row in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+@dataclass
+class _ReplicaRow:
+    replica_id: int
+    zone: str = ""
+    spot: Optional[bool] = None
+    launched: Optional[float] = None
+    ready: Optional[float] = None
+    ended: Optional[float] = None
+    outcome: str = "running"
+
+
+@dataclass
+class EventLogSummary:
+    """Structured aggregates of one event log."""
+
+    total_events: int = 0
+    start_time: float = math.nan
+    end_time: float = math.nan
+    counts_by_kind: Counter = field(default_factory=Counter)
+    replicas: dict[int, _ReplicaRow] = field(default_factory=dict)
+    preemptions_by_zone: Counter = field(default_factory=Counter)
+    warned_preemptions: int = 0
+    span_legs: dict[str, list[float]] = field(default_factory=dict)
+    failed_spans: int = 0
+    completed_spans: int = 0
+    policy_decisions: Counter = field(default_factory=Counter)
+    rebalance_times: list[float] = field(default_factory=list)
+    autoscale_moves: list[tuple[float, int, int]] = field(default_factory=list)
+    final_cost: Optional[tuple[float, float]] = None  # (spot, od)
+
+
+def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
+    """Aggregate a typed event stream (see :func:`format_summary`)."""
+    out = EventLogSummary()
+    legs = {name: [] for name in ("queue", "prefill", "decode", "wan", "total")}
+    for event in events:
+        out.total_events += 1
+        out.counts_by_kind[event.kind] += 1
+        if not math.isnan(event.time):
+            if math.isnan(out.start_time):
+                out.start_time = event.time
+            out.end_time = event.time
+
+        kind = event.kind
+        if kind.startswith("replica.") and getattr(event, "replica_id", -1) >= 0:
+            row = out.replicas.setdefault(
+                event.replica_id, _ReplicaRow(event.replica_id)
+            )
+            row.zone = getattr(event, "zone", row.zone) or row.zone
+            if hasattr(event, "spot"):
+                row.spot = event.spot
+            if kind == "replica.launch":
+                row.launched = event.time
+            elif kind == "replica.ready":
+                row.ready = event.time
+            elif kind == "replica.preempted":
+                row.ended = event.time
+                row.outcome = "preempted" + (" (warned)" if event.warned else "")
+            elif kind == "replica.terminated":
+                row.ended = event.time
+                row.outcome = event.reason
+            elif kind == "replica.launch_failed":
+                row.ended = event.time
+                row.outcome = "launch failed"
+        if kind == "replica.preempted":
+            out.preemptions_by_zone[getattr(event, "zone", "")] += 1
+            if getattr(event, "warned", False):
+                out.warned_preemptions += 1
+        elif kind == "request.span":
+            for name in ("queue", "prefill", "decode", "wan", "total"):
+                legs[name].append(getattr(event, name))
+            if event.status == "ok":
+                out.completed_spans += 1
+            else:
+                out.failed_spans += 1
+        elif kind == "policy.decision":
+            out.policy_decisions[event.decision] += 1
+            if event.decision == "rebalance":
+                out.rebalance_times.append(event.time)
+        elif kind == "autoscale.target":
+            out.autoscale_moves.append((event.time, event.old_target, event.new_target))
+        elif kind == "cost.snapshot":
+            out.final_cost = (event.spot, event.on_demand)
+    out.span_legs = legs
+    return out
+
+
+def format_summary(
+    events: Sequence[TelemetryEvent],
+    *,
+    replica_limit: int = 40,
+) -> str:
+    """Human-readable multi-section report of an event log."""
+    s = summarize(events)
+    lines: list[str] = []
+    span = s.end_time - s.start_time if s.total_events else math.nan
+    lines.append(
+        f"{s.total_events} events over "
+        f"{_fmt_time(span if not math.isnan(span) else None)} "
+        f"(t={_fmt_time(s.start_time)} .. t={_fmt_time(s.end_time)})"
+    )
+
+    lines.append("")
+    lines.append("events by kind:")
+    lines.extend(
+        _table(
+            ["kind", "count"],
+            [[kind, count] for kind, count in sorted(s.counts_by_kind.items())],
+        )
+    )
+
+    if s.replicas:
+        lines.append("")
+        lines.append("replica timeline:")
+        rows = []
+        ordered = sorted(s.replicas.values(), key=lambda r: (r.launched or 0.0, r.replica_id))
+        for row in ordered[:replica_limit]:
+            market = "-" if row.spot is None else ("spot" if row.spot else "on-demand")
+            rows.append(
+                [
+                    row.replica_id,
+                    market,
+                    row.zone or "-",
+                    _fmt_time(row.launched),
+                    _fmt_time(row.ready),
+                    _fmt_time(row.ended),
+                    row.outcome,
+                ]
+            )
+        lines.extend(
+            _table(
+                ["replica", "market", "zone", "launched", "ready", "ended", "outcome"],
+                rows,
+            )
+        )
+        if len(s.replicas) > replica_limit:
+            lines.append(f"... {len(s.replicas) - replica_limit} more replicas")
+
+    if s.preemptions_by_zone:
+        lines.append("")
+        lines.append(
+            f"preemptions: {sum(s.preemptions_by_zone.values())} total "
+            f"({s.warned_preemptions} warned)"
+        )
+        lines.extend(
+            _table(
+                ["zone", "preemptions"],
+                [[zone, n] for zone, n in s.preemptions_by_zone.most_common()],
+            )
+        )
+
+    if s.completed_spans or s.failed_spans:
+        lines.append("")
+        lines.append(
+            f"request spans: {s.completed_spans} completed, {s.failed_spans} failed"
+        )
+        rows = []
+        for leg in ("queue", "prefill", "decode", "wan", "total"):
+            values = s.span_legs.get(leg, [])
+            rows.append(
+                [
+                    leg,
+                    f"{percentile(values, 50):.2f}s",
+                    f"{percentile(values, 90):.2f}s",
+                    f"{percentile(values, 99):.2f}s",
+                ]
+            )
+        lines.extend(_table(["leg", "p50", "p90", "p99"], rows))
+
+    if s.policy_decisions:
+        lines.append("")
+        lines.append("policy decisions:")
+        lines.extend(
+            _table(
+                ["decision", "count"],
+                [[name, n] for name, n in sorted(s.policy_decisions.items())],
+            )
+        )
+        if s.rebalance_times:
+            stamps = ", ".join(_fmt_time(t) for t in s.rebalance_times[:10])
+            more = (
+                f" (+{len(s.rebalance_times) - 10} more)"
+                if len(s.rebalance_times) > 10
+                else ""
+            )
+            lines.append(f"Z_P rebalances at: {stamps}{more}")
+
+    if s.autoscale_moves:
+        lines.append("")
+        moves = ", ".join(
+            f"t={_fmt_time(t)}: {old}->{new}" for t, old, new in s.autoscale_moves[:10]
+        )
+        lines.append(f"autoscale moves: {moves}")
+
+    if s.final_cost is not None:
+        spot, od = s.final_cost
+        lines.append("")
+        lines.append(f"cost: ${spot + od:.2f} (spot ${spot:.2f} / on-demand ${od:.2f})")
+
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Event sinks: in-memory ring buffer, JSONL file, Prometheus snapshot.
+
+A sink is anything with ``accept(event)`` (and optionally ``close()``).
+Three are provided:
+
+* :class:`RingBufferSink` — bounded in-memory buffer, the default for
+  tests and interactive use;
+* :class:`JsonlSink` — one JSON object per line, the durable format the
+  ``repro events`` CLI subcommand reads back;
+* :class:`PrometheusSnapshot` — aggregates event counts (and optional
+  registered gauges) into the Prometheus text exposition format, for
+  scraping-style integrations without running a server.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterator, Optional, TextIO, Union
+
+from repro.telemetry.events import TelemetryEvent, event_from_dict
+
+__all__ = [
+    "JsonlSink",
+    "PrometheusSnapshot",
+    "RingBufferSink",
+    "iter_events",
+    "read_events",
+]
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory (all, when ``None``)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self._events: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        if capacity is None:
+            # Unbounded buffers never drop, so accept can be the bound
+            # deque.append itself — no Python frame per event.
+            self.accept = self._events.append  # type: ignore[method-assign]
+
+    def accept(self, event: TelemetryEvent) -> None:
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TelemetryEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to a file (or open stream)."""
+
+    def __init__(self, target: Union[str, Path, TextIO]) -> None:
+        if isinstance(target, (str, Path)):
+            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.count = 0
+
+    def accept(self, event: TelemetryEvent) -> None:
+        self._file.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._file.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[TelemetryEvent]:
+    """Stream typed events back from a JSONL log."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield event_from_dict(json.loads(line))
+
+
+def read_events(path: Union[str, Path]) -> list[TelemetryEvent]:
+    """Load a whole JSONL event log into typed events."""
+    return list(iter_events(path))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class PrometheusSnapshot:
+    """Aggregates events into Prometheus text-format metrics.
+
+    Event counts become ``repro_events_total{kind=...,zone=...}``
+    counters (``zone=""`` for events without a zone).  Callers may also
+    register gauges — callables sampled at :meth:`render` time — for
+    state that is not event-shaped, e.g. accrued cost from the billing
+    meter.
+    """
+
+    def __init__(self) -> None:
+        self._counts: _Counter[tuple[str, str]] = _Counter()
+        self._gauges: list[tuple[str, dict[str, str], Callable[[], float], str]] = []
+        self.last_event_time = float("nan")
+
+    def accept(self, event: TelemetryEvent) -> None:
+        zone = getattr(event, "zone", "")
+        self._counts[(event.kind, zone)] += 1
+        self.last_event_time = event.time
+
+    def register_gauge(
+        self,
+        name: str,
+        sample: Callable[[], float],
+        *,
+        labels: Optional[dict[str, str]] = None,
+        help_text: str = "",
+    ) -> None:
+        """Register a gauge sampled lazily when the snapshot renders."""
+        self._gauges.append((name, dict(labels or {}), sample, help_text))
+
+    def counts(self) -> dict[tuple[str, str], int]:
+        return dict(self._counts)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of everything collected."""
+        lines = [
+            "# HELP repro_events_total Telemetry events observed, by kind and zone.",
+            "# TYPE repro_events_total counter",
+        ]
+        for (kind, zone), count in sorted(self._counts.items()):
+            labels = f'kind="{_escape_label(kind)}",zone="{_escape_label(zone)}"'
+            lines.append(f"repro_events_total{{{labels}}} {count}")
+        seen_gauges: set[str] = set()
+        for name, labels, sample, help_text in self._gauges:
+            if name not in seen_gauges:
+                seen_gauges.add(name)
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} gauge")
+            label_str = ",".join(
+                f'{key}="{_escape_label(str(value))}"'
+                for key, value in sorted(labels.items())
+            )
+            rendered = f"{{{label_str}}}" if label_str else ""
+            lines.append(f"{name}{rendered} {float(sample())}")
+        return "\n".join(lines) + "\n"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import SweepPoint, grid_sweep
+from repro.experiments import grid_sweep
 
 
 class TestGridSweep:
@@ -48,7 +48,7 @@ class TestGridSweep:
 
     def test_sweep_over_replay(self):
         """An actual Fig. 14c-style sweep over N_Extra."""
-        from repro.cloud import HOUR, SpotTrace
+        from repro.cloud import SpotTrace
         from repro.core import spothedge
         from repro.experiments import ReplayConfig, TraceReplayer
         import numpy as np

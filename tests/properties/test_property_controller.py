@@ -6,7 +6,6 @@ no crashes, bounded fleets, sane billing, consistent availability.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Property-based tests for metric recorders."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for the QPS-window autoscaler (§4)."""
 
-import pytest
 
 from repro.serving import Autoscaler, ReplicaPolicyConfig
 

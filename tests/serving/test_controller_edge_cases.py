@@ -2,7 +2,6 @@
 status snapshots, cooldowns, the MArk worldview, and replica bounds."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import AWSSpotPolicy
 from repro.cloud import CloudConfig, SimCloud, SpotTrace

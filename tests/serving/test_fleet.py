@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cloud import CloudConfig, SpotTrace
+from repro.cloud import SpotTrace
 from repro.core import spothedge
 from repro.serving import (
     DomainFilter,

@@ -9,7 +9,6 @@ than the cold start cannot fully hide the gap.
 """
 
 import numpy as np
-import pytest
 
 from repro.cloud import CloudConfig, SimCloud, SpotTrace
 from repro.core import spothedge

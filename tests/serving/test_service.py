@@ -81,7 +81,6 @@ class TestSkyService:
 
 class TestTeardown:
     def test_down_terminates_all_instances(self):
-        from repro.cloud import InstanceState
 
         trace = aws1()
         service = SkyService(make_spec(), spothedge(trace.zone_ids), trace, seed=5)

@@ -127,4 +127,6 @@ class TestClientTtft:
         client = ServiceClient(controller, Workload("w", []))
         client.start()
         engine.run_until(10.0)
-        assert client.stats().ttft is None
+        ttft = client.stats().ttft
+        assert not ttft
+        assert ttft.count == 0

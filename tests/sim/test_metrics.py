@@ -91,6 +91,19 @@ class TestTimeSeries:
         series.record(5.0, 10.0)
         assert series.time_weighted_mean(0.0, 10.0) == pytest.approx(5.0)
 
+    def test_time_weighted_mean_zero_width_window(self):
+        # A single sample queried at its own timestamp must not divide
+        # by zero; it degenerates to the step-function value.
+        series = TimeSeries("s")
+        series.record(5.0, 3.0)
+        assert series.time_weighted_mean(5.0, 5.0) == 3.0
+
+    def test_time_weighted_mean_inverted_window_rejected(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(10.0, 5.0)
+
     def test_fraction_at_least(self):
         series = TimeSeries("s")
         series.record(0.0, 4.0)
@@ -114,8 +127,18 @@ class TestTimeSeries:
 
 
 class TestLatencyRecorder:
-    def test_empty_summary_is_none(self):
-        assert LatencyRecorder().summary() is None
+    def test_empty_summary_is_nan_safe_and_falsy(self):
+        summary = LatencyRecorder().summary()
+        assert not summary
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p50)
+        assert math.isnan(summary.p99)
+
+    def test_nonempty_summary_is_truthy(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        assert recorder.summary()
 
     def test_summary_percentiles(self):
         recorder = LatencyRecorder()
@@ -151,8 +174,11 @@ class TestBoxPlotStats:
         assert box.p50 == pytest.approx(50.5)
         assert box.count == 100
 
-    def test_empty_boxplot_is_none(self):
-        assert LatencyRecorder().boxplot() is None
+    def test_empty_boxplot_is_nan_safe_and_falsy(self):
+        box = LatencyRecorder().boxplot()
+        assert not box
+        assert box.count == 0
+        assert math.isnan(box.p50)
 
     def test_matches_fig9_format(self):
         """Fig. 9 box plots: 10/90 whiskers, 25/75 box, median, mean."""

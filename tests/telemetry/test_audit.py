@@ -1,0 +1,45 @@
+"""Unit tests for the policy decision audit log."""
+
+from repro.telemetry import EventBus, PolicyAuditLog, PolicyDecision, RingBufferSink
+
+
+class TestPolicyAuditLog:
+    def test_records_carry_clock_and_sequence(self):
+        log = PolicyAuditLog(policy="SpotHedge")
+        log.touch(10.0)
+        first = log.record("target_mix", spot_target=4, fallback=1)
+        log.touch(20.0)
+        second = log.record("select_zone", zone="aws:z:a")
+        assert (first.seq, first.time) == (0, 10.0)
+        assert (second.seq, second.time) == (1, 20.0)
+        assert first.policy == "SpotHedge"
+        assert first.data == {"spot_target": 4, "fallback": 1}
+
+    def test_query_helpers(self):
+        log = PolicyAuditLog()
+        log.record("target_mix", spot_target=4)
+        log.record("select_zone", zone="a")
+        log.record("select_zone", zone="b")
+        assert len(log) == 3
+        assert log.count("select_zone") == 2
+        assert [r.data["zone"] for r in log.records("select_zone")] == ["a", "b"]
+        assert log.last("select_zone").data["zone"] == "b"
+        assert log.last("rebalance") is None
+
+    def test_forwards_to_bus_as_policy_decision_events(self):
+        sink = RingBufferSink()
+        log = PolicyAuditLog(policy="SpotHedge", bus=EventBus([sink]))
+        log.touch(5.0)
+        log.record("rebalance", restored=["aws:z:a"], active=1)
+        (event,) = sink.events
+        assert isinstance(event, PolicyDecision)
+        assert event.time == 5.0
+        assert event.policy == "SpotHedge"
+        assert event.decision == "rebalance"
+        assert event.data == {"restored": ["aws:z:a"], "active": 1}
+
+    def test_no_bus_still_records(self):
+        log = PolicyAuditLog()
+        log.record("target_mix", spot_target=1)
+        assert len(log) == 1
+        assert log.bus.enabled is False

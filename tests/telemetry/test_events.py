@@ -1,0 +1,135 @@
+"""Unit tests for typed events and the event bus."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_BUS,
+    EventBus,
+    GenericEvent,
+    PolicyDecision,
+    ReplicaPreempted,
+    ReplicaReady,
+    RingBufferSink,
+    event_from_dict,
+    event_kinds,
+)
+
+
+class TestRegistry:
+    def test_expected_kinds_registered(self):
+        kinds = event_kinds()
+        for kind in (
+            "replica.launch",
+            "replica.ready",
+            "replica.preempted",
+            "replica.terminated",
+            "replica.launch_failed",
+            "replica.preempt_warning",
+            "probe.failure",
+            "autoscale.target",
+            "lb.route",
+            "request.span",
+            "zone.capacity",
+            "policy.decision",
+            "cost.snapshot",
+            "fleet.ready",
+        ):
+            assert kind in kinds
+
+    def test_kinds_sorted_and_unique(self):
+        kinds = event_kinds()
+        assert kinds == sorted(kinds)
+        assert len(kinds) == len(set(kinds))
+
+
+class TestSerialization:
+    def test_to_dict_includes_kind_and_fields(self):
+        event = ReplicaReady(time=12.5, replica_id=3, zone="aws:z:a", spot=True)
+        data = event.to_dict()
+        assert data == {
+            "kind": "replica.ready",
+            "time": 12.5,
+            "replica_id": 3,
+            "zone": "aws:z:a",
+            "spot": True,
+        }
+
+    def test_round_trip_preserves_type_and_values(self):
+        event = ReplicaPreempted(
+            time=7.0, replica_id=1, zone="aws:z:b", spot=True, warned=True
+        )
+        restored = event_from_dict(event.to_dict())
+        assert isinstance(restored, ReplicaPreempted)
+        assert restored == event
+
+    def test_policy_decision_round_trip_keeps_data_dict(self):
+        event = PolicyDecision(
+            time=1.0,
+            policy="SpotHedge",
+            decision="target_mix",
+            data={"spot_target": 4, "fallback": 1},
+        )
+        restored = event_from_dict(event.to_dict())
+        assert isinstance(restored, PolicyDecision)
+        assert restored.data == {"spot_target": 4, "fallback": 1}
+
+    def test_unknown_kind_falls_back_to_generic(self):
+        payload = {"kind": "future.metric", "time": 3.0, "value": 42}
+        restored = event_from_dict(payload)
+        assert isinstance(restored, GenericEvent)
+        assert restored.time == 3.0
+        assert restored.data == {"value": 42}
+        # GenericEvent round-trips back to the original payload.
+        assert restored.to_dict() == payload
+
+    def test_extra_fields_from_newer_schema_ignored(self):
+        payload = ReplicaReady(time=0.0, replica_id=1, zone="z", spot=False).to_dict()
+        payload["added_in_v2"] = "whatever"
+        restored = event_from_dict(payload)
+        assert isinstance(restored, ReplicaReady)
+
+
+class TestEventBus:
+    def test_no_sinks_means_disabled(self):
+        assert EventBus().enabled is False
+
+    def test_attach_enables(self):
+        bus = EventBus()
+        bus.attach(RingBufferSink())
+        assert bus.enabled is True
+
+    def test_emit_fans_out_to_all_sinks(self):
+        first, second = RingBufferSink(), RingBufferSink()
+        bus = EventBus([first, second])
+        event = ReplicaReady(time=0.0, replica_id=1, zone="z", spot=True)
+        bus.emit(event)
+        assert first.events == [event]
+        assert second.events == [event]
+
+    def test_emit_on_disabled_bus_is_noop(self):
+        bus = EventBus()
+        bus.emit(ReplicaReady(time=0.0, replica_id=1, zone="z", spot=True))
+
+    def test_close_closes_sinks(self):
+        class Closeable:
+            closed = False
+
+            def accept(self, event):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        sink = Closeable()
+        bus = EventBus([sink, RingBufferSink()])  # ring buffer has no close()
+        bus.close()
+        assert sink.closed
+
+
+class TestNullBus:
+    def test_disabled(self):
+        assert NULL_BUS.enabled is False
+
+    def test_attach_raises(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.attach(RingBufferSink())

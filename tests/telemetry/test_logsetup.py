@@ -1,0 +1,40 @@
+"""Tests for stdlib logging configuration."""
+
+import logging
+
+import pytest
+
+from repro.telemetry import configure_logging, root_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    logger = logging.getLogger("repro")
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.level, logger.handlers, logger.propagate = saved[0], saved[1], saved[2]
+
+
+class TestConfigureLogging:
+    def test_sets_level_on_repro_root(self):
+        configure_logging("DEBUG")
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_idempotent_single_handler(self):
+        configure_logging("INFO")
+        configure_logging("WARNING")
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        assert logger.level == logging.WARNING
+
+    def test_does_not_propagate_to_global_root(self):
+        configure_logging("INFO")
+        assert logging.getLogger("repro").propagate is False
+
+    def test_module_loggers_inherit(self, caplog):
+        configure_logging("DEBUG")
+        child = logging.getLogger("repro.serving.controller")
+        assert child.getEffectiveLevel() == logging.DEBUG
+
+    def test_root_logger_helper(self):
+        assert root_logger() is logging.getLogger("repro")

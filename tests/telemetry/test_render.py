@@ -1,0 +1,107 @@
+"""Tests for event-log summarisation and rendering."""
+
+from repro.telemetry import (
+    AutoscaleDecision,
+    CostSnapshot,
+    PolicyDecision,
+    ReplicaLaunch,
+    ReplicaPreempted,
+    ReplicaReady,
+    ReplicaTerminated,
+    RequestSpanEvent,
+    format_summary,
+    summarize,
+)
+
+
+def _span(request_id, total, status="ok"):
+    return RequestSpanEvent(
+        time=float(total),
+        request_id=request_id,
+        status=status,
+        queue=1.0,
+        prefill=0.5,
+        decode=total - 1.5,
+        wan=0.0,
+        total=float(total),
+        retries=0,
+        replica_id=1,
+        zone="aws:z:a",
+    )
+
+
+def sample_events():
+    return [
+        ReplicaLaunch(time=0.0, replica_id=1, zone="aws:z:a", spot=True),
+        ReplicaLaunch(time=0.0, replica_id=2, zone="aws:z:b", spot=False),
+        ReplicaReady(time=120.0, replica_id=1, zone="aws:z:a", spot=True),
+        ReplicaReady(time=90.0, replica_id=2, zone="aws:z:b", spot=False),
+        PolicyDecision(
+            time=150.0, policy="SpotHedge", decision="rebalance",
+            data={"restored": ["aws:z:c"]},
+        ),
+        AutoscaleDecision(time=200.0, old_target=2, new_target=3, request_rate=0.4),
+        _span(1, 10.0),
+        _span(2, 12.0),
+        _span(3, 100.0, status="failed"),
+        ReplicaPreempted(time=300.0, replica_id=1, zone="aws:z:a", spot=True,
+                         warned=True),
+        ReplicaTerminated(time=400.0, replica_id=2, zone="aws:z:b", spot=False,
+                          reason="scale_down"),
+        CostSnapshot(time=500.0, spot=1.25, on_demand=0.75, total=2.0),
+    ]
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        s = summarize(sample_events())
+        assert s.total_events == 12
+        assert s.start_time == 0.0
+        assert s.end_time == 500.0
+        assert s.counts_by_kind["request.span"] == 3
+        assert s.completed_spans == 2
+        assert s.failed_spans == 1
+        assert s.preemptions_by_zone == {"aws:z:a": 1}
+        assert s.warned_preemptions == 1
+        assert s.policy_decisions == {"rebalance": 1}
+        assert s.rebalance_times == [150.0]
+        assert s.autoscale_moves == [(200.0, 2, 3)]
+        assert s.final_cost == (1.25, 0.75)
+
+    def test_replica_lifecycle_rows(self):
+        s = summarize(sample_events())
+        one, two = s.replicas[1], s.replicas[2]
+        assert (one.launched, one.ready, one.ended) == (0.0, 120.0, 300.0)
+        assert one.outcome == "preempted (warned)"
+        assert one.spot is True
+        assert two.outcome == "scale_down"
+        assert two.spot is False
+
+    def test_empty_log(self):
+        s = summarize([])
+        assert s.total_events == 0
+        assert not s.replicas
+
+
+class TestFormatSummary:
+    def test_sections_present(self):
+        text = format_summary(sample_events())
+        assert "events by kind:" in text
+        assert "replica timeline:" in text
+        assert "preemptions: 1 total (1 warned)" in text
+        assert "request spans: 2 completed, 1 failed" in text
+        assert "policy decisions:" in text
+        assert "Z_P rebalances at: 150s" in text
+        assert "autoscale moves: t=200s: 2->3" in text
+        assert "cost: $2.00 (spot $1.25 / on-demand $0.75)" in text
+
+    def test_replica_limit_truncates(self):
+        events = [
+            ReplicaLaunch(time=float(i), replica_id=i, zone="z", spot=True)
+            for i in range(10)
+        ]
+        text = format_summary(events, replica_limit=4)
+        assert "... 6 more replicas" in text
+
+    def test_empty_log_renders(self):
+        assert "0 events" in format_summary([])

@@ -1,0 +1,120 @@
+"""Unit tests for event sinks and JSONL round-trips."""
+
+import io
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    PrometheusSnapshot,
+    ReplicaLaunch,
+    ReplicaPreempted,
+    ReplicaReady,
+    RingBufferSink,
+    read_events,
+)
+
+
+def _event(i):
+    return ReplicaReady(time=float(i), replica_id=i, zone="aws:z:a", spot=True)
+
+
+class TestRingBufferSink:
+    def test_unbounded_keeps_everything(self):
+        sink = RingBufferSink()
+        for i in range(100):
+            sink.accept(_event(i))
+        assert len(sink) == 100
+        assert sink.dropped == 0
+
+    def test_bounded_drops_oldest(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.accept(_event(i))
+        assert [e.replica_id for e in sink.events] == [2, 3, 4]
+        assert sink.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=1)
+        sink.accept(_event(0))
+        sink.accept(_event(1))
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.dropped == 0
+
+
+class TestJsonlSink:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [
+            ReplicaLaunch(time=0.0, replica_id=1, zone="aws:z:a", spot=True),
+            ReplicaReady(time=5.0, replica_id=1, zone="aws:z:a", spot=True),
+            ReplicaPreempted(
+                time=9.0, replica_id=1, zone="aws:z:a", spot=True, warned=True
+            ),
+        ]
+        with JsonlSink(path) as sink:
+            for event in events:
+                sink.accept(event)
+            assert sink.count == 3
+        restored = read_events(path)
+        assert restored == events
+        assert [type(e) for e in restored] == [type(e) for e in events]
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.accept(_event(0))
+        sink.close()
+        assert not stream.closed
+        assert stream.getvalue().count("\n") == 1
+
+    def test_blank_lines_skipped_on_read(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "replica.ready", "time": 1.0, '
+                        '"replica_id": 1, "zone": "z", "spot": true}\n\n')
+        assert len(read_events(path)) == 1
+
+
+class TestPrometheusSnapshot:
+    def test_counts_by_kind_and_zone(self):
+        snap = PrometheusSnapshot()
+        snap.accept(_event(1))
+        snap.accept(_event(2))
+        snap.accept(ReplicaReady(time=3.0, replica_id=3, zone="aws:z:b", spot=True))
+        assert snap.counts() == {
+            ("replica.ready", "aws:z:a"): 2,
+            ("replica.ready", "aws:z:b"): 1,
+        }
+        assert snap.last_event_time == 3.0
+
+    def test_render_text_format(self):
+        snap = PrometheusSnapshot()
+        snap.accept(_event(1))
+        text = snap.render()
+        assert "# TYPE repro_events_total counter" in text
+        assert 'repro_events_total{kind="replica.ready",zone="aws:z:a"} 1' in text
+        assert text.endswith("\n")
+
+    def test_gauges_sampled_at_render_time(self):
+        snap = PrometheusSnapshot()
+        cost = {"value": 1.0}
+        snap.register_gauge(
+            "repro_cost_dollars",
+            lambda: cost["value"],
+            labels={"market": "spot"},
+            help_text="Accrued cost.",
+        )
+        cost["value"] = 2.5  # mutated after registration, before render
+        text = snap.render()
+        assert "# TYPE repro_cost_dollars gauge" in text
+        assert 'repro_cost_dollars{market="spot"} 2.5' in text
+
+    def test_label_escaping(self):
+        snap = PrometheusSnapshot()
+        snap.accept(ReplicaReady(time=0.0, replica_id=1, zone='z"1', spot=True))
+        assert 'zone="z\\"1"' in snap.render()

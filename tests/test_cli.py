@@ -142,3 +142,52 @@ class TestCompareCommand:
             "SkyServe", "ASG", "AWSSpot", "MArk",
         }
         assert data["metadata"]["scenario"] == "available"
+
+
+class TestEventsCommand:
+    def _serve_with_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main([
+            "serve", "--trace", "aws1", "--hours", "0.3", "--rate", "0.2",
+            "--events", str(log),
+        ]) == 0
+        capsys.readouterr()  # discard the serve report
+        return log
+
+    def test_serve_then_summarize(self, tmp_path, capsys):
+        log = self._serve_with_events(tmp_path, capsys)
+        assert log.exists()
+        assert main(["events", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "events by kind:" in out
+        assert "replica timeline:" in out
+        assert "request spans:" in out
+
+    def test_timeline_and_kind_filter(self, tmp_path, capsys):
+        log = self._serve_with_events(tmp_path, capsys)
+        assert main(["events", str(log), "--timeline",
+                     "--kind", "replica.launch"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines
+        assert all("replica.launch" in line for line in lines)
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["events", str(tmp_path / "nope.jsonl")])
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "serve", "--trace", "aws1", "--hours", "0.3", "--rate", "0.2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_events_total counter" in text
+        assert "repro_events_total{" in text
+
+    def test_log_level_flag_accepted(self, capsys):
+        assert main([
+            "--log-level", "ERROR",
+            "serve", "--trace", "aws1", "--hours", "0.2", "--rate", "0.2",
+        ]) == 0
