@@ -3,19 +3,62 @@
 Not a paper figure — these keep the simulator fast enough that the
 paper-scale experiments (22 hours of serving, two-month traces) run in
 seconds.  Regressions here multiply into every other benchmark.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workloads so the whole module runs
+in a few seconds — the CI perf-smoke step uses it to catch gross
+regressions on every PR.  The replay/latency/sweep cases append their
+timings to ``benchmarks/BENCH_replay.json`` (gitignored) so runs can be
+compared against a recorded baseline.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.cloud import SpotTrace
 from repro.core import spothedge
-from repro.experiments import ReplayConfig, TraceReplayer
+from repro.experiments import (
+    ReplayConfig,
+    TraceReplayer,
+    estimate_latency,
+    grid_sweep,
+)
 from repro.sim import SimulationEngine
 from repro.telemetry import EventBus, RingBufferSink
+from repro.workloads import poisson_workload
 
 ZONES = ["aws:r1:a", "aws:r1:b", "aws:r2:a"]
+
+#: Smoke mode: much smaller inputs, same code paths.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Trace length in minutes (steps) for the replay-path benchmarks.
+REPLAY_STEPS = 24 * 60 if SMOKE else 7 * 24 * 60
+
+_ARTIFACT = Path(__file__).parent / "BENCH_replay.json"
+
+
+def record_baseline(entry: str, **values) -> None:
+    """Merge one benchmark's numbers into the BENCH_replay.json artifact."""
+    data = {}
+    if _ARTIFACT.exists():
+        try:
+            data = json.loads(_ARTIFACT.read_text())
+        except ValueError:
+            data = {}
+    values["smoke"] = SMOKE
+    data[entry] = values
+    _ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def perf_trace() -> SpotTrace:
+    """The week-long (day-long in smoke mode) three-zone replay trace."""
+    rng = np.random.default_rng(0)
+    capacity = rng.integers(0, 5, size=(3, REPLAY_STEPS))
+    return SpotTrace("perf", ZONES, 60.0, capacity)
 
 
 def test_engine_event_throughput(benchmark):
@@ -55,22 +98,122 @@ def test_recurring_timer_throughput(benchmark):
 
 def test_replay_throughput(benchmark):
     """Replaying a week-long three-zone trace with SpotHedge."""
-    rng = np.random.default_rng(0)
-    capacity = rng.integers(0, 5, size=(3, 7 * 24 * 60))
-    trace = SpotTrace("perf", ZONES, 60.0, capacity)
+    trace = perf_trace()
 
     def run():
         replayer = TraceReplayer(trace, ReplayConfig(n_tar=4))
         return replayer.run(spothedge(ZONES))
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    run()  # warm caches
+    times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        result = run()
+        times.append(time.perf_counter() - start)
+    steps_per_second = trace.n_steps / min(times)
+    print(f"\nreplay: {min(times) * 1e3:.0f}ms for {trace.n_steps} steps "
+          f"({steps_per_second:,.0f} steps/s)")
+    record_baseline(
+        "replay", seconds=min(times), steps=trace.n_steps,
+        steps_per_second=steps_per_second,
+    )
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.ready_series.shape[0] == trace.n_steps
+    # The incremental-state rewrite replays >25k steps/s even on slow
+    # CI runners (the pre-rewrite loop managed ~19k on fast hardware).
+    assert steps_per_second > 25_000
+
+
+def test_latency_estimation_throughput(benchmark):
+    """Vectorised estimate_latency over a dense workload.
+
+    The fast path is O(steps + requests); the scalar reference walked
+    every request through the downtime scan (O(requests × steps) on
+    blackout-heavy series).  Property tests assert numerical equality;
+    this case pins throughput.
+    """
+    trace = perf_trace()
+    replayer = TraceReplayer(trace, ReplayConfig(n_tar=4))
+    result = replayer.run(spothedge(ZONES))
+    rate = 5.0 if SMOKE else 20.0
+    workload = poisson_workload(trace.duration, rate=rate, seed=3)
+    n_requests = len(workload)
+
+    def run():
+        return estimate_latency(result, workload)
+
+    run()  # warm caches
+    start = time.perf_counter()
+    latencies = run()
+    elapsed = time.perf_counter() - start
+    requests_per_second = n_requests / elapsed
+    print(f"\nestimate_latency: {elapsed * 1e3:.1f}ms for {n_requests} requests "
+          f"({requests_per_second:,.0f} req/s)")
+    record_baseline(
+        "latency_estimation", seconds=elapsed, requests=n_requests,
+        requests_per_second=requests_per_second,
+    )
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(latencies) == n_requests
+    assert np.isfinite(latencies).all()
+    # Vectorised binning should clear 1M requests/s with ease; the
+    # scalar implementation was ~100x slower on downtime-heavy series.
+    assert requests_per_second > 1_000_000
+
+
+def _sweep_point(n_tar, cold_start, trace=None):
+    replayer = TraceReplayer(trace, ReplayConfig(n_tar=n_tar, cold_start=cold_start))
+    result = replayer.run(spothedge(ZONES))
+    return (result.availability, result.relative_cost, result.preemptions)
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """A 16-point grid, serial vs four workers.
+
+    Results must be identical for any worker count (the determinism
+    contract); the ≥2x wall-clock assertion only makes sense with real
+    cores to run on, so it is skipped on 1-3 core machines (the
+    process pool cannot beat serial on a single CPU).
+    """
+    import functools
+
+    trace = perf_trace()
+    run = functools.partial(_sweep_point, trace=trace)
+    grid = {
+        "n_tar": [2, 3, 4, 5],
+        "cold_start": [0.0, 60.0, 120.0, 180.0],
+    }
+
+    start = time.perf_counter()
+    serial = grid_sweep(run, grid, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = grid_sweep(run, grid, workers=4)
+    parallel_s = time.perf_counter() - start
+
+    assert [p.params for p in serial] == [p.params for p in parallel]
+    assert [p.result for p in serial] == [p.result for p in parallel]
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    print(f"\nsweep 16 points: serial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s "
+          f"({speedup:.2f}x on {cores} cores)")
+    record_baseline(
+        "parallel_sweep", serial_seconds=serial_s, parallel_seconds=parallel_s,
+        speedup=speedup, cores=cores,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if cores >= 4 and not SMOKE:
+        assert speedup >= 2.0
 
 
 def test_telemetry_overhead(benchmark):
     """Telemetry ON vs OFF on the replay path, asserting the bus's
     zero-overhead-when-disabled design: a fully instrumented run stays
-    within 10% of the untelemetered one.
+    within 25% of the untelemetered one.  (The bound was 10% of the
+    pre-optimization loop; the incremental-state rewrite made the OFF
+    baseline ~3x faster, so the same absolute per-event cost is a
+    larger fraction — ~25% of the new baseline equals ~8% of the old.)
 
     Interleaved min-of-runs: alternating off/on samples cancels drift
     (thermal, cache, background load) and ``min`` discards scheduler
@@ -82,7 +225,7 @@ def test_telemetry_overhead(benchmark):
     """
     rng = np.random.default_rng(0)
     capacity = np.repeat(
-        rng.integers(0, 5, size=(3, 7 * 24 * 6)), 10, axis=1
+        rng.integers(0, 5, size=(3, REPLAY_STEPS // 10)), 10, axis=1
     )
     trace = SpotTrace("perf", ZONES, 60.0, capacity)
     config = ReplayConfig(n_tar=4)
@@ -111,4 +254,4 @@ def test_telemetry_overhead(benchmark):
           f"({overhead:+.1%}, {events} events)")
     assert events > 0  # the instrumented run actually collected events
     benchmark.pedantic(lambda: replay(None), rounds=1, iterations=1)
-    assert overhead < 0.10
+    assert overhead < 0.25

@@ -44,9 +44,11 @@ from repro.core import (
     spothedge,
 )
 from repro.experiments import (
+    ReplayCache,
     ReplayConfig,
     ResultStore,
     TraceReplayer,
+    grid_sweep,
     run_comparison,
 )
 from repro.serving import (
@@ -244,15 +246,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
-    policies = [
-        ("SpotHedge", spothedge),
-        ("RoundRobin", round_robin_policy),
-        ("EvenSpread", even_spread_policy),
-        ("OnDemand", OnDemandOnlyPolicy),
-    ]
     rows = []
     raw_results = {}
-    for name, factory in policies:
+    for name, factory in _REPLAY_POLICIES.items():
         replayer = TraceReplayer(
             trace, ReplayConfig(n_tar=args.target, k=args.k), seed=args.seed
         )
@@ -276,6 +272,116 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             store.add("replay", name, result)
         store.save(args.json)
         print(f"\nwrote raw results to {args.json}")
+    return 0
+
+
+#: Replay policy factories by CLI name (shared by replay and sweep).
+_REPLAY_POLICIES: dict[str, Callable] = {
+    "SpotHedge": spothedge,
+    "RoundRobin": round_robin_policy,
+    "EvenSpread": even_spread_policy,
+    "OnDemand": OnDemandOnlyPolicy,
+}
+
+
+def _sweep_point(
+    trace: SpotTrace,
+    use_cache: bool,
+    *,
+    policy: str = "SpotHedge",
+    n_tar: int = 4,
+    cold_start: float = 180.0,
+    k: float = 3.0,
+    seed: int = 0,
+):
+    """One replay grid point.  Module-level (with the fixed arguments
+    bound via ``functools.partial``) so parallel sweeps can pickle it."""
+    config = ReplayConfig(n_tar=n_tar, cold_start=cold_start, k=k)
+    cache = ReplayCache() if use_cache else None
+    if cache is not None:
+        key = ReplayCache.key(trace, policy, None, config, seed)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    replayer = TraceReplayer(trace, config, seed=seed)
+    result = replayer.run(_REPLAY_POLICIES[policy](trace.zone_ids))
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
+def _parse_axis(raw: str, cast: Callable, option: str) -> list:
+    try:
+        return [cast(v) for v in raw.split(",") if v != ""]
+    except ValueError:
+        raise SystemExit(f"bad value list for {option}: {raw!r}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cache = ReplayCache()
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cached replay result(s) from {cache.root}")
+        return 0
+    trace = _load_trace(args.trace)
+    policies = _parse_axis(args.policies, str, "--policies")
+    for name in policies:
+        if name not in _REPLAY_POLICIES:
+            raise SystemExit(
+                f"unknown policy {name!r}: expected one of {sorted(_REPLAY_POLICIES)}"
+            )
+    grid = {
+        "policy": policies,
+        "n_tar": _parse_axis(args.n_tar, int, "--n-tar"),
+        "cold_start": _parse_axis(args.cold_start, float, "--cold-start"),
+        "k": _parse_axis(args.k, float, "--k"),
+    }
+    use_cache = not args.no_cache
+    entries_before = len(cache) if use_cache else 0
+    telemetry = None
+    if args.progress:
+        class _Progress:
+            def accept(self, event):
+                status = "ok" if event.ok else "ERROR"
+                print(f"[{event.index + 1}/{event.total}] {event.label} {status}",
+                      file=sys.stderr)
+
+        telemetry = EventBus([_Progress()])
+    import functools
+
+    points = grid_sweep(
+        functools.partial(_sweep_point, trace, use_cache, seed=args.seed),
+        grid,
+        workers=args.workers,
+        telemetry=telemetry,
+    )
+    rows = []
+    for point in points:
+        if point.ok:
+            r = point.result
+            rows.append(
+                [point.label(), f"{r.availability:.1%}", f"{r.relative_cost:.1%}",
+                 r.preemptions]
+            )
+        else:
+            rows.append([point.label(), "error", point.error, "-"])
+    print(f"trace {trace.name}: {len(points)} points, seed={args.seed}, "
+          f"workers={args.workers}")
+    _print_table(["point", "availability", "cost vs OD", "preemptions"], rows)
+    if use_cache:
+        new_entries = len(cache) - entries_before
+        reused = sum(1 for p in points if p.ok) - new_entries
+        print(f"\ncache {cache.root}: {new_entries} new, {max(reused, 0)} reused "
+              "(clear with: repro sweep --clear-cache)")
+    if args.json:
+        store = ResultStore(
+            metadata={"trace": trace.name, "seed": args.seed, "grid": grid}
+        )
+        for point in points:
+            payload = point.result if point.ok else {"error": point.error}
+            store.add("sweep", point.label(), payload)
+        store.save(args.json)
+        print(f"wrote raw results to {args.json}")
     return 0
 
 
@@ -400,6 +506,36 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument("--json", help="also write raw results to this JSON file")
     replay.set_defaults(func=_cmd_replay)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid-sweep replay policies over a trace (parallel + cached)",
+    )
+    sweep.add_argument("--trace", default="gcp1", help="canned name or trace file")
+    sweep.add_argument("--policies", default="SpotHedge",
+                       help="comma list of replay policies "
+                            f"({','.join(_REPLAY_POLICIES)})")
+    sweep.add_argument("--n-tar", default="4", help="comma list of N_Tar values")
+    sweep.add_argument("--cold-start", default="180",
+                       help="comma list of cold-start seconds")
+    sweep.add_argument("--k", default="3.0",
+                       help="comma list of on-demand/spot price ratios")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+        help="process-pool size; results are identical for any value "
+             "(default: $REPRO_SWEEP_WORKERS or 1)",
+    )
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk replay result cache")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="empty the replay cache and exit")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print per-point progress to stderr")
+    sweep.add_argument("--json", help="also write raw results to this JSON file")
+    sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser("trace", help="inspect or export a trace")
     trace.add_argument("name", help="canned name or trace file")

@@ -25,6 +25,7 @@ Traces serialise to JSON so experiments can be archived and replayed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass
@@ -91,6 +92,28 @@ class SpotTrace:
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Content digest of the trace (name, zones, step, capacity).
+
+        Stable across processes and platform word sizes — the capacity
+        grid is hashed in a fixed dtype and byte order — so it can key
+        on-disk caches of replay results (see
+        :class:`repro.experiments.results.ReplayCache`).  Computed once
+        and memoised; traces are immutable by convention.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        header = json.dumps(
+            {"name": self.name, "zones": self.zone_ids, "step": self.step},
+            sort_keys=True,
+        )
+        hasher.update(header.encode())
+        hasher.update(np.ascontiguousarray(self.capacity, dtype="<i8").tobytes())
+        self._digest = hasher.hexdigest()
+        return self._digest
+
     @property
     def n_steps(self) -> int:
         return self.capacity.shape[1]

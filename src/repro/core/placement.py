@@ -133,8 +133,9 @@ class DynamicSpotPlacer(SpotPlacer):
                     active=list(self.active_zones),
                 )
 
-    def handle_preemption(self, zone: str) -> None:
-        self._move_to_preempting(zone)
+    # Called once per preemption event — alias away the trampoline
+    # frame rather than delegating.
+    handle_preemption = _move_to_preempting
 
     def handle_launch_failure(self, zone: str) -> None:
         if self._failure_is_preemption:
@@ -177,13 +178,43 @@ class DynamicSpotPlacer(SpotPlacer):
         current_placements: Mapping[str, int],
         excluded: AbstractSet[str] = frozenset(),
     ) -> Optional[str]:
-        candidates = [z for z in self.active_zones if z not in excluded]
+        # Hot path of every replay/reconcile tick: one pass over Z_A,
+        # tracking the best unused and best used candidate at once —
+        # equivalent to (but much cheaper than) building the candidate
+        # and unused lists and calling ``_min_cost`` on them.  Z_A order
+        # breaks ties, so iterating in rank order needs no rank key:
+        # replace a candidate only on a strictly better (cost, placed).
+        get = current_placements.get
+        costs = self.zone_costs
+        if excluded:
+            candidates = [z for z in self.active_zones if z not in excluded]
+        else:
+            candidates = self.active_zones
+        best_unused = best_used = None
+        bu_cost = bs_cost = bs_placed = 0.0
+        for zone in candidates:
+            placed = get(zone, 0)
+            if placed == 0:
+                cost = costs[zone]
+                if best_unused is None or cost < bu_cost:
+                    best_unused, bu_cost = zone, cost
+            elif best_unused is None:
+                cost = costs[zone]
+                if (
+                    best_used is None
+                    or cost < bs_cost
+                    or (cost == bs_cost and placed < bs_placed)
+                ):
+                    best_used, bs_cost, bs_placed = zone, cost, placed
+        if best_unused is not None:
+            return best_unused
+        if candidates:
+            return best_used
+        # Everything in Z_A already failed this round; fall back to
+        # any non-excluded enabled zone rather than giving up.
+        candidates = [z for z in self.zones if z not in excluded]
         if not candidates:
-            # Everything in Z_A already failed this round; fall back to
-            # any non-excluded enabled zone rather than giving up.
-            candidates = [z for z in self.zones if z not in excluded]
-            if not candidates:
-                return None
+            return None
         unused = [z for z in candidates if current_placements.get(z, 0) == 0]
         if unused:
             return self._min_cost(unused, current_placements)

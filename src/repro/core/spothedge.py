@@ -100,6 +100,11 @@ class MixturePolicy(ServingPolicy):
         self._od_zone_costs = dict(od_zone_costs or {z: 1.0 for z in self.od_zones})
         self.name = name or f"mixture({placer.name})"
         self._last_mix: Optional[MixTarget] = None
+        #: (spot_target, od_target) → MixTarget.  MixTarget is frozen,
+        #: so interning repeats avoids reconstructing one per tick on
+        #: the replay/reconcile hot path; a handful of distinct targets
+        #: ever exist, so the cache stays tiny.
+        self._mix_cache: dict[tuple[int, int], MixTarget] = {}
 
     def attach_audit(self, audit: "PolicyAuditLog") -> None:
         """Record mixture decisions here and placement decisions in the
@@ -118,7 +123,10 @@ class MixturePolicy(ServingPolicy):
         if self.dynamic_ondemand_fallback:
             fallback = min(obs.n_tar, spot_target - obs.spot_ready)
             od_target = max(od_target, max(fallback, 0))
-        mix = MixTarget(spot_target=spot_target, od_target=od_target)
+        mix = self._mix_cache.get((spot_target, od_target))
+        if mix is None:
+            mix = MixTarget(spot_target=spot_target, od_target=od_target)
+            self._mix_cache[(spot_target, od_target)] = mix
         if self.audit is not None:
             self.audit.touch(obs.now)
             if mix != self._last_mix:

@@ -12,7 +12,9 @@ from repro.experiments.endtoend import (
 )
 from repro.experiments.sweep import SweepPoint, grid_sweep
 from repro.experiments.results import (
+    ReplayCache,
     ResultStore,
+    replay_result_from_dict,
     replay_result_to_dict,
     service_report_to_dict,
 )
@@ -26,6 +28,7 @@ from repro.experiments.replay import (
 
 __all__ = [
     "EndToEndResult",
+    "ReplayCache",
     "ReplayConfig",
     "ReplayResult",
     "ResultStore",
@@ -36,6 +39,7 @@ __all__ = [
     "e2e_trace",
     "erlang_c_wait",
     "estimate_latency",
+    "replay_result_from_dict",
     "replay_result_to_dict",
     "run_comparison",
     "run_system",

@@ -41,12 +41,28 @@ class _ScheduledEvent:
 
     Ordered by ``(time, seq)`` so that simultaneous events preserve
     scheduling order.  The callback itself is excluded from ordering.
+
+    The entry participates in the engine's live pending-event count:
+    cancellation decrements the counter exactly once (and only while the
+    entry is still queued), so :attr:`SimulationEngine.pending_events`
+    never has to walk the heap.
     """
 
     time: float
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the entry has left the heap (fired or skipped).
+    popped: bool = field(default=False, compare=False)
+    engine: Optional["SimulationEngine"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.popped and self.engine is not None:
+                self.engine._pending -= 1
 
 
 class EventHandle:
@@ -71,7 +87,7 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        self._event.cancel()
 
 
 class SimulationEngine:
@@ -88,6 +104,7 @@ class SimulationEngine:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._pending = 0
         if telemetry is None:
             # Local import: telemetry depends on sim.metrics, so a
             # module-level import would be circular.
@@ -112,8 +129,13 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, not-cancelled events.
+
+        Maintained as a live counter (incremented on schedule,
+        decremented on cancel or execution) so controller-loop
+        assertions cost O(1) instead of walking the heap.
+        """
+        return self._pending
 
     def call_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run at absolute simulated ``time``.
@@ -124,8 +146,11 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule event at t={time:.3f}, now is t={self._now:.3f}"
             )
-        event = _ScheduledEvent(time=float(time), seq=next(self._seq), callback=callback)
+        event = _ScheduledEvent(
+            time=float(time), seq=next(self._seq), callback=callback, engine=self
+        )
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return EventHandle(event)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -174,7 +199,7 @@ class SimulationEngine:
                 return cell["event"].cancelled
 
             def cancel(self) -> None:
-                cell["event"].cancelled = True
+                cell["event"].cancel()
 
         return _RecurringHandle()
 
@@ -186,8 +211,10 @@ class SimulationEngine:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
-                continue
+                continue  # counter already adjusted at cancel time
+            self._pending -= 1
             self._now = event.time
             self._events_processed += 1
             event.callback()
@@ -212,8 +239,10 @@ class SimulationEngine:
                 if event.time > end_time:
                     break
                 heapq.heappop(self._queue)
+                event.popped = True
                 if event.cancelled:
-                    continue
+                    continue  # counter already adjusted at cancel time
+                self._pending -= 1
                 self._now = event.time
                 self._events_processed += 1
                 event.callback()

@@ -41,6 +41,7 @@ from repro.telemetry.events import (
     ReplicaTerminated,
     RequestSpanEvent,
     RouteDecision,
+    SweepProgress,
     TelemetryEvent,
     ZoneCapacity,
     event_from_dict,
@@ -82,6 +83,7 @@ __all__ = [
     "RingBufferSink",
     "RouteDecision",
     "SpanRecorder",
+    "SweepProgress",
     "TelemetryEvent",
     "ZoneCapacity",
     "configure_logging",

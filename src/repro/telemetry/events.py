@@ -49,6 +49,7 @@ __all__ = [
     "ReplicaTerminated",
     "RequestSpanEvent",
     "RouteDecision",
+    "SweepProgress",
     "TelemetryEvent",
     "ZoneCapacity",
     "event_from_dict",
@@ -258,6 +259,25 @@ class CostSnapshot(TelemetryEvent):
     spot: float
     on_demand: float
     total: float
+
+
+@_register
+@dataclass(slots=True)
+class SweepProgress(TelemetryEvent):
+    """One grid point of a parameter sweep finished.
+
+    ``time`` is wall-clock (``time.monotonic``), not simulated time —
+    sweeps are an offline driver around many simulations.  ``cached``
+    marks points served from the on-disk replay cache.
+    """
+
+    kind: ClassVar[str] = "sweep.point"
+
+    index: int
+    total: int
+    label: str
+    ok: bool = True
+    cached: bool = False
 
 
 @_register

@@ -231,3 +231,55 @@ class TestDiurnalModulation:
             "d", specs, duration=2 * DAY, diurnal_amplitude=1.0, seed=3
         )
         assert trace.capacity.min() >= 0
+
+
+class TestDigest:
+    """Content digests key the replay result cache — they must track
+    every field that changes replay output and nothing else."""
+
+    ZONES = ["aws:r:a", "aws:r:b"]
+
+    def _trace(self, **overrides):
+        params = dict(
+            name="d", zones=self.ZONES, step=60.0,
+            capacity=np.full((2, 30), 3),
+        )
+        params.update(overrides)
+        return SpotTrace(
+            params["name"], params["zones"], params["step"], params["capacity"]
+        )
+
+    def test_digest_is_sha256_hex(self):
+        digest = self._trace().digest()
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_digest_stable_across_calls_and_instances(self):
+        trace = self._trace()
+        assert trace.digest() == trace.digest()  # memoised path
+        assert trace.digest() == self._trace().digest()
+
+    def test_digest_tracks_capacity(self):
+        other = np.full((2, 30), 3)
+        other[1, 17] = 2
+        assert self._trace().digest() != self._trace(capacity=other).digest()
+
+    def test_digest_tracks_metadata(self):
+        base = self._trace().digest()
+        assert self._trace(name="other").digest() != base
+        assert self._trace(step=30.0).digest() != base
+        assert (
+            self._trace(zones=["aws:r:a", "aws:r:c"]).digest() != base
+        )
+
+    def test_digest_independent_of_dtype_and_layout(self):
+        """Same capacities in a different dtype or memory order hash
+        identically — the digest canonicalises to little-endian int64."""
+        cap = np.full((2, 30), 3)
+        a = self._trace(capacity=cap.astype(np.int32))
+        b = self._trace(capacity=np.asfortranarray(cap))
+        assert a.digest() == b.digest() == self._trace().digest()
+
+    def test_canned_traces_have_distinct_digests(self):
+        digests = {t().digest() for t in (aws1, gcp1)}
+        assert len(digests) == 2

@@ -1,8 +1,42 @@
 """Tests for the parameter-sweep utility."""
 
+import numpy as np
 import pytest
 
-from repro.experiments import grid_sweep
+from repro.cloud import SpotTrace
+from repro.core import spothedge
+from repro.experiments import (
+    ReplayConfig,
+    TraceReplayer,
+    grid_sweep,
+    replay_result_to_dict,
+)
+from repro.sim.rng import derive_seed
+from repro.telemetry import EventBus, RingBufferSink
+
+ZONES = ["aws:r1:a", "aws:r1:b"]
+
+
+def _make_trace() -> SpotTrace:
+    rng = np.random.default_rng(7)
+    return SpotTrace("sweep", ZONES, 60.0, rng.integers(0, 4, size=(2, 90)))
+
+
+def _replay_point(n_tar, cold_start, seed=0):
+    """Module-level so the parallel path can pickle it.  Returns a plain
+    dict so SweepPoint results compare with ``==`` across processes."""
+    trace = _make_trace()
+    replayer = TraceReplayer(
+        trace, ReplayConfig(n_tar=n_tar, cold_start=cold_start), seed=seed
+    )
+    result = replayer.run(spothedge(ZONES))
+    return replay_result_to_dict(result, include_series=True)
+
+
+def _replay_or_boom(n_tar, cold_start, seed=0):
+    if n_tar == 3:
+        raise RuntimeError(f"boom at n_tar={n_tar}")
+    return _replay_point(n_tar, cold_start, seed=seed)
 
 
 class TestGridSweep:
@@ -64,3 +98,103 @@ class TestGridSweep:
         assert all(p.ok for p in points)
         costs = [p.result.relative_cost for p in points]
         assert costs == sorted(costs)  # more buffer costs more
+
+
+class TestParallelSweep:
+    """workers=N must be indistinguishable from workers=1 (ISSUE PR 2)."""
+
+    GRID = {"n_tar": [2, 3, 4], "cold_start": [0.0, 120.0]}
+
+    def test_parallel_identical_to_serial_on_replay_grid(self):
+        serial = grid_sweep(_replay_point, self.GRID, workers=1, root_seed=11)
+        parallel = grid_sweep(_replay_point, self.GRID, workers=4, root_seed=11)
+        assert [p.params for p in serial] == [p.params for p in parallel]
+        assert [p.result for p in serial] == [p.result for p in parallel]
+        assert [p.error for p in serial] == [p.error for p in parallel]
+
+    def test_parallel_identical_including_raising_point(self):
+        serial = grid_sweep(_replay_or_boom, self.GRID, workers=1)
+        parallel = grid_sweep(_replay_or_boom, self.GRID, workers=3)
+        assert [p.ok for p in serial] == [p.ok for p in parallel]
+        assert [p.error for p in serial] == [p.error for p in parallel]
+        assert [p.result for p in serial] == [p.result for p in parallel]
+        # The two n_tar=3 points failed, everything else succeeded.
+        assert [p.ok for p in serial] == [True, True, False, False, True, True]
+        assert "boom at n_tar=3" in serial[2].error
+
+    def test_parallel_raise_errors_surfaces_earliest_grid_failure(self):
+        with pytest.raises(RuntimeError, match="boom at n_tar=3"):
+            grid_sweep(_replay_or_boom, self.GRID, workers=3, raise_errors=True)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(lambda x: x, {"x": [1]}, workers=0)
+        with pytest.raises(ValueError):
+            grid_sweep(lambda x: x, {"x": [1]}, workers=-2)
+
+
+class TestSeedDerivation:
+    def test_root_seed_injects_derived_per_point_seed(self):
+        points = grid_sweep(
+            lambda a, seed: seed, {"a": [1, 2]}, root_seed=42
+        )
+        for point in points:
+            label = f"a={point.params['a']}"
+            expected = derive_seed(42, label)
+            assert point.params["seed"] == expected
+            assert point.result == expected
+
+    def test_custom_seed_param_name(self):
+        points = grid_sweep(
+            lambda a, rng_seed: rng_seed,
+            {"a": [5]},
+            root_seed=1,
+            seed_param="rng_seed",
+        )
+        assert points[0].params["rng_seed"] == derive_seed(1, "a=5")
+
+    def test_seed_param_conflicting_with_axis_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            grid_sweep(
+                lambda seed: seed, {"seed": [1, 2]}, root_seed=3
+            )
+
+    def test_no_root_seed_leaves_params_untouched(self):
+        points = grid_sweep(lambda a: a, {"a": [1]})
+        assert set(points[0].params) == {"a"}
+
+
+class TestSweepTelemetry:
+    def test_progress_event_per_point_in_order(self):
+        sink = RingBufferSink()
+        grid_sweep(
+            lambda x: x,
+            {"x": [1, 2, 3]},
+            telemetry=EventBus([sink]),
+        )
+        events = sink.events
+        assert [e.kind for e in events] == ["sweep.point"] * 3
+        assert [e.index for e in events] == [0, 1, 2]
+        assert [e.total for e in events] == [3, 3, 3]
+        assert [e.label for e in events] == ["x=1", "x=2", "x=3"]
+        assert all(e.ok for e in events)
+
+    def test_progress_marks_failed_points(self):
+        def run(x):
+            if x == 2:
+                raise ValueError("nope")
+            return x
+
+        sink = RingBufferSink()
+        grid_sweep(run, {"x": [1, 2]}, telemetry=EventBus([sink]))
+        assert [e.ok for e in sink.events] == [True, False]
+
+    def test_parallel_sweep_emits_progress_too(self):
+        sink = RingBufferSink()
+        grid_sweep(
+            _replay_point,
+            {"n_tar": [2, 3], "cold_start": [0.0]},
+            workers=2,
+            telemetry=EventBus([sink]),
+        )
+        assert [e.index for e in sink.events] == [0, 1]

@@ -107,3 +107,90 @@ def test_cost_scales_with_k(trace, k):
     # Pure-spot absolute spot cost is identical; only the normalisation
     # changes, so relative cost is non-increasing in k.
     assert expensive.relative_cost <= cheap.relative_cost + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# estimate_latency: vectorised fast path vs the scalar reference
+# ---------------------------------------------------------------------------
+
+from repro.experiments import estimate_latency  # noqa: E402
+from repro.experiments.replay import ReplayResult, _estimate_latency_reference  # noqa: E402
+from repro.workloads import Request, Workload  # noqa: E402
+
+
+def _result_from_series(ready_series: np.ndarray, step: float = 60.0) -> ReplayResult:
+    """A minimal ReplayResult; estimate_latency only reads ready_series/step."""
+    return ReplayResult(
+        policy="prop", trace="prop", n_tar=4, availability=0.0,
+        relative_cost=0.0, spot_cost=0.0, od_cost=0.0, preemptions=0,
+        launch_failures=0, ready_series=np.asarray(ready_series), step=step,
+    )
+
+
+def _workload_from_arrivals(arrivals: list[float]) -> Workload:
+    requests = [
+        Request(request_id=i, arrival_time=t, input_tokens=10, output_tokens=10)
+        for i, t in enumerate(sorted(arrivals))
+    ]
+    return Workload("prop", requests)
+
+
+@st.composite
+def latency_cases(draw):
+    n_steps = draw(st.integers(min_value=3, max_value=40))
+    series = draw(
+        st.lists(st.integers(0, 6), min_size=n_steps, max_size=n_steps)
+    )
+    horizon = n_steps * 60.0
+    # Arrivals spill 20% past the horizon to exercise the truncation edge.
+    arrivals = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=horizon * 1.2,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    return np.asarray(series), arrivals
+
+
+@given(latency_cases(), st.floats(min_value=20.0, max_value=500.0))
+@settings(max_examples=60, deadline=None)
+def test_estimate_latency_matches_scalar_reference(case, timeout):
+    """The vectorised estimator is numerically identical to the scalar
+    reference on arbitrary ready series — including downtime stretches,
+    the timeout cutoff, and arrivals beyond the replay horizon."""
+    series, arrivals = case
+    result = _result_from_series(series)
+    workload = _workload_from_arrivals(arrivals)
+    fast = estimate_latency(result, workload, timeout=timeout)
+    slow = _estimate_latency_reference(result, workload, timeout=timeout)
+    np.testing.assert_array_equal(fast, slow)
+
+
+@given(st.integers(min_value=3, max_value=30), st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_estimate_latency_all_zero_capacity_times_out(n_steps, n_requests):
+    """With no replica ever ready, every request hits the timeout — and
+    the fast path still matches the reference exactly."""
+    result = _result_from_series(np.zeros(n_steps, dtype=int))
+    horizon = n_steps * 60.0
+    arrivals = [i * horizon / (n_requests + 1) for i in range(n_requests)]
+    workload = _workload_from_arrivals(arrivals)
+    fast = estimate_latency(result, workload, timeout=80.0)
+    slow = _estimate_latency_reference(result, workload, timeout=80.0)
+    np.testing.assert_array_equal(fast, slow)
+    assert (fast == 80.0).all()
+
+
+@given(traces(), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_estimate_latency_matches_reference_on_replayed_series(trace, n_tar):
+    """End-to-end: estimates over a real replay's ready series agree."""
+    config = ReplayConfig(n_tar=n_tar, k=3.0)
+    result = TraceReplayer(trace, config, seed=6).run(spothedge(ZONES))
+    arrivals = list(np.linspace(0.0, trace.duration * 0.99, 120))
+    workload = _workload_from_arrivals(arrivals)
+    fast = estimate_latency(result, workload)
+    slow = _estimate_latency_reference(result, workload)
+    np.testing.assert_array_equal(fast, slow)

@@ -178,3 +178,83 @@ class TestNestedScheduling:
         engine.call_at(1.0, lambda: engine.call_after(0.0, lambda: seen.append(engine.now)))
         engine.run()
         assert seen == [1.0]
+
+
+class TestPendingCounter:
+    """pending_events is a live O(1) counter — every schedule/cancel/fire
+    path must keep it exact (PR 2 replaced the O(n) heap walk)."""
+
+    def test_starts_at_zero(self):
+        assert SimulationEngine().pending_events == 0
+
+    def test_counts_scheduled_events(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.call_at(float(i), lambda: None)
+        assert engine.pending_events == 5
+
+    def test_firing_decrements(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.step()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_decrements_exactly_once(self):
+        engine = SimulationEngine()
+        handle = engine.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()  # idempotent: no double decrement
+        assert engine.pending_events == 0
+        engine.run()  # skipping the cancelled entry must not decrement again
+        assert engine.pending_events == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = SimulationEngine()
+        handle = engine.call_at(1.0, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        handle.cancel()
+        assert engine.pending_events == 0
+
+    def test_run_until_leaves_future_events_pending(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(10.0, lambda: None)
+        engine.run_until(5.0)
+        assert engine.pending_events == 1
+
+    def test_nested_scheduling_tracked(self):
+        engine = SimulationEngine()
+        engine.call_at(1.0, lambda: engine.call_after(1.0, lambda: None))
+        engine.run_until(1.0)
+        assert engine.pending_events == 1
+
+    def test_recurring_timer_keeps_one_pending(self):
+        engine = SimulationEngine()
+        engine.call_every(10.0, lambda: None)
+        engine.run_until(35.0)
+        assert engine.pending_events == 1  # the next queued tick
+
+    def test_cancelled_recurring_timer_reaches_zero(self):
+        engine = SimulationEngine()
+        handle = engine.call_every(10.0, lambda: None)
+        engine.call_at(25.0, handle.cancel)
+        engine.run_until(100.0)
+        assert engine.pending_events == 0
+
+    def test_counter_matches_heap_scan(self):
+        """Cross-check against the old O(n) definition on a mixed workload."""
+        engine = SimulationEngine()
+        handles = [engine.call_at(float(i), lambda: None) for i in range(20)]
+        for handle in handles[::3]:
+            handle.cancel()
+        expected = sum(
+            1 for e in engine._queue if not e.cancelled
+        )
+        assert engine.pending_events == expected
+        engine.run_until(9.5)
+        expected = sum(1 for e in engine._queue if not e.cancelled)
+        assert engine.pending_events == expected

@@ -191,3 +191,93 @@ class TestEventsCommand:
             "--log-level", "ERROR",
             "serve", "--trace", "aws1", "--hours", "0.2", "--rate", "0.2",
         ]) == 0
+
+
+class TestSweepCommand:
+    def _env(self, monkeypatch, tmp_path):
+        from repro.experiments import ReplayCache
+
+        monkeypatch.setenv(ReplayCache.ENV_VAR, str(tmp_path / "cache"))
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.trace == "gcp1"
+        assert args.workers == 1
+        assert args.policies == "SpotHedge"
+        assert not args.no_cache
+
+    def test_workers_default_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 4
+
+    def test_sweep_populates_and_reuses_cache(self, tmp_path, monkeypatch, capsys):
+        self._env(monkeypatch, tmp_path)
+        argv = ["sweep", "--trace", "aws1", "--n-tar", "2,3",
+                "--cold-start", "0,120"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "4 points" in first
+        assert "4 new, 0 reused" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 new, 4 reused" in second
+
+    def test_no_cache_skips_cache(self, tmp_path, monkeypatch, capsys):
+        self._env(monkeypatch, tmp_path)
+        assert main(["sweep", "--trace", "aws1", "--n-tar", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache" not in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_clear_cache(self, tmp_path, monkeypatch, capsys):
+        self._env(monkeypatch, tmp_path)
+        main(["sweep", "--trace", "aws1", "--n-tar", "2,3"])
+        capsys.readouterr()
+        assert main(["sweep", "--clear-cache"]) == 0
+        assert "cleared 2 cached" in capsys.readouterr().out
+
+    def test_parallel_sweep_matches_serial_output(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._env(monkeypatch, tmp_path)
+        argv = ["sweep", "--trace", "aws1", "--n-tar", "2,3", "--no-cache"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical except for the reported worker count.
+        assert serial.replace("workers=1", "") == parallel.replace("workers=2", "")
+
+    def test_progress_written_to_stderr(self, tmp_path, monkeypatch, capsys):
+        self._env(monkeypatch, tmp_path)
+        assert main(["sweep", "--trace", "aws1", "--n-tar", "2,3",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err
+        assert "[2/2]" in err
+        assert "ok" in err
+
+    def test_json_export(self, tmp_path, monkeypatch, capsys):
+        self._env(monkeypatch, tmp_path)
+        out_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--trace", "aws1", "--n-tar", "2,3",
+                     "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        labels = set(data["experiments"]["sweep"])
+        assert labels == {
+            "policy=SpotHedge,n_tar=2,cold_start=180.0,k=3.0",
+            "policy=SpotHedge,n_tar=3,cold_start=180.0,k=3.0",
+        }
+        assert data["metadata"]["trace"] == "AWS 1"
+
+    def test_unknown_policy_rejected(self, tmp_path, monkeypatch):
+        self._env(monkeypatch, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "Nope"])
+
+    def test_bad_axis_value_rejected(self, tmp_path, monkeypatch):
+        self._env(monkeypatch, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n-tar", "two"])
