@@ -14,6 +14,7 @@ from conftest import E2E_DURATION, fig9_workload, print_header, print_rows, run_
 from repro.cloud import CloudConfig
 from repro.core import spothedge
 from repro.experiments import e2e_trace, spot_zone_costs
+from repro.experiments.endtoend import SKYSERVE_REGIONS
 from repro.serving import (
     DomainFilter,
     ReplicaPolicyConfig,
@@ -22,7 +23,6 @@ from repro.serving import (
     SkyService,
     llama2_70b_profile,
 )
-from repro.experiments.endtoend import SKYSERVE_REGIONS
 
 
 def run_with_warning(warning: float):

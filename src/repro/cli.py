@@ -19,6 +19,10 @@ Subcommands:
     Summarise a JSONL telemetry log written by ``repro serve --events``:
     replica timeline, preemption counts, per-leg latency percentiles,
     and policy decision counts.
+``repro lint``
+    Run the repository's determinism & simulation-hygiene static
+    analyzer (``repro.devtools.lint``) over the source tree; see
+    docs/STATIC_ANALYSIS.md.
 
 All randomness is seeded; the same command line always prints the same
 numbers.  ``--log-level`` (global) controls the stdlib logging verbosity
@@ -453,6 +457,14 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is a dev tool; simulation commands should
+    # not pay for it (and it must never import the simulator).
+    from repro.devtools.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -555,6 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--replica-limit", type=int, default=40,
                         help="max rows in the replica timeline table")
     events.set_defaults(func=_cmd_events)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & simulation-hygiene static analysis",
+    )
+    from repro.devtools.lint.cli import add_lint_args
+
+    add_lint_args(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.cloud.topology import Topology, Zone, default_topology
 from repro.sim.rng import RngRegistry
@@ -68,16 +69,16 @@ class SpotTrace:
         name: str,
         zone_ids: Sequence[str],
         step: float,
-        capacity: np.ndarray,
+        capacity: ArrayLike,
     ) -> None:
-        capacity = np.asarray(capacity, dtype=np.int64)
-        if capacity.ndim != 2:
+        grid: NDArray[np.int64] = np.asarray(capacity, dtype=np.int64)
+        if grid.ndim != 2:
             raise ValueError("capacity must be a 2-D (zones x steps) array")
-        if capacity.shape[0] != len(zone_ids):
+        if grid.shape[0] != len(zone_ids):
             raise ValueError(
-                f"{capacity.shape[0]} capacity rows for {len(zone_ids)} zones"
+                f"{grid.shape[0]} capacity rows for {len(zone_ids)} zones"
             )
-        if (capacity < 0).any():
+        if (grid < 0).any():
             raise ValueError("negative capacity in trace")
         if step <= 0:
             raise ValueError(f"non-positive step {step!r}")
@@ -86,8 +87,10 @@ class SpotTrace:
         self.name = name
         self.zone_ids = list(zone_ids)
         self.step = float(step)
-        self.capacity = capacity
+        self.capacity = grid
         self._zone_index = {zone_id: i for i, zone_id in enumerate(self.zone_ids)}
+        #: Memoised content digest; traces are immutable by convention.
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -101,9 +104,8 @@ class SpotTrace:
         :class:`repro.experiments.results.ReplayCache`).  Computed once
         and memoised; traces are immutable by convention.
         """
-        cached = getattr(self, "_digest", None)
-        if cached is not None:
-            return cached
+        if self._digest is not None:
+            return self._digest
         hasher = hashlib.sha256()
         header = json.dumps(
             {"name": self.name, "zones": self.zone_ids, "step": self.step},
@@ -131,7 +133,7 @@ class SpotTrace:
             seen.setdefault(_region_of(zone_id), None)
         return list(seen)
 
-    def zone_row(self, zone_id: str) -> np.ndarray:
+    def zone_row(self, zone_id: str) -> NDArray[np.int64]:
         index = self._zone_index.get(zone_id)
         if index is None:
             raise KeyError(f"zone {zone_id!r} not in trace {self.name!r}")
@@ -175,7 +177,7 @@ class SpotTrace:
         stacked = np.stack(rows)
         return float((stacked.sum(axis=0) == 0).mean())
 
-    def preemption_indicator(self, zone_id: str) -> np.ndarray:
+    def preemption_indicator(self, zone_id: str) -> NDArray[np.bool_]:
         """Boolean series: capacity strictly dropped in this grid step.
 
         Used as the per-interval preemption events for the Fig. 3
@@ -186,12 +188,12 @@ class SpotTrace:
         indicator[1:] = row[1:] < row[:-1]
         return indicator
 
-    def subset(self, zone_ids: Sequence[str], name: Optional[str] = None) -> "SpotTrace":
+    def subset(self, zone_ids: Sequence[str], name: Optional[str] = None) -> SpotTrace:
         """A new trace restricted to the given zones."""
         rows = np.stack([self.zone_row(z) for z in zone_ids])
         return SpotTrace(name or f"{self.name}-subset", list(zone_ids), self.step, rows)
 
-    def window(self, start: float, end: float, name: Optional[str] = None) -> "SpotTrace":
+    def window(self, start: float, end: float, name: Optional[str] = None) -> SpotTrace:
         """A new trace restricted to the time window ``[start, end)``.
 
         ``start`` and ``end`` are clamped to the trace and snapped to
@@ -224,7 +226,7 @@ class SpotTrace:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "SpotTrace":
+    def from_json(cls, text: str) -> SpotTrace:
         data = json.loads(text)
         return cls(
             name=data["name"],
@@ -237,7 +239,7 @@ class SpotTrace:
         Path(path).write_text(self.to_json())
 
     @classmethod
-    def load(cls, path: str | Path) -> "SpotTrace":
+    def load(cls, path: str | Path) -> SpotTrace:
         return cls.from_json(Path(path).read_text())
 
 
@@ -274,7 +276,7 @@ def _onoff_series(
     mean_up: float,
     mean_down: float,
     rng: np.random.Generator,
-) -> np.ndarray:
+) -> NDArray[np.bool_]:
     """Alternating ON/OFF renewal process sampled on the grid.
 
     Durations are exponential; the process starts ON with probability

@@ -5,18 +5,18 @@ Dynamic Placement (Alg. 1), overprovisioning and Dynamic Fallback
 accelerator extension (§6).
 """
 
+from repro.core.heterogeneous import AcceleratorTier, HeterogeneousPolicy
+from repro.core.omniscient import (
+    OmniscientResult,
+    solve_omniscient,
+    solve_omniscient_greedy,
+)
 from repro.core.placement import (
     DynamicSpotPlacer,
     EvenSpreadPlacer,
     RoundRobinPlacer,
     SpotPlacer,
     make_placer,
-)
-from repro.core.heterogeneous import AcceleratorTier, HeterogeneousPolicy
-from repro.core.omniscient import (
-    OmniscientResult,
-    solve_omniscient,
-    solve_omniscient_greedy,
 )
 from repro.core.spothedge import (
     MixturePolicy,

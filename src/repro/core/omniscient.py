@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
@@ -43,11 +44,11 @@ class OmniscientResult:
 
     step: float
     zone_ids: list[str]
-    spot_launched: np.ndarray  # (zones, T)
-    od_launched: np.ndarray  # (T,)
-    spot_ready: np.ndarray  # (T,)
-    od_ready: np.ndarray  # (T,)
-    satisfied: np.ndarray  # (T,) bool: S_r + O_r >= N_Tar
+    spot_launched: NDArray[np.int64]  # (zones, T)
+    od_launched: NDArray[np.int64]  # (T,)
+    spot_ready: NDArray[np.int64]  # (T,)
+    od_ready: NDArray[np.int64]  # (T,)
+    satisfied: NDArray[np.bool_]  # (T,) bool: S_r + O_r >= N_Tar
     cost: float  # in spot replica-steps (the Eq. 1 objective)
     k: float
 
@@ -56,20 +57,23 @@ class OmniscientResult:
         return float(self.satisfied.mean())
 
     @property
-    def ready_total(self) -> np.ndarray:
+    def ready_total(self) -> NDArray[np.int64]:
         return self.spot_ready + self.od_ready
 
     def cost_relative_to_on_demand(self, n_tar: Sequence[int] | int) -> float:
         """Objective normalised by always running N_Tar on-demand."""
         T = self.od_launched.shape[0]
-        n_tar_arr = np.full(T, n_tar) if np.isscalar(n_tar) else np.asarray(n_tar)
+        if isinstance(n_tar, (int, np.integer)):
+            n_tar_arr = np.full(T, int(n_tar), dtype=np.int64)
+        else:
+            n_tar_arr = np.asarray(n_tar, dtype=np.int64)
         baseline = self.k * float(n_tar_arr.sum())
         if baseline <= 0:
             raise ValueError("non-positive on-demand baseline")
         return self.cost / baseline
 
 
-def _resample(trace: SpotTrace, step: float) -> tuple[np.ndarray, int]:
+def _resample(trace: SpotTrace, step: float) -> tuple[NDArray[np.int64], int]:
     """Min-pool trace capacity onto a coarser grid (conservative: a step
     only has capacity if capacity held throughout it)."""
     if step < trace.step:
@@ -121,12 +125,12 @@ def solve_omniscient_greedy(
     # runway[z, t]: how many consecutive steps from t zone z keeps
     # capacity >= 1 more than a hypothetical extra allocation would
     # need.  We compute it per (zone, t) against current usage lazily.
-    spot_launched = np.zeros((Z, T), dtype=int)
-    spot_ready = np.zeros(T, dtype=int)
+    spot_launched = np.zeros((Z, T), dtype=np.int64)
+    spot_ready = np.zeros(T, dtype=np.int64)
     # Each allocation: [zone, age_steps]; age counts continuous steps.
     allocations: list[list[int]] = []
 
-    def runway(zone: int, t: int, used: np.ndarray) -> int:
+    def runway(zone: int, t: int, used: NDArray[np.int64]) -> int:
         length = 0
         while t + length < T and capacity[zone, t + length] > used[zone]:
             length += 1
@@ -135,7 +139,7 @@ def solve_omniscient_greedy(
     for t in range(T):
         # 1. Evict allocations beyond the step's capacity (clairvoyant
         # termination and reclaim cost the same, so simple eviction).
-        used = np.zeros(Z, dtype=int)
+        used = np.zeros(Z, dtype=np.int64)
         surviving: list[list[int]] = []
         for alloc in allocations:
             zone = alloc[0]
@@ -165,7 +169,7 @@ def solve_omniscient_greedy(
     od_ready = np.maximum(n_tar - spot_ready, 0)
     if d_steps > 0:
         od_ready[:d_steps] = 0  # nothing can be ready before one cold start
-    od_launched = np.zeros(T, dtype=int)
+    od_launched = np.zeros(T, dtype=np.int64)
     for t in range(T):
         window_end = min(t + d_steps + 1, T)
         od_launched[t] = od_ready[t : window_end].max() if t < T else 0
@@ -208,9 +212,10 @@ def solve_omniscient(
     step = resample_step if resample_step is not None else trace.step
     capacity, T = _resample(trace, step)
     Z = len(trace.zone_ids)
-    n_tar_arr = (
-        np.full(T, int(n_tar)) if np.isscalar(n_tar) else np.asarray(n_tar, dtype=int)[:T]
-    )
+    if isinstance(n_tar, (int, np.integer)):
+        n_tar_arr = np.full(T, int(n_tar), dtype=np.int64)
+    else:
+        n_tar_arr = np.asarray(n_tar, dtype=np.int64)[:T]
     if n_tar_arr.shape[0] != T:
         raise ValueError(f"n_tar has {n_tar_arr.shape[0]} steps, trace has {T}")
     n_max = int(n_tar_arr.max()) + (2 if n_extra_cap is None else int(n_extra_cap))
@@ -222,10 +227,18 @@ def solve_omniscient(
     def s_idx(z: int, t: int) -> int:
         return t * Z + z
 
-    o_idx = lambda t: n_s + t  # noqa: E731 - index helpers
-    sr_idx = lambda t: n_s + T + t  # noqa: E731
-    or_idx = lambda t: n_s + 2 * T + t  # noqa: E731
-    m_idx = lambda t: n_s + 3 * T + t  # noqa: E731
+    def o_idx(t: int) -> int:
+        return n_s + t
+
+    def sr_idx(t: int) -> int:
+        return n_s + T + t
+
+    def or_idx(t: int) -> int:
+        return n_s + 2 * T + t
+
+    def m_idx(t: int) -> int:
+        return n_s + 3 * T + t
+
     n_vars = n_s + 4 * T
 
     objective = np.zeros(n_vars)
@@ -311,14 +324,14 @@ def solve_omniscient(
         raise RuntimeError(
             f"Omniscient ILP infeasible or timed out: {result.message}"
         )
-    x = np.round(result.x).astype(int)
-    spot_launched = np.zeros((Z, T), dtype=int)
+    x = np.round(result.x).astype(np.int64)
+    spot_launched = np.zeros((Z, T), dtype=np.int64)
     for t in range(T):
         for z in range(Z):
             spot_launched[z, t] = x[s_idx(z, t)]
-    od = np.array([x[o_idx(t)] for t in range(T)])
-    spot_ready = np.array([x[sr_idx(t)] for t in range(T)])
-    od_ready = np.array([x[or_idx(t)] for t in range(T)])
+    od = np.array([x[o_idx(t)] for t in range(T)], dtype=np.int64)
+    spot_ready = np.array([x[sr_idx(t)] for t in range(T)], dtype=np.int64)
+    od_ready = np.array([x[or_idx(t)] for t in range(T)], dtype=np.int64)
     satisfied = (spot_ready + od_ready) >= n_tar_arr
     return OmniscientResult(
         step=step,

@@ -48,9 +48,11 @@ class SpotPlacer(abc.ABC):
     #: Optional decision audit log, propagated down from the owning
     #: policy's ``attach_audit``.  Placers record zone-list transitions
     #: only when one is attached.
-    audit: Optional["PolicyAuditLog"] = None
+    audit: Optional[PolicyAuditLog] = None
 
-    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+    def __init__(
+        self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None
+    ) -> None:
         if not zones:
             raise ValueError("placer needs at least one zone")
         if len(set(zones)) != len(zones):
@@ -203,7 +205,10 @@ class DynamicSpotPlacer(SpotPlacer):
                 if (
                     best_used is None
                     or cost < bs_cost
-                    or (cost == bs_cost and placed < bs_placed)
+                    # Exact equality is the *intended* tie-break: both
+                    # operands are unmodified reads from the same
+                    # zone_costs dict, so it is bit-exact deterministic.
+                    or (cost == bs_cost and placed < bs_placed)  # repro: noqa[REPRO-F001]: same-dict reads, bit-exact tie-break
                 ):
                     best_used, bs_cost, bs_placed = zone, cost, placed
         if best_unused is not None:
@@ -235,7 +240,9 @@ class EvenSpreadPlacer(SpotPlacer):
 
     name = "even_spread"
 
-    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+    def __init__(
+        self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None
+    ) -> None:
         super().__init__(zones, zone_costs)
         self._target = len(self.zones)
 
@@ -278,7 +285,9 @@ class RoundRobinPlacer(SpotPlacer):
 
     name = "round_robin"
 
-    def __init__(self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None):
+    def __init__(
+        self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None
+    ) -> None:
         super().__init__(zones, zone_costs)
         self._next = 0
 
@@ -301,7 +310,7 @@ def make_placer(
     zone_costs: Optional[Mapping[str, float]] = None,
 ) -> SpotPlacer:
     """Instantiate a placer from a spec's ``spot_placer`` name."""
-    placers = {
+    placers: dict[str, type[SpotPlacer]] = {
         "dynamic": DynamicSpotPlacer,
         "even_spread": EvenSpreadPlacer,
         "round_robin": RoundRobinPlacer,

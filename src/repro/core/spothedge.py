@@ -106,7 +106,7 @@ class MixturePolicy(ServingPolicy):
         #: ever exist, so the cache stays tiny.
         self._mix_cache: dict[tuple[int, int], MixTarget] = {}
 
-    def attach_audit(self, audit: "PolicyAuditLog") -> None:
+    def attach_audit(self, audit: PolicyAuditLog) -> None:
         """Record mixture decisions here and placement decisions in the
         placer against the same log."""
         super().attach_audit(audit)

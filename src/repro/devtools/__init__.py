@@ -1,0 +1,11 @@
+"""Developer tooling for the reproduction itself.
+
+``repro.devtools`` is deliberately *not* imported by any simulation or
+serving code path: it holds the machinery that keeps the rest of the
+repository honest.  Today that is :mod:`repro.devtools.lint`, an
+AST-based static analyzer that encodes the simulator's determinism and
+hygiene invariants as machine-checked rules (run it with ``repro
+lint``).
+"""
+
+__all__: list[str] = []

@@ -1,0 +1,185 @@
+"""Argument wiring and entry point for ``repro lint``.
+
+Kept separate from :mod:`repro.cli` so the main CLI can lazy-import it:
+the simulator never pays for the linter, and the linter never imports
+the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.lint.engine import LintReport, lint_paths
+from repro.devtools.lint.rules import ALL_RULES, rules_by_id
+
+__all__ = ["add_lint_args", "default_target", "run"]
+
+
+def default_target() -> Path:
+    """The source tree of the installed ``repro`` package (``src/`` in a
+    checkout, the package directory in an installed environment)."""
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    return package_dir
+
+
+def add_lint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable; id like REPRO-F001 or name "
+        "like float-equality)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=0,
+        help="maximum allowed unsuppressed diagnostics (default 0)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="ignore findings recorded in this baseline JSON file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current unsuppressed findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+
+
+def _changed_files(targets: Sequence[Path]) -> Optional[list[Path]]:
+    """Python files changed vs HEAD (tracked) or untracked, limited to
+    the lint targets.  ``None`` when git is unavailable."""
+    commands = [
+        ["git", "diff", "--name-only", "--diff-filter=d", "HEAD", "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+    ]
+    names: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.update(line for line in proc.stdout.splitlines() if line)
+    resolved_targets = [t.resolve() for t in targets]
+    changed: list[Path] = []
+    for name in sorted(names):
+        path = Path(name)
+        if not path.exists():
+            continue
+        resolved = path.resolve()
+        if any(
+            resolved == target or target in resolved.parents
+            for target in resolved_targets
+        ):
+            changed.append(path)
+    return changed
+
+
+def run(args: argparse.Namespace) -> int:
+    rules = ALL_RULES
+    if args.rule:
+        try:
+            rules = rules_by_id(args.rule)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name}")
+            print(f"    {rule.rationale}")
+            print(f"    fix: {rule.fix_hint}")
+        return 0
+
+    targets = (
+        [Path(p) for p in args.paths] if args.paths else [default_target()]
+    )
+    for target in targets:
+        if not target.exists():
+            raise SystemExit(f"no such lint target: {target}")
+
+    if args.changed:
+        changed = _changed_files(targets)
+        if changed is None:
+            print(
+                "warning: git unavailable, linting all targets",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print("repro lint: no changed Python files")
+            return 0
+        else:
+            targets = changed
+
+    report = lint_paths(targets, rules)
+    if args.rule:
+        report = report.filter_rules([rule.id for rule in rules])
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            keys = json.loads(baseline_path.read_text())
+            report = report.apply_baseline(keys)
+
+    if args.write_baseline:
+        keys = sorted({d.baseline_key() for d in report.unsuppressed})
+        Path(args.write_baseline).write_text(json.dumps(keys, indent=2))
+        print(
+            f"wrote {len(keys)} baseline entr{'y' if len(keys) == 1 else 'ies'} "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    return render_report(report, rules, args.format, args.budget)
+
+
+def render_report(
+    report: LintReport,
+    rules: Sequence,
+    fmt: str,
+    budget: int,
+) -> int:
+    unsuppressed = report.unsuppressed
+    if fmt == "json":
+        print(report.to_json(rules=rules))
+    else:
+        for diagnostic in unsuppressed:
+            print(diagnostic.render())
+        print(
+            f"repro lint: {report.files_checked} files, "
+            f"{len(unsuppressed)} diagnostic(s), "
+            f"{report.suppressed_count} suppressed"
+        )
+    return 0 if len(unsuppressed) <= budget else 1

@@ -1,0 +1,416 @@
+"""AST rule engine for ``repro lint``.
+
+The engine is deliberately small and dependency-free:
+
+* :class:`Rule` — one invariant, expressed as a set of AST node types
+  the rule wants to see (``interests``) plus a ``visit`` method run on
+  each matching node.  Rules can scope themselves to sub-trees of the
+  package (``include`` / ``exclude`` path prefixes), mirroring how the
+  invariants themselves are scoped (wall-clock reads are fine in
+  ``telemetry/``, fatal in ``sim/``).
+* :class:`Diagnostic` — one finding: rule id, file, line/column,
+  message, and a fix hint.
+* a single AST walk per file that dispatches nodes to every interested
+  rule, then a suppression pass over ``# repro: noqa[RULE-ID]``
+  comments.
+
+Suppressions are themselves linted: a ``noqa`` marker must carry a
+justification (text after the bracket, e.g. ``# repro: noqa[REPRO-F001]:
+exact tie-break, both operands read from the same dict``) or the engine
+emits ``REPRO-N000``; a marker that suppresses nothing emits
+``REPRO-N001`` so stale suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: The suppression marker (bare or with a bracketed rule-id list, plus
+#: an optional trailing justification) — syntax in the module docstring.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9,\s\-]+)\])?(?P<rest>.*)$"
+)
+
+#: Rule ids reserved by the engine itself.
+PARSE_ERROR_ID = "REPRO-P000"
+BARE_SUPPRESSION_ID = "REPRO-N000"
+UNUSED_SUPPRESSION_ID = "REPRO-N001"
+
+META_RULES: dict[str, str] = {
+    PARSE_ERROR_ID: "file does not parse",
+    BARE_SUPPRESSION_ID: "suppression without a justification",
+    UNUSED_SUPPRESSION_ID: "suppression that suppresses nothing",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+    suppressed: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{mark}"
+        if self.fix_hint and not self.suppressed:
+            text += f"\n    hint: {self.fix_hint}"
+        return text
+
+    def baseline_key(self) -> str:
+        """Line-independent identity used by ``--baseline`` files, so a
+        baseline survives unrelated edits above the finding."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file being linted."""
+
+    path: str  # display path (as given on the command line)
+    relpath: str  # posix path relative to the repro package root
+    source: str
+    lines: list[str] = field(default_factory=list)
+    tree: Optional[ast.AST] = None
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """Whether the file lives under any of the package-relative
+        ``prefixes`` (``"sim/"``) or *is* one of them (``"cli.py"``)."""
+        return any(
+            self.relpath == p or self.relpath.startswith(p) for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`visit`.
+    ``interests`` limits which AST node types the engine feeds to the
+    rule; ``include``/``exclude`` are package-relative path prefixes
+    (empty ``include`` means the rule applies everywhere).
+    """
+
+    id: str = "REPRO-X000"
+    name: str = "unnamed"
+    rationale: str = ""
+    fix_hint: str = ""
+    interests: tuple[type, ...] = ()
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if self.exclude and ctx.in_dir(*self.exclude):
+            return False
+        if self.include:
+            return ctx.in_dir(*self.include)
+        return True
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``node``.  Default: nothing."""
+        return iter(())
+
+    def diag(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        *,
+        fix_hint: Optional[str] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one lint run, suppressed findings included."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.suppressed)
+
+    def extend(self, other: LintReport) -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+
+    def filter_rules(self, rule_ids: Sequence[str]) -> LintReport:
+        """A report restricted to ``rule_ids`` (engine meta rules are
+        always kept — a parse error is never opt-out)."""
+        keep = set(rule_ids) | set(META_RULES)
+        kept = [d for d in self.diagnostics if d.rule in keep]
+        return LintReport(diagnostics=kept, files_checked=self.files_checked)
+
+    def apply_baseline(self, keys: Iterable[str]) -> LintReport:
+        """Mark unsuppressed findings whose baseline key is known as
+        suppressed (they pre-date the baseline and are tracked there)."""
+        known = set(keys)
+        out = [
+            replace(d, suppressed=True)
+            if not d.suppressed and d.baseline_key() in known
+            else d
+            for d in self.diagnostics
+        ]
+        return LintReport(diagnostics=out, files_checked=self.files_checked)
+
+    def to_json(self, *, rules: Sequence[Rule] = ()) -> str:
+        """Deterministic machine-readable form (stable key order, stable
+        diagnostic order) — the contract ``--format json`` tests pin."""
+        payload = {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "counts": {
+                "unsuppressed": len(self.unsuppressed),
+                "suppressed": self.suppressed_count,
+            },
+            "rules": {
+                rule.id: {"name": rule.name, "rationale": rule.rationale}
+                for rule in sorted(rules, key=lambda r: r.id)
+            },
+            "diagnostics": [
+                d.to_dict()
+                for d in sorted(
+                    self.diagnostics,
+                    key=lambda d: (d.path, d.line, d.col, d.rule),
+                )
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _relpath_of(path: Path) -> str:
+    """Package-relative posix path: the part after the last ``repro``
+    directory component, or the bare file name outside the package."""
+    parts = list(path.parts)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return path.name
+
+
+def _walk_with_dispatch(
+    tree: ast.AST, rules: Sequence[Rule], ctx: FileContext
+) -> list[Diagnostic]:
+    """One pass over the tree, feeding each node to interested rules."""
+    dispatch: dict[type, list[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.interests:
+            dispatch.setdefault(node_type, []).append(rule)
+    found: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        interested = dispatch.get(type(node))
+        if interested is None:
+            continue
+        for rule in interested:
+            found.extend(rule.visit(node, ctx))
+    return found
+
+
+def _comment_lines(source: str) -> dict[int, str]:
+    """Map line number -> comment text, via the tokenizer so that
+    marker text inside string literals and docstrings is ignored."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: suppressions before it were collected
+    return comments
+
+
+def _apply_suppressions(
+    found: list[Diagnostic], ctx: FileContext
+) -> list[Diagnostic]:
+    """Resolve ``# repro: noqa`` markers and lint the markers themselves."""
+    markers: dict[int, tuple[Optional[set[str]], bool]] = {}
+    for lineno, line in sorted(_comment_lines(ctx.source).items()):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        ids_raw = match.group("ids")
+        ids = (
+            {part.strip() for part in ids_raw.split(",") if part.strip()}
+            if ids_raw is not None
+            else None
+        )
+        justification = match.group("rest").strip().lstrip(":-—– ").strip()
+        markers[lineno] = (ids, bool(justification))
+
+    used: set[int] = set()
+    out: list[Diagnostic] = []
+    for diagnostic in found:
+        marker = markers.get(diagnostic.line)
+        if marker is not None:
+            ids, _ = marker
+            if ids is None or diagnostic.rule in ids:
+                used.add(diagnostic.line)
+                out.append(replace(diagnostic, suppressed=True))
+                continue
+        out.append(diagnostic)
+
+    for lineno, (ids, justified) in sorted(markers.items()):
+        if not justified:
+            out.append(
+                Diagnostic(
+                    rule=BARE_SUPPRESSION_ID,
+                    path=ctx.path,
+                    line=lineno,
+                    col=0,
+                    message="suppression without a justification",
+                    fix_hint=(
+                        "append the reason after the marker, e.g. "
+                        "'# repro: noqa[RULE]: why this is safe'"
+                    ),
+                )
+            )
+        if lineno not in used:
+            label = ",".join(sorted(ids)) if ids else "all rules"
+            out.append(
+                Diagnostic(
+                    rule=UNUSED_SUPPRESSION_ID,
+                    path=ctx.path,
+                    line=lineno,
+                    col=0,
+                    message=f"suppression of {label} matches no diagnostic",
+                    fix_hint="delete the stale '# repro: noqa' marker",
+                )
+            )
+    return out
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: str = "<memory>",
+    virtual: Optional[str] = None,
+) -> LintReport:
+    """Lint a source string.
+
+    ``virtual`` sets the package-relative path used for rule scoping —
+    tests use it to lint fixture code *as if* it lived in, say,
+    ``core/`` without touching the real package.
+    """
+    relpath = virtual if virtual is not None else _relpath_of(Path(path))
+    ctx = FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=source.splitlines(),
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return LintReport(
+            diagnostics=[
+                Diagnostic(
+                    rule=PARSE_ERROR_ID,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            files_checked=1,
+        )
+    ctx.tree = tree
+    active = [rule for rule in rules if rule.applies_to(ctx)]
+    found = _walk_with_dispatch(tree, active, ctx)
+    found = _apply_suppressions(found, ctx)
+    report = LintReport(diagnostics=found, files_checked=1)
+    report.sort()
+    return report
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule],
+    *,
+    virtual: Optional[str] = None,
+) -> LintReport:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(
+        file_path.read_text(encoding="utf-8"),
+        rules,
+        path=str(path),
+        virtual=virtual,
+    )
+
+
+def iter_python_files(root: str | Path) -> list[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself if it is a
+    file), sorted for deterministic report order."""
+    root_path = Path(root)
+    if root_path.is_file():
+        return [root_path]
+    return sorted(
+        p for p in root_path.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Sequence[Rule]
+) -> LintReport:
+    """Lint every Python file under each of ``paths``."""
+    report = LintReport()
+    seen: set[Path] = set()
+    for path in paths:
+        for file_path in iter_python_files(path):
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            report.extend(lint_file(file_path, rules))
+    report.sort()
+    return report

@@ -10,14 +10,6 @@ from repro.experiments.endtoend import (
     spot_zone_costs,
     standard_policies,
 )
-from repro.experiments.sweep import SweepPoint, grid_sweep
-from repro.experiments.results import (
-    ReplayCache,
-    ResultStore,
-    replay_result_from_dict,
-    replay_result_to_dict,
-    service_report_to_dict,
-)
 from repro.experiments.replay import (
     ReplayConfig,
     ReplayResult,
@@ -25,6 +17,14 @@ from repro.experiments.replay import (
     erlang_c_wait,
     estimate_latency,
 )
+from repro.experiments.results import (
+    ReplayCache,
+    ResultStore,
+    replay_result_from_dict,
+    replay_result_to_dict,
+    service_report_to_dict,
+)
+from repro.experiments.sweep import SweepPoint, grid_sweep
 
 __all__ = [
     "EndToEndResult",

@@ -258,7 +258,7 @@ class ResultStore:
         Path(path).write_text(json.dumps(self.to_document(), indent=2))
 
     @classmethod
-    def load(cls, path: str | Path) -> "ResultStore":
+    def load(cls, path: str | Path) -> ResultStore:
         data = json.loads(Path(path).read_text())
         store = cls(metadata=data.get("metadata", {}))
         store._records = data.get("experiments", {})

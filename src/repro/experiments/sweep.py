@@ -17,12 +17,12 @@ assert ``workers=4`` output equals ``workers=1`` byte for byte).
 from __future__ import annotations
 
 import itertools
-import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.sim.rng import derive_seed
+from repro.telemetry.clock import wall_monotonic
 from repro.telemetry.events import NULL_BUS, EventBus, SweepProgress
 
 __all__ = ["SweepPoint", "grid_sweep"]
@@ -123,7 +123,8 @@ def grid_sweep(
     multi-seed figure sweep is one call.  ``telemetry`` receives one
     :class:`~repro.telemetry.events.SweepProgress` event per completed
     point, in point order, timestamped with wall-clock
-    ``time.monotonic()``.
+    :func:`repro.telemetry.clock.wall_monotonic` (progress is an
+    observability concern; simulated code never reads real time).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -140,7 +141,7 @@ def grid_sweep(
             if bus.enabled:
                 bus.emit(
                     SweepProgress(
-                        time.monotonic(), index, total, point.label(), point.ok
+                        wall_monotonic(), index, total, point.label(), point.ok
                     )
                 )
         return points
@@ -160,7 +161,7 @@ def grid_sweep(
             if bus.enabled:
                 bus.emit(
                     SweepProgress(
-                        time.monotonic(), index, total, point.label(), point.ok
+                        wall_monotonic(), index, total, point.label(), point.ok
                     )
                 )
     return points

@@ -87,9 +87,9 @@ class ServingPolicy(abc.ABC):
 
     #: Decision audit log (``repro.telemetry.audit``); ``None`` keeps the
     #: policy silent.  Attached by the service when telemetry is on.
-    audit: Optional["PolicyAuditLog"] = None
+    audit: Optional[PolicyAuditLog] = None
 
-    def attach_audit(self, audit: "PolicyAuditLog") -> None:
+    def attach_audit(self, audit: PolicyAuditLog) -> None:
         """Start recording this policy's decisions into ``audit``.
 
         Subclasses with internal decision-makers (placers) should

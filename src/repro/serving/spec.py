@@ -48,7 +48,7 @@ class DomainFilter:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict[str, str]) -> "DomainFilter":
+    def from_dict(cls, data: dict[str, str]) -> DomainFilter:
         return cls(
             cloud=data.get("cloud"), region=data.get("region"), zone=data.get("zone")
         )
@@ -109,7 +109,7 @@ class ReplicaPolicyConfig:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ReplicaPolicyConfig":
+    def from_dict(cls, data: dict[str, Any]) -> ReplicaPolicyConfig:
         return cls(**data)
 
 
@@ -156,7 +156,7 @@ class ResourceSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ResourceSpec":
+    def from_dict(cls, data: dict[str, Any]) -> ResourceSpec:
         return cls(
             accelerator=data.get("accelerator", "A10G"),
             any_of=tuple(DomainFilter.from_dict(f) for f in data.get("any_of", [])),
@@ -196,7 +196,7 @@ class ServiceSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ServiceSpec":
+    def from_dict(cls, data: dict[str, Any]) -> ServiceSpec:
         return cls(
             name=data.get("name", "service"),
             readiness_probe_path=data.get("readiness_probe", {}).get("path", "/health"),

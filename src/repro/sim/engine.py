@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.events import EventBus
@@ -54,7 +54,7 @@ class _ScheduledEvent:
     cancelled: bool = field(default=False, compare=False)
     #: Set once the entry has left the heap (fired or skipped).
     popped: bool = field(default=False, compare=False)
-    engine: Optional["SimulationEngine"] = field(
+    engine: Optional[SimulationEngine] = field(
         default=None, compare=False, repr=False
     )
 
@@ -97,7 +97,7 @@ class SimulationEngine:
         self,
         start_time: float = 0.0,
         *,
-        telemetry: Optional["EventBus"] = None,
+        telemetry: Optional[EventBus] = None,
     ) -> None:
         self._now = float(start_time)
         self._queue: list[_ScheduledEvent] = []
@@ -177,7 +177,7 @@ class SimulationEngine:
         # The recurring timer is implemented by re-scheduling from inside
         # the tick.  A shared cell lets the caller's handle cancel the
         # currently queued tick, whichever one that is.
-        cell: dict[str, Any] = {}
+        cell: dict[str, _ScheduledEvent] = {}
 
         def tick() -> None:
             callback()

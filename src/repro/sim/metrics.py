@@ -258,7 +258,7 @@ class LatencyRecorder:
             )
         data = np.asarray(self._samples, dtype=float)
         p10, p25, p50, p75, p90 = (
-            float(np.percentile(data, q)) for q in (10, 25, 50, 75, 90)
+            float(q) for q in np.percentile(data, (10, 25, 50, 75, 90))
         )
         return BoxPlotStats(
             count=int(data.size),

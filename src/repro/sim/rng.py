@@ -60,6 +60,6 @@ class RngRegistry:
             self._streams[name] = generator
         return generator
 
-    def fork(self, name: str) -> "RngRegistry":
+    def fork(self, name: str) -> RngRegistry:
         """Create a child registry whose streams are independent of ours."""
         return RngRegistry(derive_seed(self._root_seed, f"fork:{name}"))

@@ -16,6 +16,9 @@ The observability layer of the reproduction (see
     Timeline/summary rendering for the ``repro events`` CLI subcommand.
 ``repro.telemetry.logsetup``
     Stdlib logging configuration under the single ``repro`` root logger.
+``repro.telemetry.clock``
+    The sanctioned wall-clock accessors — the only place outside the
+    CLI where real time may be read (enforced by ``repro lint``).
 
 Telemetry is opt-in and zero-overhead when disabled: components publish
 onto :data:`NULL_BUS` unless a configured :class:`EventBus` is passed in
@@ -24,6 +27,7 @@ or ``repro serve --events out.jsonl`` from the CLI).
 """
 
 from repro.telemetry.audit import AuditRecord, PolicyAuditLog
+from repro.telemetry.clock import wall_monotonic, wall_time
 from repro.telemetry.events import (
     NULL_BUS,
     AutoscaleDecision,
@@ -94,4 +98,6 @@ __all__ = [
     "read_events",
     "root_logger",
     "summarize",
+    "wall_monotonic",
+    "wall_time",
 ]

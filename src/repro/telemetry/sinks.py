@@ -15,8 +15,7 @@ Three are provided:
 from __future__ import annotations
 
 import json
-from collections import Counter as _Counter
-from collections import deque
+from collections import Counter as _Counter, deque
 from pathlib import Path
 from typing import Callable, Iterator, Optional, TextIO, Union
 
@@ -83,7 +82,7 @@ class JsonlSink:
         if self._owns_file and not self._file.closed:
             self._file.close()
 
-    def __enter__(self) -> "JsonlSink":
+    def __enter__(self) -> JsonlSink:
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -1,12 +1,12 @@
 """Workload generators: Poisson, Arena-like, and MAF-like (§5.2)."""
 
-from repro.workloads.io import load_requests_csv, save_requests_csv
 from repro.workloads.generators import (
     arena_workload,
     maf_workload,
     poisson_workload,
     rate_modulated_arrivals,
 )
+from repro.workloads.io import load_requests_csv, save_requests_csv
 from repro.workloads.request import Request, Workload
 
 __all__ = [

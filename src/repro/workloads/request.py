@@ -99,7 +99,7 @@ class Workload:
             return 0.0
         return float(gaps.std() / gaps.mean())
 
-    def slice(self, start: float, end: float) -> "Workload":
+    def slice(self, start: float, end: float) -> Workload:
         """Sub-workload with arrivals in ``[start, end)``, re-timed to 0."""
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")

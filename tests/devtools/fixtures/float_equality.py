@@ -1,0 +1,22 @@
+"""Fixture for REPRO-F001 (float-equality).  Linted as core/fixture.py."""
+import math
+
+
+def bad_cost(cost_a, cost_b):
+    return cost_a == cost_b  # BAD: exact equality on accumulated cost
+
+
+def bad_latency(latency):
+    return latency != 0.0  # BAD: exact inequality on latency
+
+
+def good_tolerance(cost_a, cost_b):
+    return math.isclose(cost_a, cost_b, rel_tol=1e-9)
+
+
+def good_string(name):
+    return name == "cost_model"  # string comparison, not numeric
+
+
+def suppressed(cost_a, cost_b):
+    return cost_a == cost_b  # repro: noqa[REPRO-F001]: fixture exercising suppression

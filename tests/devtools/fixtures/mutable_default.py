@@ -1,0 +1,25 @@
+"""Fixture for REPRO-M001 (mutable-default).  Linted as serving/fixture.py."""
+
+
+def bad_list(items=[]):  # BAD: shared list across calls
+    return items
+
+
+def bad_dict(mapping={}):  # BAD: shared dict across calls
+    return mapping
+
+
+def bad_call(seen=set()):  # BAD: set() evaluated once per process
+    return seen
+
+
+def good_none(items=None):
+    return list(items or ())
+
+
+def good_frozen(excluded=frozenset()):
+    return excluded  # immutable default is fine
+
+
+def suppressed(cache={}):  # repro: noqa[REPRO-M001]: fixture exercising suppression
+    return cache

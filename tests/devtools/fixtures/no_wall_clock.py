@@ -1,0 +1,23 @@
+"""Fixture for REPRO-T001 (no-wall-clock).  Linted as sim/fixture.py."""
+import time
+from time import monotonic  # BAD: wall-clock import
+
+
+def bad_time():
+    return time.time()  # BAD: epoch read in simulated code
+
+
+def bad_monotonic():
+    return time.monotonic()  # BAD: wall-clock read
+
+
+def good(engine):
+    return engine.now  # simulated time
+
+
+def good_sleepless(duration):
+    return duration * 2  # arithmetic on simulated durations is fine
+
+
+def suppressed():
+    return time.perf_counter()  # repro: noqa[REPRO-T001]: fixture exercising suppression

@@ -1,0 +1,37 @@
+"""Fixture for REPRO-O001 (ordered-iteration).  Linted as sim/fixture.py."""
+
+
+def bad_set_literal():
+    out = []
+    for zone in {"a", "b", "c"}:  # BAD: set order + append body
+        out.append(zone)
+    return out
+
+
+def bad_dict_keys(table, rng):
+    draws = []
+    for key in table.keys():  # BAD: keys() iteration + RNG body
+        draws.append(rng.normal())
+    return draws
+
+
+def bad_listcomp(zones):
+    return [z for z in set(zones)]  # BAD: list built from a set
+
+
+def good_sorted(zones):
+    out = []
+    for zone in sorted(zones):
+        out.append(zone)
+    return out
+
+
+def good_insensitive(zones):
+    total = 0
+    for zone in {"a", "b"}:  # order-insensitive body: no diagnostics
+        total += len(zone)
+    return total
+
+
+def suppressed(zones):
+    return [z for z in set(zones)]  # repro: noqa[REPRO-O001]: fixture exercising suppression

@@ -1,0 +1,26 @@
+"""Fixture for REPRO-E001 (raw-event).  Linted as serving/fixture.py."""
+from repro.sim.engine import _ScheduledEvent
+
+
+def bad_construct(callback):
+    return _ScheduledEvent(time=0.0, seq=0, callback=callback)  # BAD
+
+
+def bad_queue_peek(engine):
+    return engine._queue[0]  # BAD: engine heap touched directly
+
+
+def good_schedule(engine, callback):
+    return engine.call_after(1.0, callback)
+
+
+class GoodComponent:
+    def __init__(self):
+        self._queue = []  # a component-local queue is not the engine heap
+
+    def pending(self):
+        return len(self._queue)
+
+
+def suppressed(engine):
+    return len(engine._queue)  # repro: noqa[REPRO-E001]: fixture exercising suppression

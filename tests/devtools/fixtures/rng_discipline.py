@@ -1,0 +1,31 @@
+"""Fixture for REPRO-R001 (rng-discipline).  Linted as core/fixture.py."""
+import random  # BAD: stdlib random draws from process-global state
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+
+
+def bad_global_draw():
+    return np.random.normal()  # BAD: hidden global numpy RNG
+
+
+def bad_unseeded():
+    return np.random.default_rng()  # BAD: seeded from OS entropy
+
+
+def bad_underived(seed):
+    return np.random.default_rng(seed)  # BAD: seed not via derive_seed
+
+
+def good(seed):
+    return np.random.default_rng(derive_seed(seed, "stream"))
+
+
+def good_shuffle(rng, items):
+    rng.shuffle(items)  # bound generator method, not the global RNG
+    return items
+
+
+def suppressed():
+    return np.random.default_rng(1234)  # repro: noqa[REPRO-R001]: fixture exercising suppression

@@ -1,0 +1,36 @@
+"""Fixture for REPRO-X001 (swallowed-exception).  Linted as sim/fixture.py."""
+
+
+def bad_bare(fn):
+    try:
+        fn()
+    except:  # BAD: bare except traps SystemExit/KeyboardInterrupt
+        pass
+
+
+def bad_broad_silent(fn):
+    try:
+        fn()
+    except Exception:  # BAD: silently swallowed in simulation code
+        pass
+
+
+def good_narrow(fn, log):
+    try:
+        fn()
+    except ValueError:
+        log.warning("bad value")
+
+
+def good_reraise(fn):
+    try:
+        fn()
+    except Exception:
+        raise
+
+
+def suppressed(fn):
+    try:
+        fn()
+    except Exception:  # repro: noqa[REPRO-X001]: fixture exercising suppression
+        pass

@@ -1,0 +1,25 @@
+"""Fixture for REPRO-J001 (telemetry-json).  Linted as serving/fixture.py."""
+
+
+def bad_set_literal(bus, a, b):
+    bus.emit({a, b})  # BAD: sets serialise in nondeterministic order
+
+
+def bad_set_call(audit, zones):
+    audit.record("rebalance", zones=set(zones))  # BAD: set() payload
+
+
+def bad_generator(bus, items):
+    bus.emit(x for x in items)  # BAD: generators are not JSON
+
+
+def good_sorted(audit, zones):
+    audit.record("rebalance", zones=sorted(zones))
+
+
+def good_scalar(series, now, value):
+    series.record(now, value)
+
+
+def suppressed(audit, zones):
+    audit.record("zones", zones=set(zones))  # repro: noqa[REPRO-J001]: fixture exercising suppression

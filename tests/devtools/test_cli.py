@@ -1,0 +1,112 @@
+"""``repro lint`` CLI behaviour through the real argument parser."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+FIXTURE = Path(__file__).parent / "fixtures" / "float_equality.py"
+
+
+def run_lint(argv: list[str], capsys: pytest.CaptureFixture) -> tuple[int, str]:
+    args = build_parser().parse_args(["lint", *argv])
+    code = args.func(args)
+    return code, capsys.readouterr().out
+
+
+def test_text_format_reports_and_fails(capsys: pytest.CaptureFixture) -> None:
+    code, out = run_lint([str(FIXTURE), "--rule", "REPRO-F001"], capsys)
+    assert code == 1
+    assert "repro lint: 1 files, 2 diagnostic(s), 1 suppressed" in out
+    assert out.count("REPRO-F001") == 2
+    assert "hint:" in out
+
+
+def test_budget_allows_known_findings(capsys: pytest.CaptureFixture) -> None:
+    code, _ = run_lint(
+        [str(FIXTURE), "--rule", "REPRO-F001", "--budget", "2"], capsys
+    )
+    assert code == 0
+
+
+def test_rule_selection_by_name_matches_id(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    _, by_id = run_lint(
+        [str(FIXTURE), "--rule", "REPRO-F001", "--format", "json"], capsys
+    )
+    _, by_name = run_lint(
+        [str(FIXTURE), "--rule", "float-equality", "--format", "json"], capsys
+    )
+    assert by_id == by_name
+
+
+def test_json_output_is_byte_stable(capsys: pytest.CaptureFixture) -> None:
+    argv = [str(FIXTURE), "--rule", "REPRO-F001", "--format", "json"]
+    code_a, first = run_lint(argv, capsys)
+    code_b, second = run_lint(argv, capsys)
+    assert (code_a, code_b) == (1, 1)
+    assert first == second
+    payload = json.loads(first)
+    assert payload["version"] == 1
+    assert payload["counts"] == {"suppressed": 1, "unsuppressed": 2}
+    assert [d["rule"] for d in payload["diagnostics"]].count("REPRO-F001") == 3
+
+
+def test_unknown_rule_exits_with_known_rule_list(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    with pytest.raises(SystemExit, match="REPRO-F001"):
+        run_lint([str(FIXTURE), "--rule", "no-such-rule"], capsys)
+
+
+def test_missing_target_exits(capsys: pytest.CaptureFixture) -> None:
+    with pytest.raises(SystemExit, match="no such lint target"):
+        run_lint(["/no/such/path.py"], capsys)
+
+
+def test_list_rules_prints_the_pack(capsys: pytest.CaptureFixture) -> None:
+    code, out = run_lint(["--list-rules"], capsys)
+    assert code == 0
+    for rule_id in (
+        "REPRO-R001",
+        "REPRO-T001",
+        "REPRO-O001",
+        "REPRO-F001",
+        "REPRO-M001",
+        "REPRO-E001",
+        "REPRO-X001",
+        "REPRO-J001",
+    ):
+        assert rule_id in out
+
+
+def test_write_baseline_then_apply(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    baseline = tmp_path / "lint-baseline.json"
+    code, out = run_lint(
+        [
+            str(FIXTURE),
+            "--rule",
+            "REPRO-F001",
+            "--write-baseline",
+            str(baseline),
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "wrote 2 baseline entries" in out
+    keys = json.loads(baseline.read_text())
+    assert len(keys) == 2 and all(k.startswith("REPRO-F001|") for k in keys)
+
+    code, out = run_lint(
+        [str(FIXTURE), "--rule", "REPRO-F001", "--baseline", str(baseline)],
+        capsys,
+    )
+    assert code == 0
+    assert "0 diagnostic(s), 3 suppressed" in out

@@ -1,0 +1,143 @@
+"""Engine semantics: suppression linting, meta rules, baselines,
+virtual path scoping, and the deterministic JSON contract."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.engine import (
+    BARE_SUPPRESSION_ID,
+    PARSE_ERROR_ID,
+    UNUSED_SUPPRESSION_ID,
+    Diagnostic,
+    LintReport,
+    lint_source,
+)
+from repro.devtools.lint.rules import ALL_RULES
+
+
+def test_justified_suppression() -> None:
+    source = (
+        "same = cost_a == cost_b"
+        "  # repro: noqa[REPRO-F001]: bit-exact tie-break on purpose\n"
+    )
+    report = lint_source(source, ALL_RULES)
+    assert report.unsuppressed == []
+    assert report.suppressed_count == 1
+    assert report.diagnostics[0].rule == "REPRO-F001"
+
+
+def test_unjustified_suppression_is_itself_flagged() -> None:
+    source = "same = cost_a == cost_b  # repro: noqa[REPRO-F001]\n"
+    report = lint_source(source, ALL_RULES)
+    # The finding is suppressed, but the naked marker draws N000.
+    assert [d.rule for d in report.unsuppressed] == [BARE_SUPPRESSION_ID]
+    assert report.suppressed_count == 1
+
+
+def test_unused_suppression_is_flagged() -> None:
+    source = "x = 1  # repro: noqa[REPRO-F001]: nothing to suppress here\n"
+    report = lint_source(source, ALL_RULES)
+    assert [d.rule for d in report.unsuppressed] == [UNUSED_SUPPRESSION_ID]
+    assert "REPRO-F001" in report.unsuppressed[0].message
+
+
+def test_bare_marker_suppresses_any_rule_on_the_line() -> None:
+    source = (
+        "same = cost_a == cost_b  # repro: noqa: fixture covers both ops\n"
+    )
+    report = lint_source(source, ALL_RULES)
+    assert report.unsuppressed == []
+    assert report.suppressed_count == 1
+
+
+def test_multi_id_marker() -> None:
+    source = (
+        "check = lambda cost=[]: cost == []"
+        "  # repro: noqa[REPRO-F001, REPRO-M001]: fixture\n"
+    )
+    report = lint_source(source, ALL_RULES)
+    assert report.unsuppressed == []
+    assert sorted(d.rule for d in report.diagnostics) == [
+        "REPRO-F001",
+        "REPRO-M001",
+    ]
+
+
+def test_marker_for_other_rule_does_not_suppress() -> None:
+    source = "same = cost_a == cost_b  # repro: noqa[REPRO-M001]: wrong id\n"
+    report = lint_source(source, ALL_RULES)
+    rules_found = sorted(d.rule for d in report.unsuppressed)
+    # The F001 finding survives and the M001 marker is stale.
+    assert rules_found == ["REPRO-F001", UNUSED_SUPPRESSION_ID]
+
+
+def test_marker_inside_docstring_is_not_a_marker() -> None:
+    source = '"""# repro: noqa[REPRO-F001]: text in a docstring"""\nx = 1\n'
+    report = lint_source(source, ALL_RULES)
+    assert report.diagnostics == []
+
+
+def test_parse_error_yields_single_meta_diagnostic() -> None:
+    report = lint_source("def broken(:\n", ALL_RULES, path="broken.py")
+    assert [d.rule for d in report.diagnostics] == [PARSE_ERROR_ID]
+    assert report.files_checked == 1
+    assert report.unsuppressed[0].path == "broken.py"
+
+
+def test_virtual_path_scopes_rules() -> None:
+    source = "import time\nelapsed = time.monotonic()\n"
+    in_sim = lint_source(source, ALL_RULES, virtual="sim/progress.py")
+    assert [d.rule for d in in_sim.unsuppressed] == ["REPRO-T001"]
+    in_telemetry = lint_source(
+        source, ALL_RULES, virtual="telemetry/progress.py"
+    )
+    assert in_telemetry.diagnostics == []
+
+
+def test_filter_rules_always_keeps_meta() -> None:
+    report = LintReport(
+        diagnostics=[
+            Diagnostic("REPRO-F001", "a.py", 1, 0, "float eq"),
+            Diagnostic(UNUSED_SUPPRESSION_ID, "a.py", 2, 0, "stale"),
+        ],
+        files_checked=1,
+    )
+    kept = report.filter_rules(["REPRO-M001"])
+    assert [d.rule for d in kept.diagnostics] == [UNUSED_SUPPRESSION_ID]
+    assert kept.files_checked == 1
+
+
+def test_apply_baseline_round_trip() -> None:
+    source = "a = cost_a == cost_b\nb = price_x != price_y\n"
+    report = lint_source(source, ALL_RULES)
+    assert len(report.unsuppressed) == 2
+    keys = [d.baseline_key() for d in report.unsuppressed]
+    rebased = report.apply_baseline(keys)
+    assert rebased.unsuppressed == []
+    assert rebased.suppressed_count == 2
+    # A key is line-independent: rule|path|message.
+    assert keys[0].startswith("REPRO-F001|")
+
+
+def test_json_output_is_deterministic_and_versioned() -> None:
+    source = "a = cost_a == cost_b\n"
+    report = lint_source(source, ALL_RULES)
+    first = report.to_json(rules=ALL_RULES)
+    second = report.to_json(rules=ALL_RULES)
+    assert first == second
+    payload = json.loads(first)
+    assert payload["version"] == 1
+    assert payload["counts"] == {"suppressed": 0, "unsuppressed": 1}
+    assert payload["files_checked"] == 1
+    assert set(payload["rules"]) == {rule.id for rule in ALL_RULES}
+    (diag,) = payload["diagnostics"]
+    assert diag["rule"] == "REPRO-F001"
+    assert diag["suppressed"] is False
+
+
+def test_render_marks_suppressed_and_hints_unsuppressed() -> None:
+    loud = Diagnostic("REPRO-F001", "a.py", 3, 4, "bad", fix_hint="use isclose")
+    assert loud.render() == "a.py:3:4: REPRO-F001 bad\n    hint: use isclose"
+    quiet = Diagnostic("REPRO-F001", "a.py", 3, 4, "bad", suppressed=True)
+    assert quiet.render().endswith("(suppressed)")

@@ -1,0 +1,23 @@
+"""Integration gate: the shipped package is lint-clean.
+
+This is the same check CI runs (``repro lint`` with the default target
+and a zero budget): every determinism invariant holds over the whole
+``repro`` package, and every suppression in the tree is justified —
+an unjustified or stale marker fails here too, via the meta rules.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.devtools.lint.engine import lint_paths
+from repro.devtools.lint.rules import ALL_RULES
+
+
+def test_package_has_zero_unsuppressed_diagnostics() -> None:
+    package_root = Path(repro.__file__).resolve().parent
+    report = lint_paths([package_root], ALL_RULES)
+    assert report.files_checked > 50  # the whole package, not a subset
+    offenders = [d.render() for d in report.unsuppressed]
+    assert offenders == []

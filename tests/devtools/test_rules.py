@@ -1,0 +1,110 @@
+"""Every lint rule against its fixture module.
+
+Each fixture under ``fixtures/`` carries known-bad examples (must be
+flagged), known-good examples (must stay clean), and one suppressed
+example (must be recorded as suppressed, not silently dropped).  The
+fixtures are linted *as data* under a virtual package-relative path so
+the scoped rules (seeded dirs, telemetry exemptions) see them where
+the invariant actually applies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.engine import (
+    BARE_SUPPRESSION_ID,
+    PARSE_ERROR_ID,
+    UNUSED_SUPPRESSION_ID,
+    lint_file,
+)
+from repro.devtools.lint.rules import ALL_RULES, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+META_IDS = {PARSE_ERROR_ID, BARE_SUPPRESSION_ID, UNUSED_SUPPRESSION_ID}
+
+#: (fixture file, virtual package-relative path, rule id,
+#:  expected unsuppressed finding count).  Each fixture also carries
+#: exactly one suppressed finding of the same rule.
+CASES = [
+    ("rng_discipline.py", "core/fixture.py", "REPRO-R001", 4),
+    ("no_wall_clock.py", "sim/fixture.py", "REPRO-T001", 3),
+    ("ordered_iteration.py", "sim/fixture.py", "REPRO-O001", 3),
+    ("float_equality.py", "core/fixture.py", "REPRO-F001", 2),
+    ("mutable_default.py", "serving/fixture.py", "REPRO-M001", 3),
+    ("raw_event.py", "serving/fixture.py", "REPRO-E001", 2),
+    ("swallowed_exception.py", "sim/fixture.py", "REPRO-X001", 2),
+    ("telemetry_json.py", "serving/fixture.py", "REPRO-J001", 3),
+]
+
+
+@pytest.mark.parametrize(("fixture", "virtual", "rule_id", "expected"), CASES)
+def test_fixture_findings(
+    fixture: str, virtual: str, rule_id: str, expected: int
+) -> None:
+    report = lint_file(FIXTURES / fixture, ALL_RULES, virtual=virtual)
+    unsuppressed = report.unsuppressed
+    assert [d.rule for d in unsuppressed] == [rule_id] * expected, [
+        d.render() for d in unsuppressed
+    ]
+    suppressed = [d for d in report.diagnostics if d.suppressed]
+    assert [d.rule for d in suppressed] == [rule_id]
+    meta = [d for d in report.diagnostics if d.rule in META_IDS]
+    assert meta == [], [d.render() for d in meta]
+
+
+@pytest.mark.parametrize(("fixture", "virtual", "rule_id", "expected"), CASES)
+def test_single_rule_run_matches(
+    fixture: str, virtual: str, rule_id: str, expected: int
+) -> None:
+    """Running only the fixture's own rule finds the same diagnostics."""
+    rules = rules_by_id([rule_id])
+    report = lint_file(FIXTURES / fixture, rules, virtual=virtual)
+    assert len(report.unsuppressed) == expected
+    assert report.suppressed_count == 1
+
+
+def test_every_fixture_carries_fix_hints() -> None:
+    for fixture, virtual, _, _ in CASES:
+        report = lint_file(FIXTURES / fixture, ALL_RULES, virtual=virtual)
+        assert all(d.fix_hint for d in report.unsuppressed), fixture
+
+
+def test_seed_discipline_only_in_seeded_dirs() -> None:
+    """Outside core/sim/baselines/experiments the default_rng seed
+    checks are off, but global-RNG use is still banned everywhere."""
+    report = lint_file(
+        FIXTURES / "rng_discipline.py", ALL_RULES, virtual="analysis/fixture.py"
+    )
+    rules_found = sorted(d.rule for d in report.unsuppressed)
+    # import random + np.random.normal() stay; the default_rng findings
+    # vanish, which strands the fixture's suppression marker as unused.
+    assert rules_found == [UNUSED_SUPPRESSION_ID, "REPRO-R001", "REPRO-R001"]
+
+
+def test_wall_clock_rule_exempts_telemetry() -> None:
+    """Under telemetry/ the wall-clock rule does not apply at all, so
+    the fixture's suppression marker is itself flagged as stale."""
+    report = lint_file(
+        FIXTURES / "no_wall_clock.py", ALL_RULES, virtual="telemetry/fixture.py"
+    )
+    assert [d.rule for d in report.unsuppressed] == [UNUSED_SUPPRESSION_ID]
+
+
+def test_rules_by_id_resolves_names_and_ids() -> None:
+    by_id = rules_by_id(["REPRO-F001"])
+    by_name = rules_by_id(["float-equality"])
+    assert by_id == by_name
+    # Duplicates collapse; unknown ids raise with the known-rule list.
+    assert len(rules_by_id(["REPRO-F001", "float-equality"])) == 1
+    with pytest.raises(KeyError, match="REPRO-F001"):
+        rules_by_id(["no-such-rule"])
+
+
+def test_rule_pack_ids_are_unique() -> None:
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    assert all(rule.rationale for rule in ALL_RULES)
+    assert all(rule.fix_hint for rule in ALL_RULES)

@@ -13,11 +13,11 @@ from repro.cloud import SpotTrace
 from repro.core import spothedge
 from repro.serving import (
     DomainFilter,
+    ModelProfile,
     ReplicaPolicyConfig,
     ResourceSpec,
     ServiceSpec,
     SkyService,
-    ModelProfile,
 )
 from repro.workloads import Request, Workload
 

@@ -6,8 +6,7 @@ no crashes, bounded fleets, sane billing, consistent availability.
 """
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines import ASGPolicy, AWSSpotPolicy
 from repro.cloud import CloudConfig, SimCloud, SpotTrace

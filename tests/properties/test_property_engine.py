@@ -1,7 +1,6 @@
 """Property-based tests for the simulation engine."""
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import SimulationEngine
 

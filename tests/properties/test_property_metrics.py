@@ -1,8 +1,7 @@
 """Property-based tests for metric recorders."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sim import LatencyRecorder, TimeSeries
 

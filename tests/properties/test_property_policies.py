@@ -1,7 +1,6 @@
 """Property-based tests for policy invariants (§3.2)."""
 
-from hypothesis import given
-from hypothesis import strategies as st
+from hypothesis import given, strategies as st
 
 from repro.baselines import ASGPolicy, AWSSpotPolicy
 from repro.core import spothedge

@@ -1,8 +1,7 @@
 """Property-based tests of the simulated provider's capacity contract."""
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.cloud import CloudConfig, SimCloud, SpotTrace
 from repro.sim import SimulationEngine

@@ -1,8 +1,7 @@
 """Property-based tests for trace generation and statistics."""
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.cloud import HOUR, SpotTrace, TraceZoneSpec, make_correlated_trace
 

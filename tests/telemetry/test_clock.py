@@ -1,0 +1,19 @@
+"""The sanctioned wall-clock seam (``repro.telemetry.clock``)."""
+
+from __future__ import annotations
+
+from repro.telemetry import clock
+
+
+def test_wall_monotonic_never_decreases() -> None:
+    samples = [clock.wall_monotonic() for _ in range(10)]
+    assert samples == sorted(samples)
+
+
+def test_wall_time_is_epoch_seconds() -> None:
+    # Sanity only: a plausibly-modern epoch timestamp, not a counter.
+    assert clock.wall_time() > 1_500_000_000
+
+
+def test_public_surface_is_exactly_the_two_accessors() -> None:
+    assert clock.__all__ == ["wall_monotonic", "wall_time"]
