@@ -1,0 +1,227 @@
+"""Bundled chaos scenarios.
+
+Each builder returns a fresh :class:`~repro.chaos.spec.ScenarioSpec`; the
+JSON files under ``configs/scenarios/`` are generated from these builders
+and pinned equal by test, so the two forms can never drift.  Timings
+assume the short obtainability traces the test-suite and smoke jobs use
+(a few simulated hours); on longer traces the injections simply cover
+the opening hours.
+
+* ``preemption-storm`` — the §2.2 correlated mass-preemption event: two
+  hours of highly correlated capacity pulses across every zone.
+* ``capacity-blackout`` — a full multi-zone obtainability blackout
+  (launches fail everywhere, ICE) for 90 minutes.
+* ``cold-start-storm`` — provisioning and cold starts take 4× their
+  usual time while a mild storm churns the fleet: recovery is what gets
+  stress-tested, not steady state.
+* ``warning-blackout`` — preemptions arrive with no (or late) grace
+  warnings during a storm, defeating warning-driven proactive launches.
+* ``price-surge`` — spot prices triple across all zones for four hours;
+  availability is unaffected but cost discipline is scored.
+* ``network-brownout`` — inter-region RTT degrades by 250 ms while cold
+  starts double: the cross-region fallback paths get slower exactly when
+  they are needed.
+* ``kitchen-sink`` — everything at once, staggered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.chaos.spec import (
+    CapacityBlackout,
+    ColdStartSpike,
+    NetworkDegradation,
+    PreemptionStorm,
+    PriceSurge,
+    ScenarioSpec,
+    WarningDisruption,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "builtin_scenario",
+    "list_builtin",
+    "load_scenario",
+]
+
+_HOUR = 3600.0
+
+
+def _preemption_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="preemption-storm",
+        description=(
+            "Two hours of highly correlated preemption pulses across all "
+            "zones (the §2.2 correlated-preemption event)."
+        ),
+        injections=(
+            PreemptionStorm(
+                start=1.0 * _HOUR,
+                end=3.0 * _HOUR,
+                hit_prob=0.55,
+                correlation=0.7,
+                severity=1.0,
+                pulse=300.0,
+            ),
+        ),
+    )
+
+
+def _capacity_blackout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="capacity-blackout",
+        description=(
+            "90-minute multi-zone obtainability blackout: every spot "
+            "launch fails (ICE) and existing capacity is reclaimed."
+        ),
+        injections=(
+            CapacityBlackout(start=1.0 * _HOUR, end=2.5 * _HOUR),
+        ),
+    )
+
+
+def _cold_start_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cold-start-storm",
+        description=(
+            "Provisioning and cold starts stretch to 4x while a mild "
+            "storm churns the fleet — recovery speed under slow "
+            "replacement is what gets scored."
+        ),
+        injections=(
+            ColdStartSpike(start=0.5 * _HOUR, end=3.0 * _HOUR, factor=4.0),
+            PreemptionStorm(
+                start=1.0 * _HOUR,
+                end=2.5 * _HOUR,
+                hit_prob=0.3,
+                correlation=0.3,
+                severity=0.6,
+                pulse=600.0,
+            ),
+        ),
+    )
+
+
+def _warning_blackout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="warning-blackout",
+        description=(
+            "Preemption warnings are suppressed during a correlated "
+            "storm: reclaims land with zero grace, defeating "
+            "warning-driven proactive launches."
+        ),
+        injections=(
+            WarningDisruption(start=0.0, end=4.0 * _HOUR, suppress_prob=1.0),
+            PreemptionStorm(
+                start=1.0 * _HOUR,
+                end=3.0 * _HOUR,
+                hit_prob=0.4,
+                correlation=0.5,
+                severity=0.8,
+                pulse=300.0,
+            ),
+        ),
+    )
+
+
+def _price_surge() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="price-surge",
+        description=(
+            "Spot prices triple across every zone for four hours; "
+            "availability is untouched but cost overshoot is scored."
+        ),
+        injections=(
+            PriceSurge(start=1.0 * _HOUR, end=5.0 * _HOUR, multiplier=3.0),
+        ),
+    )
+
+
+def _network_brownout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="network-brownout",
+        description=(
+            "Inter-region RTT degrades by 250 ms while cold starts "
+            "double: cross-region fallback gets slower exactly when it "
+            "is needed."
+        ),
+        injections=(
+            NetworkDegradation(start=1.0 * _HOUR, end=3.0 * _HOUR, extra_rtt=0.25),
+            ColdStartSpike(start=1.0 * _HOUR, end=3.0 * _HOUR, factor=2.0),
+        ),
+    )
+
+
+def _kitchen_sink() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="kitchen-sink",
+        description=(
+            "Staggered compound failure: storm, then a blackout on its "
+            "heels, with slow cold starts, suppressed warnings, a price "
+            "surge, and a degraded WAN throughout."
+        ),
+        injections=(
+            WarningDisruption(
+                start=0.5 * _HOUR, end=4.0 * _HOUR, suppress_prob=0.7, extra_delay=20.0
+            ),
+            PreemptionStorm(
+                start=1.0 * _HOUR,
+                end=2.5 * _HOUR,
+                hit_prob=0.5,
+                correlation=0.6,
+                severity=0.9,
+                pulse=300.0,
+            ),
+            CapacityBlackout(start=2.5 * _HOUR, end=3.25 * _HOUR),
+            ColdStartSpike(start=1.0 * _HOUR, end=4.0 * _HOUR, factor=3.0),
+            PriceSurge(start=1.5 * _HOUR, end=4.5 * _HOUR, multiplier=2.5),
+            NetworkDegradation(start=1.0 * _HOUR, end=3.5 * _HOUR, extra_rtt=0.15),
+        ),
+    )
+
+
+#: Builders by scenario name, in documentation order.
+BUILTIN_SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {
+    "preemption-storm": _preemption_storm,
+    "capacity-blackout": _capacity_blackout,
+    "cold-start-storm": _cold_start_storm,
+    "warning-blackout": _warning_blackout,
+    "price-surge": _price_surge,
+    "network-brownout": _network_brownout,
+    "kitchen-sink": _kitchen_sink,
+}
+
+
+def list_builtin() -> list[str]:
+    """Bundled scenario names, in documentation order."""
+    return list(BUILTIN_SCENARIOS)
+
+
+def builtin_scenario(name: str) -> ScenarioSpec:
+    """A fresh copy of the bundled scenario ``name``."""
+    try:
+        builder = BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}: expected one of {list_builtin()}"
+        ) from None
+    return builder()
+
+
+def load_scenario(spec: str) -> ScenarioSpec:
+    """Resolve ``spec`` to a scenario: a bundled name, or a path to a
+    scenario JSON file (anything containing a path separator or ending
+    in ``.json``)."""
+    if spec in BUILTIN_SCENARIOS:
+        return builtin_scenario(spec)
+    path = Path(spec)
+    if spec.endswith(".json") or path.exists():
+        if not path.exists():
+            raise FileNotFoundError(f"no scenario file at {spec!r}")
+        return ScenarioSpec.load(path)
+    raise ValueError(
+        f"unknown scenario {spec!r}: expected one of {list_builtin()} "
+        "or a path to a scenario JSON file"
+    )

@@ -18,7 +18,11 @@ Subcommands:
 ``repro events``
     Summarise a JSONL telemetry log written by ``repro serve --events``:
     replica timeline, preemption counts, per-leg latency percentiles,
-    and policy decision counts.
+    policy decision counts, and chaos injections.
+``repro chaos``
+    Fault-injection tooling (``repro.chaos``): list/show the bundled
+    scenarios and run the policy × scenario robustness matrix, emitting
+    a deterministic scorecard JSON (see docs/CHAOS.md).
 ``repro lint``
     Run the repository's determinism & simulation-hygiene static
     analyzer (``repro.devtools.lint``) over the source tree; see
@@ -457,6 +461,104 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_opt(value, fmt: str) -> str:
+    """Format an optional scorecard number; ``None`` renders as ``-``."""
+    return "-" if value is None else format(value, fmt)
+
+
+def _cmd_chaos_list(args: argparse.Namespace) -> int:
+    # Lazy import: chaos is opt-in; plain simulation commands must not
+    # pay for it (mirrors the lint lazy import below).
+    from repro.chaos import builtin_scenario, list_builtin
+
+    rows = []
+    for name in list_builtin():
+        scenario = builtin_scenario(name)
+        rows.append(
+            [
+                name,
+                len(scenario.injections),
+                f"{scenario.last_end / HOUR:.1f}h",
+                scenario.description,
+            ]
+        )
+    _print_table(["scenario", "injections", "span", "description"], rows)
+    return 0
+
+
+def _cmd_chaos_show(args: argparse.Namespace) -> int:
+    from repro.chaos import load_scenario
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    print(scenario.to_json())
+    return 0
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.chaos import load_scenario, run_matrix
+
+    trace = _load_trace(args.trace)
+    try:
+        scenarios = [
+            load_scenario(name)
+            for name in _parse_axis(args.scenarios, str, "--scenarios")
+        ]
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    policies = _parse_axis(args.policies, str, "--policies")
+    config = ReplayConfig(n_tar=args.target, cold_start=args.cold_start, k=args.k)
+    telemetry = None
+    if args.progress:
+        class _Progress:
+            def accept(self, event):
+                status = "ok" if event.ok else "ERROR"
+                print(f"[{event.index + 1}/{event.total}] {event.label} {status}",
+                      file=sys.stderr)
+
+        telemetry = EventBus([_Progress()])
+    try:
+        scorecard = run_matrix(
+            trace,
+            scenarios,
+            policies,
+            config=config,
+            seed=args.seed,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            telemetry=telemetry,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(f"trace {trace.name}: {len(scenarios)} scenario(s) x "
+          f"{len(policies)} policy(ies), N_Tar={args.target}, seed={args.seed}")
+    rows = []
+    for score in scorecard.to_dict()["scores"]:
+        rows.append(
+            [
+                score["scenario"],
+                score["policy"],
+                f"{score['availability']:.1%}",
+                _fmt_opt(score["availability_under_injection"], ".1%"),
+                _fmt_opt(score["recovery_seconds"], ".0f"),
+                f"{score['slo_violation_minutes']:.1f}",
+                f"{score['cost_overshoot']:+.1%}",
+                _fmt_opt(score["od_peak"], "d"),
+            ]
+        )
+    _print_table(
+        ["scenario", "policy", "avail", "storm avail", "recovery s",
+         "SLO viol min", "cost overshoot", "OD peak"],
+        rows,
+    )
+    if args.out:
+        scorecard.save(args.out)
+        print(f"\nwrote scorecard to {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Lazy import: the linter is a dev tool; simulation commands should
     # not pay for it (and it must never import the simulator).
@@ -567,6 +669,51 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--replica-limit", type=int, default=40,
                         help="max rows in the replica timeline table")
     events.set_defaults(func=_cmd_events)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection scenarios and the robustness matrix",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_list = chaos_sub.add_parser("list", help="list bundled scenarios")
+    chaos_list.set_defaults(func=_cmd_chaos_list)
+
+    chaos_show = chaos_sub.add_parser(
+        "show", help="print a scenario as canonical JSON"
+    )
+    chaos_show.add_argument("scenario", help="bundled name or scenario JSON file")
+    chaos_show.set_defaults(func=_cmd_chaos_show)
+
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run the policy x scenario robustness matrix (parallel + cached)",
+    )
+    chaos_run.add_argument("--trace", default="gcp1", help="canned name or trace file")
+    chaos_run.add_argument("--scenarios", default="preemption-storm",
+                           help="comma list of bundled names or scenario files")
+    chaos_run.add_argument("--policies", default="SpotHedge,EvenSpread",
+                           help="comma list of replay policies "
+                                f"({','.join(_REPLAY_POLICIES)})")
+    chaos_run.add_argument("--target", type=int, default=4, help="N_Tar")
+    chaos_run.add_argument("--cold-start", type=float, default=180.0,
+                           help="cold-start seconds")
+    chaos_run.add_argument("--k", type=float, default=3.0,
+                           help="on-demand/spot price ratio")
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+        help="process-pool size; results are identical for any value "
+             "(default: $REPRO_SWEEP_WORKERS or 1)",
+    )
+    chaos_run.add_argument("--no-cache", action="store_true",
+                           help="bypass the on-disk replay result cache")
+    chaos_run.add_argument("--progress", action="store_true",
+                           help="print per-point progress to stderr")
+    chaos_run.add_argument("--out", help="write the scorecard JSON here")
+    chaos_run.set_defaults(func=_cmd_chaos_run)
 
     lint = sub.add_parser(
         "lint",

@@ -10,6 +10,7 @@ cycles (the AWSSpot failure mode of §5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cloud.instance import Instance
 
@@ -39,6 +40,10 @@ class BillingMeter:
 
     def __init__(self) -> None:
         self._instances: list[Instance] = []
+        #: Spot price surcharges: (start, end, zones-or-None, multiplier)
+        #: windows registered by the chaos injector.  Empty (the normal
+        #: case) costs one falsy check per breakdown.
+        self._surcharges: list[tuple[float, float, Optional[frozenset[str]], float]] = []
 
     def track(self, instance: Instance) -> None:
         self._instances.append(instance)
@@ -47,12 +52,48 @@ class BillingMeter:
     def instances(self) -> list[Instance]:
         return list(self._instances)
 
+    def add_surcharge(
+        self,
+        start: float,
+        end: float,
+        zones: Optional[frozenset[str]],
+        multiplier: float,
+    ) -> None:
+        """Multiply spot unit prices by ``multiplier`` over ``[start,
+        end)`` in the given zones (``None`` = all zones) — the chaos
+        :class:`~repro.chaos.spec.PriceSurge` seam.  On-demand prices
+        are unaffected."""
+        if end <= start:
+            raise ValueError(f"empty surcharge window [{start}, {end})")
+        if multiplier <= 0:
+            raise ValueError(f"non-positive surcharge multiplier {multiplier!r}")
+        self._surcharges.append((start, end, zones, multiplier))
+
+    def _surcharge_cost(self, instance: Instance, now: float) -> float:
+        """Extra spot cost from surcharge windows overlapping the
+        instance's billed interval."""
+        if instance.billing_started_at is None:
+            return 0.0
+        billed_from = instance.billing_started_at
+        billed_to = instance.ended_at if instance.ended_at is not None else now
+        extra = 0.0
+        for start, end, zones, multiplier in self._surcharges:
+            if zones is not None and instance.zone_id not in zones:
+                continue
+            overlap = min(billed_to, end) - max(billed_from, start)
+            if overlap > 0:
+                extra += instance.hourly_price * (multiplier - 1.0) * overlap / 3600.0
+        return extra
+
     def breakdown(self, now: float) -> CostBreakdown:
         spot = 0.0
         on_demand = 0.0
+        surcharges = self._surcharges
         for instance in self._instances:
             cost = instance.billed_cost(now)
             if instance.spot:
+                if surcharges:
+                    cost += self._surcharge_cost(instance, now)
                 spot += cost
             else:
                 on_demand += cost

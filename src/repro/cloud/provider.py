@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cloud.billing import BillingMeter
 from repro.cloud.catalog import Catalog, default_catalog
@@ -105,6 +105,13 @@ class SimCloud:
         self._alive: dict[str, list[Instance]] = {z: [] for z in trace.zone_ids}
         self._od_alive: dict[str, list[Instance]] = {}
         self._doomed: set[int] = set()  # instances warned, awaiting the kill
+        #: Chaos seam (:class:`repro.chaos.injector.ChaosInjector`):
+        #: called per pre-warning with ``(zone_id, kill_time)``.  Return
+        #: ``None`` to suppress the warning entirely (the instances are
+        #: reclaimed unwarned at the drop), a positive number of seconds
+        #: to delay its delivery, or ``0.0`` to deliver normally.  Unset
+        #: (the default) costs nothing on the warning path.
+        self.warning_gate: Optional[Callable[[str, float], Optional[float]]] = None
         self._schedule_capacity_events()
 
     # ------------------------------------------------------------------
@@ -154,6 +161,19 @@ class SimCloud:
         they get reclaimed unwarned at the drop, which mirrors how real
         best-effort notices miss late arrivals.
         """
+        gate = self.warning_gate
+        if gate is not None:
+            action = gate(zone_id, kill_time)
+            if action is None:
+                return  # suppressed: unwarned reclaim at the drop
+            if action > 0:
+                resume = self.engine.now + action
+                if resume >= kill_time:
+                    return  # delayed past the kill: warning is useless
+                self.engine.call_at(
+                    resume, lambda: self._pre_warn(zone_id, new_capacity, kill_time)
+                )
+                return
         alive = self._alive[zone_id]
         already_doomed = sum(1 for i in alive if i.id in self._doomed)
         excess = (len(alive) - already_doomed) - new_capacity

@@ -70,6 +70,8 @@ class SpotTrace:
         zone_ids: Sequence[str],
         step: float,
         capacity: ArrayLike,
+        *,
+        chaos_digest: Optional[str] = None,
     ) -> None:
         grid: NDArray[np.int64] = np.asarray(capacity, dtype=np.int64)
         if grid.ndim != 2:
@@ -88,6 +90,13 @@ class SpotTrace:
         self.zone_ids = list(zone_ids)
         self.step = float(step)
         self.capacity = grid
+        #: Digest of the chaos scenario this trace was transformed by
+        #: (:func:`repro.chaos.overlay.compile_scenario`), ``None`` for
+        #: pristine traces.  Folded into :meth:`digest` so result caches
+        #: never serve a no-chaos entry for a chaos run — even when the
+        #: scenario leaves the capacity grid itself unchanged (e.g. pure
+        #: cold-start or price injections).
+        self.chaos_digest = chaos_digest
         self._zone_index = {zone_id: i for i, zone_id in enumerate(self.zone_ids)}
         #: Memoised content digest; traces are immutable by convention.
         self._digest: Optional[str] = None
@@ -107,10 +116,16 @@ class SpotTrace:
         if self._digest is not None:
             return self._digest
         hasher = hashlib.sha256()
-        header = json.dumps(
-            {"name": self.name, "zones": self.zone_ids, "step": self.step},
-            sort_keys=True,
-        )
+        fields: dict[str, object] = {
+            "name": self.name,
+            "zones": self.zone_ids,
+            "step": self.step,
+        }
+        if self.chaos_digest is not None:
+            # Only present for chaos-transformed traces, so pristine
+            # traces keep their pre-chaos digests (and cache entries).
+            fields["chaos"] = self.chaos_digest
+        header = json.dumps(fields, sort_keys=True)
         hasher.update(header.encode())
         hasher.update(np.ascontiguousarray(self.capacity, dtype="<i8").tobytes())
         self._digest = hasher.hexdigest()
@@ -191,7 +206,13 @@ class SpotTrace:
     def subset(self, zone_ids: Sequence[str], name: Optional[str] = None) -> SpotTrace:
         """A new trace restricted to the given zones."""
         rows = np.stack([self.zone_row(z) for z in zone_ids])
-        return SpotTrace(name or f"{self.name}-subset", list(zone_ids), self.step, rows)
+        return SpotTrace(
+            name or f"{self.name}-subset",
+            list(zone_ids),
+            self.step,
+            rows,
+            chaos_digest=self.chaos_digest,
+        )
 
     def window(self, start: float, end: float, name: Optional[str] = None) -> SpotTrace:
         """A new trace restricted to the time window ``[start, end)``.
@@ -210,20 +231,22 @@ class SpotTrace:
             self.zone_ids,
             self.step,
             self.capacity[:, first:last],
+            chaos_digest=self.chaos_digest,
         )
 
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "name": self.name,
-                "zone_ids": self.zone_ids,
-                "step": self.step,
-                "capacity": self.capacity.tolist(),
-            }
-        )
+        payload: dict[str, object] = {
+            "name": self.name,
+            "zone_ids": self.zone_ids,
+            "step": self.step,
+            "capacity": self.capacity.tolist(),
+        }
+        if self.chaos_digest is not None:
+            payload["chaos_digest"] = self.chaos_digest
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> SpotTrace:
@@ -233,6 +256,7 @@ class SpotTrace:
             zone_ids=data["zone_ids"],
             step=data["step"],
             capacity=np.asarray(data["capacity"], dtype=np.int64),
+            chaos_digest=data.get("chaos_digest"),
         )
 
     def save(self, path: str | Path) -> None:

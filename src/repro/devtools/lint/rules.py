@@ -36,7 +36,7 @@ __all__ = ["ALL_RULES", "rules_by_id"]
 #: Directories whose randomness must be threaded through
 #: ``repro.sim.rng.derive_seed`` — the replay / policy / experiment
 #: code whose outputs are cached and compared across runs.
-SEEDED_DIRS = ("core/", "sim/", "baselines/", "experiments/")
+SEEDED_DIRS = ("core/", "sim/", "baselines/", "experiments/", "chaos/")
 
 #: ``numpy.random`` module-level convenience functions: all of them
 #: draw from the hidden global RNG.

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import logging
 import math
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from functools import partial
+from typing import Callable, Mapping, MutableSequence, Optional, Sequence
 
 import numpy as np
 
@@ -93,6 +95,11 @@ class ReplayConfig:
                     raise ValueError(f"non-positive price multiplier for {zone}")
 
 
+def _ready_order(inst: "_ReplayInstance") -> tuple[float, int]:
+    """Sort key for pending queues under time-varying cold starts."""
+    return (inst.ready_at, inst.id)
+
+
 @dataclass(slots=True)
 class _ReplayInstance:
     zone: Optional[str]  # None for on-demand
@@ -118,6 +125,10 @@ class ReplayResult:
     launch_failures: int
     ready_series: np.ndarray  # total ready replicas per step
     step: float
+    #: Launched on-demand instances per step (the Dynamic Fallback
+    #: footprint); ``None`` for results deserialised from entries that
+    #: predate the field.
+    od_series: Optional[np.ndarray] = None
 
     def summary_row(self) -> str:  # pragma: no cover - formatting helper
         return (
@@ -137,12 +148,37 @@ class TraceReplayer:
         *,
         seed: int = 0,
         telemetry: Optional[EventBus] = None,
+        cold_start_factors: Optional[Sequence[float]] = None,
+        zone_price_factors: Optional[Mapping[str, Sequence[float]]] = None,
     ) -> None:
         self.trace = trace
         self.config = config or ReplayConfig()
         self._rng = RngRegistry(seed).stream("replay")
         self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self._next_id = 0
+        # Chaos overlay hooks (repro.chaos.overlay): per-step cold-start
+        # multipliers and per-zone per-step spot price multipliers.  Both
+        # default to None so the no-chaos replay path is untouched.
+        if cold_start_factors is not None and len(cold_start_factors) != trace.n_steps:
+            raise ValueError(
+                f"{len(cold_start_factors)} cold-start factors for "
+                f"{trace.n_steps} trace steps"
+            )
+        if zone_price_factors is not None:
+            for zone, factors in zone_price_factors.items():
+                if len(factors) != trace.n_steps:
+                    raise ValueError(
+                        f"zone {zone!r}: {len(factors)} price factors for "
+                        f"{trace.n_steps} trace steps"
+                    )
+        self._cold_start_factors = (
+            list(cold_start_factors) if cold_start_factors is not None else None
+        )
+        self._zone_price_factors = (
+            {zone: list(f) for zone, f in zone_price_factors.items()}
+            if zone_price_factors is not None
+            else None
+        )
 
     def run(self, policy: ServingPolicy, *, spot_zones: Optional[Sequence[str]] = None) -> ReplayResult:
         """Replay ``policy`` over the full trace."""
@@ -152,7 +188,9 @@ class TraceReplayer:
         rng = self._rng
         zones = list(spot_zones) if spot_zones is not None else list(trace.zone_ids)
         step = trace.step
-        d = cfg.cold_start
+        base_d = cfg.cold_start
+        d = base_d
+        chaos_cs = self._cold_start_factors
         n_steps = trace.n_steps
         # Zone capacity rows, extracted once as contiguous arrays and
         # materialised to plain int lists: per-step scalar indexing of a
@@ -174,17 +212,56 @@ class TraceReplayer:
         zone_state = [(zone, zone_caps[zone], zone_insts[zone]) for zone in zones]
         spot_total = 0
         spot_ready = 0
-        pending_spot: deque[_ReplayInstance] = deque()
-        od: list[_ReplayInstance] = []  # ascending ready_at by construction
+        od: list[_ReplayInstance] = []  # launch-ordered; newest at the tail
         od_ready = 0
-        pending_od: deque[_ReplayInstance] = deque()
+        # Pending (not-yet-ready) queues.  With a constant cold start,
+        # launch order == readiness order and FIFO deques suffice; under
+        # a chaos cold-start overlay ready_at is no longer monotone in
+        # launch order, so entries are kept sorted by (ready_at, id)
+        # instead.  The queue operations are bound once so the step loop
+        # is identical either way — and byte-identical to the pre-chaos
+        # code when no overlay is attached.
+        pending_spot: MutableSequence[_ReplayInstance]
+        pending_od: MutableSequence[_ReplayInstance]
+        push_spot: Callable[[_ReplayInstance], None]
+        push_od: Callable[[_ReplayInstance], None]
+        pop_spot: Callable[[], _ReplayInstance]
+        pop_od: Callable[[], _ReplayInstance]
+        if chaos_cs is None:
+            pending_spot = deque()
+            pending_od = deque()
+            push_spot = pending_spot.append
+            push_od = pending_od.append
+            pop_spot = pending_spot.popleft
+            pop_od = pending_od.popleft
+        else:
+            pending_spot = []
+            pending_od = []
+            push_spot = partial(insort, pending_spot, key=_ready_order)
+            push_od = partial(insort, pending_od, key=_ready_order)
+            pop_spot = partial(pending_spot.pop, 0)
+            pop_od = partial(pending_od.pop, 0)
         multipliers = dict(cfg.zone_price_multipliers or {})
+        price_rows: Optional[dict[str, list[float]]] = None
+        if self._zone_price_factors is not None:
+            # Fold the static per-zone multipliers into the per-step
+            # chaos factor rows once, so cost accrual does one indexed
+            # lookup per occupied zone per step.
+            price_rows = {}
+            for zone in zones:
+                base = multipliers.get(zone, 1.0)
+                factors = self._zone_price_factors.get(zone)
+                if factors is None:
+                    price_rows[zone] = [base] * n_steps
+                else:
+                    price_rows[zone] = [base * f for f in factors]
         hours = step / 3600.0
         preemptions = 0
         launch_failures = 0
         spot_cost = 0.0
         od_cost = 0.0
         ready_list: list[int] = []
+        od_list: list[int] = []
         # Pre-bound callables: attribute lookups on ``policy``/``cfg``
         # inside the step loop are measurable at trace scale.
         on_preempted = policy.on_spot_preempted
@@ -201,16 +278,18 @@ class TraceReplayer:
         for k_step in range(n_steps):
             now = k_step * step
             bus_enabled = bus.enabled
+            if chaos_cs is not None:
+                d = base_d * chaos_cs[k_step]
 
             # 0. Promote instances whose cold start has elapsed.  The
-            # queues are FIFO in ready_at; dead entries are skipped.
+            # queues are ordered by ready_at; dead entries are skipped.
             while pending_spot and pending_spot[0].ready_at <= now:
-                inst = pending_spot.popleft()
+                inst = pop_spot()
                 if inst.alive:
                     inst.ready = True
                     spot_ready += 1
             while pending_od and pending_od[0].ready_at <= now:
-                inst = pending_od.popleft()
+                inst = pop_od()
                 if inst.alive:
                     inst.ready = True
                     od_ready += 1
@@ -312,7 +391,7 @@ class TraceReplayer:
                         inst.ready = True
                         spot_ready += 1
                     else:
-                        pending_spot.append(inst)
+                        push_spot(inst)
                     if bus_enabled:
                         bus.emit(ReplicaLaunch(now, self._next_id, zone, True))
                     on_ready(zone)  # launch succeeded in this zone
@@ -354,8 +433,8 @@ class TraceReplayer:
                     )
 
             # 4. Reconcile on-demand fleet (always obtainable, §5.1).
-            # Launch times are monotone, so ``od`` stays sorted by
-            # ready_at and scale-down pops the newest from the tail.
+            # ``od`` is launch-ordered, so scale-down pops the newest
+            # from the tail.
             while len(od) < mix.od_target:
                 inst = _ReplayInstance(zone=None, spot=False, ready_at=now + d)
                 od.append(inst)
@@ -363,7 +442,7 @@ class TraceReplayer:
                     inst.ready = True
                     od_ready += 1
                 else:
-                    pending_od.append(inst)
+                    push_od(inst)
             while len(od) > mix.od_target:
                 victim = od.pop()
                 victim.alive = False
@@ -371,7 +450,12 @@ class TraceReplayer:
                     od_ready -= 1
 
             # 5. Accrue cost and record readiness.
-            if multipliers:
+            if price_rows is not None:
+                spot_cost += (
+                    sum(c * price_rows[z][k_step] for z, c in zone_count.items() if c)
+                    * hours
+                )  # base multiplier folded into the per-step rows
+            elif multipliers:
                 spot_cost += (
                     sum(c * multipliers.get(z, 1.0) for z, c in zone_count.items() if c)
                     * hours
@@ -383,6 +467,7 @@ class TraceReplayer:
             if bus_enabled and (k_step == 0 or total_ready != ready_list[-1]):
                 bus.emit(FleetSample(now, total_ready, n_tar))
             ready_list.append(total_ready)
+            od_list.append(len(od))
 
         ready_series = np.asarray(ready_list, dtype=int)
         baseline = cfg.k * cfg.n_tar * (n_steps * step / 3600.0)
@@ -398,6 +483,7 @@ class TraceReplayer:
             launch_failures=launch_failures,
             ready_series=ready_series,
             step=step,
+            od_series=np.asarray(od_list, dtype=int),
         )
 
 

@@ -90,6 +90,8 @@ def replay_result_to_dict(
     }
     if include_series:
         out["ready_series"] = result.ready_series.tolist()
+        if result.od_series is not None:
+            out["od_series"] = result.od_series.tolist()
     return out
 
 
@@ -114,6 +116,11 @@ def replay_result_from_dict(data: Mapping[str, Any]) -> ReplayResult:
         launch_failures=int(data["launch_failures"]),
         ready_series=np.asarray(data["ready_series"], dtype=int),
         step=float(data["step"]),
+        od_series=(
+            np.asarray(data["od_series"], dtype=int)
+            if data.get("od_series") is not None
+            else None
+        ),
     )
 
 

@@ -96,12 +96,23 @@ class LocalityAwareBalancer(LoadBalancer):
         self.network = network
         self.overload_threshold = overload_threshold
 
+    #: RTT assumed for replicas whose region the network model cannot
+    #: place (synthetic topologies): worse than any modelled WAN bucket,
+    #: so unplaceable replicas deterministically sort last.
+    FALLBACK_RTT = 1.0
+
+    def _rtt_to(self, replica: Replica) -> float:
+        try:
+            return self.network.rtt(self.client_region, replica.region_id)
+        except (KeyError, ValueError):
+            return self.FALLBACK_RTT
+
     def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
         if not replicas:
             return None
         by_rtt = sorted(
             replicas,
-            key=lambda r: (self.network.rtt(self.client_region, r.region_id), r.id),
+            key=lambda r: (self._rtt_to(r), r.id),
         )
         for replica in by_rtt:
             if replica.ongoing_requests < self.overload_threshold:
@@ -130,4 +141,7 @@ def make_balancer(
         if network is None:
             raise ValueError("locality balancer requires a network model")
         return LocalityAwareBalancer(client_region, network)
-    raise ValueError(f"unknown load balancing policy {policy!r}")
+    raise ValueError(
+        f"unknown load balancing policy {policy!r}: "
+        "expected one of 'round_robin', 'least_load', 'locality'"
+    )

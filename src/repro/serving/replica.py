@@ -83,8 +83,14 @@ class Replica:
 
     @property
     def region_id(self) -> str:
-        cloud, region, _ = self.zone_id.split(":")
-        return f"{cloud}:{region}"
+        """The replica's ``cloud:region`` id.
+
+        Zone ids normally follow ``cloud:region:zone``; synthetic traces
+        use free-form ids ("z1"), for which the zone id doubles as the
+        region id instead of raising.
+        """
+        parts = self.zone_id.rsplit(":", 1)
+        return parts[0] if len(parts) == 2 else self.zone_id
 
     @property
     def is_ready(self) -> bool:

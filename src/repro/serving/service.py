@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -29,6 +29,11 @@ from repro.sim.rng import RngRegistry
 from repro.telemetry.audit import PolicyAuditLog
 from repro.telemetry.events import CostSnapshot, EventBus
 from repro.workloads.request import Workload
+
+if TYPE_CHECKING:
+    from repro.chaos.injector import ChaosInjector
+    from repro.chaos.overlay import CompiledScenario
+    from repro.chaos.spec import ScenarioSpec
 
 __all__ = ["ServiceReport", "SkyService"]
 
@@ -109,6 +114,7 @@ class SkyService:
         seed: int = 0,
         adaptive_parallelism: bool = False,
         telemetry: Optional[EventBus] = None,
+        scenario: Optional["ScenarioSpec"] = None,
     ) -> None:
         self.spec = spec
         self.policy = policy
@@ -121,7 +127,22 @@ class SkyService:
             policy.attach_audit(
                 PolicyAuditLog(policy=policy.name, bus=self.telemetry)
             )
+        self.scenario = scenario
+        self._compiled: Optional["CompiledScenario"] = None
+        if scenario is not None:
+            # Chaos is lazy-imported: runs without a scenario never load
+            # (or pay for) the chaos subsystem at all.
+            from repro.chaos.overlay import compile_scenario
+
+            self._compiled = compile_scenario(scenario, trace, root_seed=seed)
+            trace = self._compiled.trace
         self.network = network or default_network()
+        if self._compiled is not None and self._compiled.network_degradations:
+            from repro.chaos.injector import DegradedNetworkModel
+
+            self.network = DegradedNetworkModel(
+                self.network, self.engine, self._compiled.network_degradations
+            )
         self.cloud = SimCloud(
             self.engine,
             trace,
@@ -141,6 +162,14 @@ class SkyService:
             client_region=client_region,
         )
         self.controller._adaptive_parallelism = adaptive_parallelism
+        self.injector: Optional["ChaosInjector"] = None
+        if self._compiled is not None:
+            from repro.chaos.injector import ChaosInjector
+
+            self.injector = ChaosInjector(
+                self._compiled, self.engine, self.cloud, root_seed=seed
+            )
+            self.injector.arm()
         self.client: Optional[ServiceClient] = None
         self.client_region = client_region
 

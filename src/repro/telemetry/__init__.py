@@ -31,6 +31,9 @@ from repro.telemetry.clock import wall_monotonic, wall_time
 from repro.telemetry.events import (
     NULL_BUS,
     AutoscaleDecision,
+    ChaosInjected,
+    ChaosScenarioEnded,
+    ChaosScenarioStarted,
     CostSnapshot,
     EventBus,
     FleetSample,
@@ -66,6 +69,9 @@ __all__ = [
     "NULL_BUS",
     "AuditRecord",
     "AutoscaleDecision",
+    "ChaosInjected",
+    "ChaosScenarioEnded",
+    "ChaosScenarioStarted",
     "CostSnapshot",
     "EventBus",
     "EventLogSummary",

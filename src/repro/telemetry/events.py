@@ -35,6 +35,9 @@ from typing import Any, ClassVar, Iterable
 __all__ = [
     "NULL_BUS",
     "AutoscaleDecision",
+    "ChaosInjected",
+    "ChaosScenarioEnded",
+    "ChaosScenarioStarted",
     "CostSnapshot",
     "EventBus",
     "FleetSample",
@@ -289,6 +292,45 @@ class FleetSample(TelemetryEvent):
 
     ready: int
     target: int
+
+
+@_register
+@dataclass(slots=True)
+class ChaosScenarioStarted(TelemetryEvent):
+    """A chaos scenario was attached to the run (see ``repro.chaos``)."""
+
+    kind: ClassVar[str] = "chaos.scenario_started"
+
+    scenario: str
+    injections: int = 0
+
+
+@_register
+@dataclass(slots=True)
+class ChaosInjected(TelemetryEvent):
+    """One concrete chaos fault fired (storm pulse, blackout, ...).
+
+    ``zones`` is a plain list (JSON-friendly); empty means the fault is
+    not zone-scoped (cold-start spikes, warning disruption).
+    """
+
+    kind: ClassVar[str] = "chaos.injected"
+
+    scenario: str
+    injection: str  # injection kind string, e.g. "preemption_storm"
+    zones: list[str] = field(default_factory=list)
+    detail: str = ""
+
+
+@_register
+@dataclass(slots=True)
+class ChaosScenarioEnded(TelemetryEvent):
+    """The last injection window of a chaos scenario closed."""
+
+    kind: ClassVar[str] = "chaos.scenario_ended"
+
+    scenario: str
+    injected: int = 0
 
 
 @dataclass(slots=True)

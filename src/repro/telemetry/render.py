@@ -68,6 +68,11 @@ class EventLogSummary:
     rebalance_times: list[float] = field(default_factory=list)
     autoscale_moves: list[tuple[float, int, int]] = field(default_factory=list)
     final_cost: Optional[tuple[float, float]] = None  # (spot, od)
+    chaos_scenario: Optional[str] = None
+    #: (time, injection kind, zone count, detail) per fault.
+    chaos_injections: list[tuple[float, str, int, str]] = field(default_factory=list)
+    chaos_injections_by_kind: Counter = field(default_factory=Counter)
+    chaos_ended_at: Optional[float] = None
 
 
 def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
@@ -122,6 +127,16 @@ def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
             out.autoscale_moves.append((event.time, event.old_target, event.new_target))
         elif kind == "cost.snapshot":
             out.final_cost = (event.spot, event.on_demand)
+        elif kind == "chaos.scenario_started":
+            out.chaos_scenario = event.scenario
+        elif kind == "chaos.injected":
+            out.chaos_scenario = out.chaos_scenario or event.scenario
+            out.chaos_injections.append(
+                (event.time, event.injection, len(event.zones), event.detail)
+            )
+            out.chaos_injections_by_kind[event.injection] += 1
+        elif kind == "chaos.scenario_ended":
+            out.chaos_ended_at = event.time
     out.span_legs = legs
     return out
 
@@ -232,6 +247,34 @@ def format_summary(
             f"t={_fmt_time(t)}: {old}->{new}" for t, old, new in s.autoscale_moves[:10]
         )
         lines.append(f"autoscale moves: {moves}")
+
+    if s.chaos_scenario is not None:
+        lines.append("")
+        ended = (
+            f", ended t={_fmt_time(s.chaos_ended_at)}"
+            if s.chaos_ended_at is not None
+            else ""
+        )
+        lines.append(
+            f"chaos scenario {s.chaos_scenario!r}: "
+            f"{len(s.chaos_injections)} injections{ended}"
+        )
+        if s.chaos_injections_by_kind:
+            lines.extend(
+                _table(
+                    ["injection", "count"],
+                    [
+                        [kind, n]
+                        for kind, n in sorted(s.chaos_injections_by_kind.items())
+                    ],
+                )
+            )
+        for time, kind, n_zones, detail in s.chaos_injections[:10]:
+            scope = f"{n_zones} zones" if n_zones != 1 else "1 zone"
+            suffix = f" ({detail})" if detail else ""
+            lines.append(f"  t={_fmt_time(time)}: {kind} hit {scope}{suffix}")
+        if len(s.chaos_injections) > 10:
+            lines.append(f"  ... {len(s.chaos_injections) - 10} more injections")
 
     if s.final_cost is not None:
         spot, od = s.final_cost

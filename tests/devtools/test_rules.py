@@ -108,3 +108,35 @@ def test_rule_pack_ids_are_unique() -> None:
     assert len(ids) == len(set(ids))
     assert all(rule.rationale for rule in ALL_RULES)
     assert all(rule.fix_hint for rule in ALL_RULES)
+
+
+def test_seed_discipline_covers_chaos_dir() -> None:
+    """repro.chaos is seeded code: unseeded default_rng is flagged there
+    exactly as in core/sim, and the derive_seed idiom stays clean."""
+    from repro.devtools.lint.engine import lint_source
+
+    dirty = "import numpy as np\nrng = np.random.default_rng()\n"
+    report = lint_source(dirty, ALL_RULES, virtual="chaos/fixture.py")
+    assert [d.rule for d in report.unsuppressed] == ["REPRO-R001"]
+    # The same code outside a seeded dir is not a finding.
+    report = lint_source(dirty, ALL_RULES, virtual="analysis/fixture.py")
+    assert report.unsuppressed == []
+
+    clean = (
+        "import numpy as np\n"
+        "from repro.sim.rng import derive_seed\n"
+        "rng = np.random.default_rng(derive_seed(0, 'chaos:x:0:storm'))\n"
+    )
+    report = lint_source(clean, ALL_RULES, virtual="chaos/fixture.py")
+    assert report.unsuppressed == []
+
+
+def test_wall_clock_banned_in_chaos_dir() -> None:
+    from repro.devtools.lint.engine import lint_source
+
+    report = lint_source(
+        "import time\nt = time.monotonic()\n",
+        ALL_RULES,
+        virtual="chaos/fixture.py",
+    )
+    assert "REPRO-T001" in [d.rule for d in report.unsuppressed]

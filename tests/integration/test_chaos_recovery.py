@@ -1,0 +1,147 @@
+"""Chaos end-to-end: a warning burst followed by a launch-failure
+window, and the fleet's re-convergence once capacity returns.
+
+The scenario blacks out zone A for good at t=1800 (with a 120 s
+preemption warning configured, so every instance there gets a warning
+burst at t=1680) while zone B only comes online at t=3600 — in between
+every launch attempt fails.  Afterwards SpotHedge must converge back to
+N_Tar + N_Extra ready spot replicas without leaking any Replica
+bookkeeping from the failure storm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import CapacityBlackout, ScenarioSpec
+from repro.cloud import CloudConfig, SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ReplicaState,
+    ResourceSpec,
+    ServiceSpec,
+    SkyService,
+)
+from repro.telemetry import EventBus, RingBufferSink
+from repro.workloads import poisson_workload
+
+ZONE_A = "aws:us-west-2:us-west-2a"
+ZONE_B = "aws:us-west-2:us-west-2b"
+HOUR = 3600.0
+DURATION = 6 * HOUR
+N_TAR = 4
+N_EXTRA = 2
+
+
+def base_trace():
+    steps = int(DURATION / 60.0)
+    return SpotTrace("calm", [ZONE_A, ZONE_B], 60.0, np.full((2, steps), 6))
+
+
+def chaos_scenario():
+    return ScenarioSpec(
+        "zone-handover",
+        (
+            # Zone A dies for good half an hour in ...
+            CapacityBlackout(start=1800.0, end=DURATION, zones=(ZONE_A,)),
+            # ... and zone B only exists from t=3600 on.
+            CapacityBlackout(start=0.0, end=3600.0, zones=(ZONE_B,)),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def run():
+    sink = RingBufferSink(capacity=200_000)
+    spec = ServiceSpec(
+        name="chaos-recovery",
+        replica_policy=ReplicaPolicyConfig(
+            fixed_target=N_TAR, num_overprovision=N_EXTRA
+        ),
+        resources=ResourceSpec(accelerator="V100"),
+        request_timeout=60.0,
+    )
+    profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                           decode_per_token=0.0, max_concurrency=8)
+    service = SkyService(
+        spec,
+        spothedge([ZONE_A, ZONE_B], num_overprovision=N_EXTRA),
+        base_trace(),
+        profile=profile,
+        cloud_config=CloudConfig(preempt_warning=120.0),
+        seed=17,
+        telemetry=EventBus([sink]),
+        scenario=chaos_scenario(),
+    )
+    report = service.run(
+        poisson_workload(DURATION, rate=0.05, seed=17), DURATION
+    )
+    return service, report, sink
+
+
+class TestWarningBurst:
+    def test_every_zone_a_instance_warned_before_the_kill(self, run):
+        _, _, sink = run
+        warnings = [e for e in sink.events if e.kind == "replica.preempt_warning"]
+        assert warnings, "no preemption warnings observed"
+        assert {e.zone for e in warnings} == {ZONE_A}
+        # The warning burst fires one grace period before the blackout.
+        assert {e.time for e in warnings} == {1800.0 - 120.0}
+
+    def test_launch_failures_during_the_dead_window(self, run):
+        service, _, sink = run
+        failures = [e for e in sink.events if e.kind == "replica.launch_failed"]
+        assert failures
+        assert service.controller.launch_failure_count.value > 0
+        # Failures only happen while at least one zone is dark: early
+        # probes into not-yet-alive zone B, then the fully dead window.
+        assert any(1800.0 <= e.time <= 3600.0 for e in failures)
+        assert all(e.time <= 3600.0 + 300.0 for e in failures)
+
+
+class TestReconvergence:
+    def test_fleet_back_at_target_plus_extra(self, run):
+        service, _, _ = run
+        ready = service.controller.ready_replicas()
+        assert len(ready) == N_TAR + N_EXTRA
+        assert all(r.zone_id == ZONE_B for r in ready)
+        assert all(r.spot for r in ready)
+
+    def test_availability_recovers_after_zone_b_arrives(self, run):
+        service, _, _ = run
+        series = service.controller.ready_total_series
+        # Fully available before the storm and after re-convergence.
+        assert series.fraction_at_least(N_TAR, 1000.0, 1800.0) == 1.0
+        assert series.fraction_at_least(N_TAR, 5 * HOUR, DURATION) == 1.0
+        # The dead window really was an outage worth recovering from.
+        assert series.fraction_at_least(N_TAR, 1800.0, 3600.0) < 1.0
+
+    def test_preemptions_recorded(self, run):
+        service, report, _ = run
+        assert service.controller.preemption_count.value >= 1
+        assert report.preemptions >= 1
+
+
+class TestNoLeaks:
+    def test_no_dead_replicas_retained(self, run):
+        service, _, _ = run
+        controller = service.controller
+        assert all(
+            r.state is not ReplicaState.DEAD for r in controller.replicas
+        )
+        # The failure storm must not leave an unbounded replica list.
+        assert len(controller.replicas) <= N_TAR + N_EXTRA + 2
+
+    def test_instance_index_maps_only_live_replicas(self, run):
+        service, _, _ = run
+        controller = service.controller
+        live = set(map(id, controller.replicas))
+        for replica in controller._instance_replica.values():
+            assert id(replica) in live
+            assert replica.state is not ReplicaState.DEAD
+        # Every indexed instance id belongs to a current worker.
+        worker_ids = {
+            w.id for r in controller.replicas for w in r.workers
+        }
+        assert set(controller._instance_replica) <= worker_ids

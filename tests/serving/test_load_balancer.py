@@ -119,3 +119,58 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_balancer("hash_ring")
+
+    def test_unknown_name_lists_known_policies(self):
+        with pytest.raises(ValueError) as exc:
+            make_balancer("hash_ring")
+        message = str(exc.value)
+        assert "hash_ring" in message
+        for known in ("round_robin", "least_load", "locality"):
+            assert known in message
+
+
+class TestSyntheticTopologyHardening:
+    """Free-form zone ids ("z1") and strict network models must degrade
+    deterministically instead of raising out of the request path."""
+
+    def test_bare_zone_id_doubles_as_region(self):
+        engine = SimulationEngine()
+        replica = make_ready_replica(engine, "z1")
+        assert replica.region_id == "z1"
+
+    def test_cloud_region_zone_id_still_splits(self):
+        engine = SimulationEngine()
+        replica = make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+        assert replica.region_id == "aws:us-west-2"
+
+    def test_strict_network_falls_back_deterministically(self):
+        from repro.cloud.network import NetworkModel
+
+        class StrictNetwork(NetworkModel):
+            def rtt(self, region_a, region_b):
+                raise KeyError((region_a, region_b))
+
+        engine = SimulationEngine()
+        a = make_ready_replica(engine, "z1")
+        b = make_ready_replica(engine, "z2")
+        balancer = LocalityAwareBalancer("aws:us-west-2", StrictNetwork())
+        expected = min(a, b, key=lambda r: r.id)
+        for i in range(5):
+            assert balancer.pick([b, a], request(i)) is expected
+
+    def test_unplaceable_replica_sorts_after_placeable(self):
+        from repro.cloud.network import NetworkModel
+
+        class PartialNetwork(NetworkModel):
+            def rtt(self, region_a, region_b):
+                if region_b.startswith("z"):
+                    raise KeyError(region_b)
+                return super().rtt(region_a, region_b)
+
+        engine = SimulationEngine()
+        synthetic = make_ready_replica(engine, "z1")
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a")
+        balancer = LocalityAwareBalancer("aws:us-west-2", PartialNetwork())
+        # A real (if remote) RTT always beats FALLBACK_RTT.
+        assert balancer.pick([synthetic, remote], request()) is remote
+        assert balancer._rtt_to(synthetic) == LocalityAwareBalancer.FALLBACK_RTT

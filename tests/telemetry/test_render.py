@@ -2,6 +2,9 @@
 
 from repro.telemetry import (
     AutoscaleDecision,
+    ChaosInjected,
+    ChaosScenarioEnded,
+    ChaosScenarioStarted,
     CostSnapshot,
     PolicyDecision,
     ReplicaLaunch,
@@ -105,3 +108,59 @@ class TestFormatSummary:
 
     def test_empty_log_renders(self):
         assert "0 events" in format_summary([])
+
+
+def chaos_events():
+    return [
+        ChaosScenarioStarted(time=0.0, scenario="storm-demo", injections=2),
+        ChaosInjected(time=3600.0, scenario="storm-demo",
+                      injection="preemption_storm",
+                      zones=["aws:z:a", "aws:z:b"],
+                      detail="pulse systemic severity=1"),
+        ChaosInjected(time=3900.0, scenario="storm-demo",
+                      injection="preemption_storm", zones=["aws:z:a"],
+                      detail="pulse independent severity=1"),
+        ChaosInjected(time=5000.0, scenario="storm-demo",
+                      injection="warning_disruption", zones=["aws:z:b"],
+                      detail="warning suppressed"),
+        ChaosScenarioEnded(time=10800.0, scenario="storm-demo", injected=3),
+    ]
+
+
+class TestChaosRendering:
+    def test_summarize_collects_chaos_state(self):
+        s = summarize(chaos_events())
+        assert s.chaos_scenario == "storm-demo"
+        assert s.chaos_ended_at == 10800.0
+        assert len(s.chaos_injections) == 3
+        assert s.chaos_injections[0] == (
+            3600.0, "preemption_storm", 2, "pulse systemic severity=1"
+        )
+        assert s.chaos_injections_by_kind == {
+            "preemption_storm": 2,
+            "warning_disruption": 1,
+        }
+
+    def test_injected_alone_still_names_scenario(self):
+        s = summarize(chaos_events()[1:2])
+        assert s.chaos_scenario == "storm-demo"
+
+    def test_format_has_chaos_section(self):
+        text = format_summary(chaos_events())
+        assert "chaos scenario 'storm-demo': 3 injections, ended t=10800s" in text
+        assert "preemption_storm" in text
+        assert "t=3600s: preemption_storm hit 2 zones (pulse systemic severity=1)" in text
+        assert "t=5000s: warning_disruption hit 1 zone (warning suppressed)" in text
+
+    def test_injection_list_truncates(self):
+        events = [ChaosScenarioStarted(time=0.0, scenario="many", injections=1)]
+        events += [
+            ChaosInjected(time=float(i), scenario="many",
+                          injection="preemption_storm", zones=["z"])
+            for i in range(14)
+        ]
+        text = format_summary(events)
+        assert "... 4 more injections" in text
+
+    def test_no_chaos_no_section(self):
+        assert "chaos" not in format_summary(sample_events())
