@@ -44,6 +44,33 @@ def test_fig6a_latency_breakdown(benchmark):
     assert processing > 10 * remote_rtt
 
 
+def test_fig6c_batched_decode_slowdown(benchmark):
+    """Companion table: per-request decode time at rising continuous-
+    batching occupancy (linear contention model, slope 0.08/stream).
+    Occupancy 1 is exactly the fixed-rate model of Fig. 6a."""
+    profile = vicuna_13b_profile(decode_batch_slope=0.08)
+    request = Request(0, 0.0, input_tokens=20, output_tokens=44)
+
+    def compute():
+        ttft = profile.time_to_first_token(request)
+        decode = profile.processing_time(request) - ttft
+        return [
+            [batch, profile.batch_factor(batch),
+             decode * profile.batch_factor(batch)]
+            for batch in (1, 2, 4, 8)
+        ]
+
+    rows = run_once(benchmark, compute)
+    print_header("Fig. 6c: decode time vs batch occupancy (Vicuna-13B)")
+    print_rows(
+        ["batch", "decode factor", "decode seconds"],
+        [[b, f"{f:.2f}", f"{s:.3f}"] for b, f, s in rows],
+    )
+    assert rows[0][1] == 1.0  # occupancy 1 is exactly the Fig. 6a model
+    factors = [f for _, f, _ in rows]
+    assert factors == sorted(factors) and factors[-1] > 1.0
+
+
 def test_fig6b_interregion_rtts(benchmark):
     network = default_network()
 

@@ -1,0 +1,172 @@
+"""Continuous batching under overload.
+
+(a) With the offered load at ~3x the fixed fleet's capacity, the
+batch-occupancy decode slowdown compounds queueing: P99 TTFT strictly
+exceeds the fixed-rate (batch-independent) model's on the same trace,
+workload, and seed.
+
+(b) The QPS autoscaler sizes the fleet from arrival rate alone, so it
+cannot see the capacity lost to batch contention; the SLO-aware mode
+reacts to the TTFT/TPOT violations themselves and settles on a higher
+N_Tar for the same workload.
+"""
+
+import numpy as np
+from conftest import print_header, print_rows, run_once
+
+from repro.cloud import SpotTrace
+from repro.core import spothedge
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    RetryPolicy,
+    ServiceSpec,
+    SkyService,
+)
+from repro.workloads import Request, Workload
+
+ZONES = [
+    "aws:us-west-2:us-west-2a",
+    "aws:us-west-2:us-west-2b",
+    "aws:us-west-2:us-west-2c",
+]
+
+
+def abundant_trace(hours=3):
+    steps = int(hours * 60)
+    return SpotTrace("overload", ZONES, 60.0, np.full((3, steps), 8))
+
+
+def steady_workload(rate, start, end):
+    requests = []
+    t, i = start, 0
+    while t < end:
+        requests.append(Request(i, t, input_tokens=20, output_tokens=20))
+        i += 1
+        t += 1.0 / rate
+    return Workload("steady", requests)
+
+
+def profile(slope):
+    return ModelProfile(
+        "m", overhead=1.0, prefill_per_token=0.0, decode_per_token=0.1,
+        max_concurrency=2, decode_batch_slope=slope,
+    )
+
+
+def run_fixed_fleet(slope):
+    """Two pinned replicas, ~3x overloaded, bounded queues, backoff."""
+    spec = ServiceSpec(
+        name="overload-fixed",
+        replica_policy=ReplicaPolicyConfig(fixed_target=2, num_overprovision=0),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=40.0,
+        max_queue_per_replica=2,
+    )
+    service = SkyService(
+        spec,
+        spothedge(ZONES, num_overprovision=0),
+        abundant_trace(hours=1),
+        profile=profile(slope),
+        seed=7,
+        retry_policy=RetryPolicy(base=0.5, multiplier=2.0, cap=8.0, jitter=0.1),
+    )
+    report = service.run(steady_workload(4.0, 120.0, 2400.0), 3000.0)
+    return service, report
+
+
+def run_autoscaled(mode):
+    """Same overload, autoscaled fleet: Q_Tar assumes contention-free
+    replicas, so the QPS candidate undersizes the batched fleet.
+
+    Queues are unbounded and there is no retry policy here, so every
+    request routes exactly once and R_t reflects the true offered load
+    — isolating the autoscaling-signal difference (retry storms would
+    otherwise inflate R_t and let the QPS mode react indirectly)."""
+    slo = dict(
+        autoscale_mode="slo",
+        ttft_slo=2.0,
+        tpot_slo=0.3,
+        slo_violation_threshold=0.1,
+        slo_window=120.0,
+    ) if mode == "slo" else {}
+    spec = ServiceSpec(
+        name=f"overload-{mode}",
+        replica_policy=ReplicaPolicyConfig(
+            target_qps_per_replica=1.0,
+            min_replicas=1,
+            max_replicas=12,
+            num_overprovision=0,
+            upscale_delay=120.0,
+            downscale_delay=600.0,
+            **slo,
+        ),
+        resources=ResourceSpec(
+            accelerator="V100",
+            any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+        ),
+        request_timeout=60.0,
+    )
+    service = SkyService(
+        spec,
+        spothedge(ZONES, num_overprovision=0),
+        abundant_trace(hours=3),
+        profile=profile(0.3),
+        seed=7,
+    )
+    report = service.run(steady_workload(3.0, 120.0, 3000.0), 3600.0)
+    peak = max(
+        service.controller.n_tar_series.value_at(t)
+        for t in np.linspace(300.0, 3000.0, 100)
+    )
+    return peak, report
+
+
+def test_overload_batched_ttft_exceeds_batch1(benchmark):
+    def compute():
+        _, batched = run_fixed_fleet(0.3)
+        _, fixed = run_fixed_fleet(0.0)
+        return batched, fixed
+
+    batched, fixed = run_once(benchmark, compute)
+    print_header("Overload (3x capacity): batched vs fixed-rate decode model")
+    print_rows(
+        ["model", "P50 TTFT", "P99 TTFT", "completed", "failed"],
+        [
+            ["fixed-rate (batch=1)", f"{fixed.ttft.p50:.2f}s",
+             f"{fixed.ttft.p99:.2f}s", fixed.completed, fixed.failed],
+            ["batched (slope 0.3)", f"{batched.ttft.p50:.2f}s",
+             f"{batched.ttft.p99:.2f}s", batched.completed, batched.failed],
+        ],
+    )
+    # Acceptance: co-residency slowdown compounds queueing delay.
+    assert batched.ttft.p99 > fixed.ttft.p99
+    assert batched.completed <= fixed.completed
+
+
+def test_slo_mode_outsizes_qps_mode(benchmark):
+    def compute():
+        qps_peak, qps_report = run_autoscaled("qps")
+        slo_peak, slo_report = run_autoscaled("slo")
+        return qps_peak, qps_report, slo_peak, slo_report
+
+    qps_peak, qps_report, slo_peak, slo_report = run_once(benchmark, compute)
+    print_header("SLO-aware vs QPS-only autoscaling on a batched fleet")
+    print_rows(
+        ["mode", "peak N_Tar", "P99 TTFT", "failure rate"],
+        [
+            ["qps", int(qps_peak), f"{qps_report.ttft.p99:.2f}s",
+             f"{qps_report.failure_rate:.3f}"],
+            ["slo", int(slo_peak), f"{slo_report.ttft.p99:.2f}s",
+             f"{slo_report.failure_rate:.3f}"],
+        ],
+    )
+    # Acceptance: violation pressure raises N_Tar above the QPS
+    # candidate, and the bigger fleet serves the load better.
+    assert slo_peak > qps_peak
+    assert slo_report.failure_rate <= qps_report.failure_rate

@@ -124,6 +124,82 @@ def test_replay_throughput(benchmark):
     assert steps_per_second > 25_000
 
 
+def test_batched_replay_perf_smoke(benchmark):
+    """CI perf-smoke: continuous batching must not regress the hot
+    paths.  Two checks: (1) a saturated batched ``InferenceServer``
+    (every admit/finish reprices the whole batch) clears a generous
+    requests/s floor; (2) the trace-replay path, re-timed in the same
+    process as the batched engine, stays within 15% of the ``replay``
+    baseline that ``test_replay_throughput`` recorded into
+    ``BENCH_replay.json`` moments earlier — a same-machine, same-mode
+    comparison."""
+    import pytest
+
+    from repro.serving import InferenceServer, ModelProfile
+    from repro.workloads import Request
+
+    def drive(n):
+        engine = SimulationEngine()
+        profile = ModelProfile(
+            "m", overhead=0.1, prefill_per_token=0.001,
+            decode_per_token=0.01, max_concurrency=8,
+            decode_batch_slope=0.1,
+        )
+        server = InferenceServer(engine, profile)
+        done = []
+        for i in range(n):
+            server.submit(Request(i, 0.0, 20, 40), done.append,
+                          lambda r: None)
+        engine.run()
+        return len(done)
+
+    n_requests = 2_000 if SMOKE else 20_000
+    drive(n_requests // 10)  # warm caches
+    times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        completed = drive(n_requests)
+        times.append(time.perf_counter() - start)
+    assert completed == n_requests
+    requests_per_second = n_requests / min(times)
+    print(f"\nbatched inference: {min(times) * 1e3:.0f}ms for "
+          f"{n_requests} requests ({requests_per_second:,.0f} req/s)")
+    record_baseline(
+        "batched_inference", seconds=min(times), requests=n_requests,
+        requests_per_second=requests_per_second,
+    )
+    # Repricing is O(batch) per admit/finish; even slow CI runners
+    # clear this with a wide margin (~100k req/s on dev hardware).
+    assert requests_per_second > 10_000
+
+    baseline = {}
+    if _ARTIFACT.exists():
+        try:
+            baseline = json.loads(_ARTIFACT.read_text()).get("replay", {})
+        except ValueError:
+            baseline = {}
+    benchmark.pedantic(lambda: drive(n_requests // 10), rounds=1, iterations=1)
+    if not baseline or baseline.get("smoke") != SMOKE:
+        pytest.skip("no same-mode replay baseline recorded in this run")
+    trace = perf_trace()
+
+    def replay():
+        replayer = TraceReplayer(trace, ReplayConfig(n_tar=4))
+        return replayer.run(spothedge(ZONES))
+
+    replay()  # warm caches
+    replay_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        replay()
+        replay_times.append(time.perf_counter() - start)
+    steps_per_second = trace.n_steps / min(replay_times)
+    ratio = steps_per_second / baseline["steps_per_second"]
+    print(f"replay with batched engine resident: {steps_per_second:,.0f} "
+          f"steps/s ({ratio:.2f}x of recorded baseline)")
+    assert ratio >= 0.85
+
+
 def test_latency_estimation_throughput(benchmark):
     """Vectorised estimate_latency over a dense workload.
 

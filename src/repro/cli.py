@@ -36,6 +36,7 @@ of every ``repro.*`` module.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -156,6 +157,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             resources=ResourceSpec(accelerator=args.accelerator),
             request_timeout=args.timeout,
+            max_queue_per_replica=args.max_queue,
         )
     duration = args.hours * HOUR
     workload = _make_workload(args.workload, duration, args.rate, args.seed)
@@ -174,11 +176,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.metrics_out:
             prom_sink = PrometheusSnapshot()
             telemetry.attach(prom_sink)
+    profile = _PROFILES[args.profile]()
+    if args.batch_slope:
+        profile = dataclasses.replace(profile, decode_batch_slope=args.batch_slope)
     service = SkyService(
         spec,
         policy,
         trace,
-        profile=_PROFILES[args.profile](),
+        profile=profile,
         seed=args.seed,
         telemetry=telemetry,
     )
@@ -597,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--accelerator", default="V100")
     serve.add_argument("--profile", default="llama2-70b", choices=sorted(_PROFILES))
     serve.add_argument("--timeout", type=float, default=100.0)
+    serve.add_argument("--batch-slope", type=float, default=0.0,
+                       help="per-stream decode slowdown per extra co-resident "
+                            "stream (0 = fixed-rate decode)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound each replica's server queue; excess "
+                            "requests are shed and retried by the client")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--events",
                        help="write every telemetry event to this JSONL file")

@@ -2,7 +2,7 @@
 autoscaler, simulated inference engines, client, and service facade."""
 
 from repro.serving.autoscaler import Autoscaler
-from repro.serving.client import ClientStats, ServiceClient
+from repro.serving.client import ClientStats, RetryPolicy, ServiceClient
 from repro.serving.controller import ServiceController
 from repro.serving.fleet import FleetService, ServiceFleet
 from repro.serving.inference import (
@@ -45,6 +45,7 @@ __all__ = [
     "ReplicaPolicyConfig",
     "ReplicaState",
     "ResourceSpec",
+    "RetryPolicy",
     "RoundRobinBalancer",
     "ServiceClient",
     "ServiceController",

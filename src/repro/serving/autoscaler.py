@@ -7,6 +7,16 @@ the candidate has been consistently above (for ``upscale_delay``) or
 below (for ``downscale_delay``) the current target, which filters the
 bursty noise of workloads like Arena.  ``fixed_target`` pins ``N_Tar``
 for experiments that hold the desired replica count constant (§5.2).
+
+A second mode (``autoscale_mode="slo"`` on the policy config) folds
+latency SLO attainment into the candidate: the client reports each
+request's time-to-first-token and time-per-output-token, the autoscaler
+tracks the fraction of recent samples violating their SLO, and when that
+fraction exceeds ``slo_violation_threshold`` the candidate is bumped
+above the QPS-derived one.  QPS alone cannot see batch-level contention
+— a fleet can be keeping up on throughput while every request decodes
+at 2x slowness because batches are saturated — so the SLO signal is what
+lets the autoscaler react to the continuous-batching overload regime.
 """
 
 from __future__ import annotations
@@ -34,6 +44,8 @@ class Autoscaler:
         self._arrivals: deque[float] = deque()
         self._above_since: Optional[float] = None
         self._below_since: Optional[float] = None
+        #: (time, violated) samples for TTFT / TPOT, pruned to slo_window.
+        self._slo_samples: deque[tuple[float, bool]] = deque()
 
     def _clamp(self, target: int) -> int:
         return max(self.config.min_replicas, min(target, self.config.max_replicas))
@@ -48,16 +60,61 @@ class Autoscaler:
         self._arrivals.append(time)
 
     def request_rate(self, now: float) -> float:
-        """Average request rate over the trailing window."""
+        """Average request rate over the trailing window.
+
+        During warm-up (``now < qps_window``) the divisor is the elapsed
+        time, not the full window — dividing by the window there
+        underestimates R_t and delays the first upscale by however much
+        of the window has not happened yet.
+        """
         cutoff = now - self.config.qps_window
         while self._arrivals and self._arrivals[0] < cutoff:
             self._arrivals.popleft()
-        return len(self._arrivals) / self.config.qps_window
+        window = min(now, self.config.qps_window)
+        if window <= 0.0:
+            return 0.0
+        return len(self._arrivals) / window
+
+    # -- SLO signal -----------------------------------------------------
+    def record_ttft(self, time: float, value: float) -> None:
+        """One client-observed time-to-first-token sample."""
+        slo = self.config.ttft_slo
+        if slo is not None:
+            self._slo_samples.append((time, value > slo))
+
+    def record_tpot(self, time: float, value: float) -> None:
+        """One client-observed time-per-output-token sample."""
+        slo = self.config.tpot_slo
+        if slo is not None:
+            self._slo_samples.append((time, value > slo))
+
+    def slo_violation_rate(self, now: float) -> float:
+        """Fraction of SLO samples in the trailing ``slo_window`` that
+        violated their objective (0.0 with no samples)."""
+        cutoff = now - self.config.slo_window
+        while self._slo_samples and self._slo_samples[0][0] < cutoff:
+            self._slo_samples.popleft()
+        if not self._slo_samples:
+            return 0.0
+        violated = sum(1 for _, bad in self._slo_samples if bad)
+        return violated / len(self._slo_samples)
 
     def candidate_target(self, now: float) -> int:
-        """N_Can = ceil(R_t / Q_Tar), clamped to the replica bounds."""
+        """N_Can = ceil(R_t / Q_Tar), clamped to the replica bounds.
+
+        In ``slo`` mode, when the recent violation rate exceeds the
+        configured threshold the candidate is raised to at least
+        ``N_Tar + ceil(rate * N_Tar)`` — proportional pressure: the
+        worse the attainment, the harder the push — before clamping.
+        """
         rate = self.request_rate(now)
-        return self._clamp(math.ceil(rate / self.config.target_qps_per_replica))
+        candidate = math.ceil(rate / self.config.target_qps_per_replica)
+        if self.config.autoscale_mode == "slo":
+            violation = self.slo_violation_rate(now)
+            if violation > self.config.slo_violation_threshold:
+                bump = max(1, math.ceil(violation * self._n_tar))
+                candidate = max(candidate, self._n_tar + bump)
+        return self._clamp(candidate)
 
     def evaluate(self, now: float) -> int:
         """Update and return N_Tar; call once per controller tick."""

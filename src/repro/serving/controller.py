@@ -38,6 +38,7 @@ from repro.telemetry.events import (
     ProbeFailure,
     ReplicaLaunch,
     ReplicaLaunchFailed,
+    ReplicaLoadSample,
     ReplicaPreempted,
     ReplicaReady,
     ReplicaTerminated,
@@ -247,6 +248,14 @@ class ServiceController:
             )
         return replica
 
+    def note_slo_ttft(self, value: float) -> None:
+        """Client-reported time-to-first-token sample (SLO signal)."""
+        self.autoscaler.record_ttft(self.engine.now, value)
+
+    def note_slo_tpot(self, value: float) -> None:
+        """Client-reported time-per-output-token sample (SLO signal)."""
+        self.autoscaler.record_tpot(self.engine.now, value)
+
     def status(self) -> list[dict[str, object]]:
         """A ``sky serve status``-style snapshot of every live replica."""
         rows = []
@@ -290,6 +299,10 @@ class ServiceController:
                         old_target=old_target,
                         new_target=self.autoscaler.n_tar,
                         request_rate=self.autoscaler.request_rate(self.engine.now),
+                        mode=self.spec.replica_policy.autoscale_mode,
+                        slo_violation_rate=self.autoscaler.slo_violation_rate(
+                            self.engine.now
+                        ),
                     )
                 )
         self._reap_drained()
@@ -435,6 +448,7 @@ class ServiceController:
             rng=self._rng,
             adaptive_parallelism=self._adaptive_parallelism,
             replica_id=next(self._replica_ids),
+            max_queue=self.spec.max_queue_per_replica,
         )
         self.replicas.append(replica)
         itype = self._zone_itype[zone_id]
@@ -624,7 +638,7 @@ class ServiceController:
         def on_answer(_request: Request) -> None:
             state["answered"] = True
 
-        replica.handle(probe, on_answer, on_answer)
+        replica.handle(probe, on_answer, on_answer, urgent=True)
 
         def check() -> None:
             if state["answered"] or replica.state is ReplicaState.DEAD:
@@ -683,6 +697,21 @@ class ServiceController:
             now, sum(1 for r in spot_alive if not r.is_ready)
         )
         self.n_tar_series.record(now, self.autoscaler.n_tar)
+        bus = self.engine.telemetry
+        if bus.enabled:
+            for replica in self.replicas:
+                if not replica.is_ready:
+                    continue
+                bus.emit(
+                    ReplicaLoadSample(
+                        time=now,
+                        replica_id=replica.id,
+                        zone=replica.zone_id,
+                        executing=replica.executing_requests,
+                        queued=replica.queue_depth,
+                        shed=replica.shed_count,
+                    )
+                )
 
     def availability(self, start: float, end: float, n_tar: Optional[int] = None) -> float:
         """Fraction of [start, end] with at least n_tar replicas ready."""

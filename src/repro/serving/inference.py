@@ -1,4 +1,4 @@
-"""Simulated inference engine.
+"""Simulated inference engine with continuous batching.
 
 Stands in for vLLM / TGI / Triton / SpotServe endpoints.  The model we
 need is the one the paper's latency argument rests on (Fig. 6a): request
@@ -8,6 +8,28 @@ phase proportional to output tokens.  The engine admits up to
 ``max_concurrency`` requests at once (continuous batching slots); excess
 requests wait in a FIFO queue, which is where overload shows up as
 queueing delay and, eventually, client timeouts.
+
+Two execution models are supported, selected by the profile:
+
+* **Fixed-rate** (``decode_batch_slope == 0``, the default): every
+  request decodes at the profile's batch-1 rate regardless of how many
+  streams share the engine.  This is the original model; all recorded
+  fixtures and benchmark shapes are pinned against it.
+* **Continuous batching** (``decode_batch_slope > 0``): the per-token
+  decode time of every in-flight stream grows with batch occupancy
+  (``batch_factor``), so overload shows up as decode slowdown and TTFT
+  blow-up rather than pure queueing — the regime real vLLM-style
+  engines exhibit under load.  In-flight decode work is *re-priced*
+  whenever batch membership changes (admit/finish/preempt): the
+  outstanding decode budget is converted back to batch-1 seconds at the
+  old factor and forward to wall seconds at the new one.  With
+  occupancy pinned to 1 the arithmetic reduces to adding exact zeros,
+  so batch-1 runs are byte-identical to the fixed-rate model.
+
+Admission control is a bounded FIFO queue (``max_queue``): when every
+batching slot is busy and the queue is full, new submissions are *shed*
+deterministically (newest request rejected, no callbacks fire) and the
+client is expected to retry with backoff.
 
 Profiles are provided for the three model/hardware pairs the evaluation
 uses: Llama-2-70B on 8×A10G (vLLM), OPT-6.7B on 4×T4 (SpotServe), and
@@ -21,7 +43,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import EventHandle, SimulationEngine
 from repro.telemetry.spans import RequestSpan
 from repro.workloads.request import Request
 
@@ -42,6 +64,12 @@ class ModelProfile:
     decode_per_token * output_tokens``, scaled by a throughput factor
     (used by the SpotServe baseline when a replica loses workers and
     re-parallelises over the survivors).
+
+    ``decode_per_token`` is the *batch-1* decode rate.  When
+    ``decode_batch_slope`` is positive, a stream sharing the engine with
+    ``b - 1`` others decodes ``batch_factor(b)`` times slower —
+    a linear contention model calibrated so ``batch_factor(1) == 1``
+    exactly (batch-1 behaviour matches the slope-0 profile to the bit).
     """
 
     name: str
@@ -49,15 +77,34 @@ class ModelProfile:
     prefill_per_token: float
     decode_per_token: float
     max_concurrency: int
+    #: Per-stream decode slowdown per additional co-resident stream.
+    #: 0 disables batch contention (the original fixed-rate model).
+    decode_batch_slope: float = 0.0
 
     def __post_init__(self) -> None:
         if min(self.overhead, self.prefill_per_token, self.decode_per_token) < 0:
             raise ValueError(f"{self.name}: negative latency coefficients")
         if self.max_concurrency < 1:
             raise ValueError(f"{self.name}: max_concurrency must be >= 1")
+        if self.decode_batch_slope < 0:
+            raise ValueError(
+                f"{self.name}: decode_batch_slope must be >= 0, "
+                f"got {self.decode_batch_slope}"
+            )
+
+    def batch_factor(self, batch: int) -> float:
+        """Decode slowdown of one stream in a batch of ``batch``.
+
+        Linear contention: ``1 + decode_batch_slope * (batch - 1)``.
+        Monotone non-decreasing in ``batch`` and exactly 1.0 at batch 1
+        (``slope * 0 == 0.0``, so no rounding creeps in).
+        """
+        if batch < 1:
+            raise ValueError(f"batch size {batch} < 1")
+        return 1.0 + self.decode_batch_slope * (batch - 1)
 
     def processing_time(self, request: Request, *, slowdown: float = 1.0) -> float:
-        """Pure compute time for one request, excluding queueing."""
+        """Pure batch-1 compute time for one request, excluding queueing."""
         if slowdown < 1.0:
             raise ValueError(f"slowdown {slowdown} < 1")
         base = (
@@ -68,18 +115,26 @@ class ModelProfile:
         return base * slowdown
 
     def time_to_first_token(self, request: Request, *, slowdown: float = 1.0) -> float:
-        """TTFT: overhead + prefill (the §3.1 footnote's metric)."""
-        return (self.overhead + self.prefill_per_token * request.input_tokens) * max(
-            slowdown, 1.0
-        )
+        """TTFT: overhead + prefill (the §3.1 footnote's metric).
+
+        Rejects ``slowdown < 1`` like :meth:`processing_time` (it used
+        to clamp silently, hiding caller bugs the other method raised
+        on).
+        """
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown {slowdown} < 1")
+        return (self.overhead + self.prefill_per_token * request.input_tokens) * slowdown
 
 
-def llama2_70b_profile() -> ModelProfile:
+def llama2_70b_profile(*, decode_batch_slope: float = 0.0) -> ModelProfile:
     """Llama-2-70B on a g5.48xlarge (8×A10G) running vLLM (§5.1).
 
     Decoding a 70B model on A10Gs runs at roughly 15–20 tokens/s per
     stream; a median Arena reply (~180 tokens) takes ~10 s, and long
-    generations push against the experiment's 100 s timeout.
+    generations push against the experiment's 100 s timeout.  With
+    continuous batching enabled a slope of ~0.08 reproduces vLLM's
+    per-stream decode degradation at full occupancy (8 streams ≈ 1.6×
+    slower per token than batch 1).
     """
     return ModelProfile(
         name="llama2-70b-vllm",
@@ -87,14 +142,16 @@ def llama2_70b_profile() -> ModelProfile:
         prefill_per_token=0.0015,
         decode_per_token=0.055,
         max_concurrency=8,
+        decode_batch_slope=decode_batch_slope,
     )
 
 
-def opt_6_7b_profile() -> ModelProfile:
+def opt_6_7b_profile(*, decode_batch_slope: float = 0.0) -> ModelProfile:
     """OPT-6.7B on a g4dn.12xlarge (4×T4) running SpotServe (§5.1).
 
     Smaller model on slower GPUs: ~2–6 s typical requests against a 20 s
-    timeout.
+    timeout.  A slope of ~0.05 matches the milder contention of the
+    smaller model.
     """
     return ModelProfile(
         name="opt-6.7b-spotserve",
@@ -102,10 +159,11 @@ def opt_6_7b_profile() -> ModelProfile:
         prefill_per_token=0.0008,
         decode_per_token=0.020,
         max_concurrency=8,
+        decode_batch_slope=decode_batch_slope,
     )
 
 
-def vicuna_13b_profile() -> ModelProfile:
+def vicuna_13b_profile(*, decode_batch_slope: float = 0.0) -> ModelProfile:
     """Vicuna-13B, the Fig. 6a breakdown subject.
 
     Calibrated so a 20-input/44-output-token request takes a few seconds
@@ -117,6 +175,7 @@ def vicuna_13b_profile() -> ModelProfile:
         prefill_per_token=0.0012,
         decode_per_token=0.042,
         max_concurrency=8,
+        decode_batch_slope=decode_batch_slope,
     )
 
 
@@ -127,7 +186,10 @@ class _Pending:
     Replaces the ad-hoc ``(request, on_complete, on_abort,
     on_first_token)`` queue tuples; ``span`` threads the telemetry
     request span (when one is being recorded) down to the point where
-    execution actually starts.
+    execution actually starts.  The batching fields (``prefill_end``,
+    ``finish_at``, ``factor``, ``finish_handle``) carry the token-budget
+    accounting: ``finish_at`` is the scheduled completion under the
+    current batch factor, re-priced whenever membership changes.
     """
 
     request: Request
@@ -135,13 +197,19 @@ class _Pending:
     on_abort: Callable[[Request], None]
     on_first_token: Optional[Callable[[Request], None]] = None
     span: Optional[RequestSpan] = None
+    prefill_end: float = 0.0
+    finish_at: float = 0.0
+    factor: float = 1.0
+    finish_handle: Optional[EventHandle] = None
 
 
 class InferenceServer:
     """FIFO-queued, concurrency-limited execution of requests.
 
-    ``submit`` returns immediately; ``on_complete(request, started_at)``
-    fires when the request finishes compute.  ``abort_all`` models a
+    ``submit`` returns immediately with ``True`` when the server took
+    ownership of the request (a completion or abort callback will fire)
+    and ``False`` when admission control shed it (no callback fires; the
+    caller retries elsewhere or backs off).  ``abort_all`` models a
     preemption killing the endpoint: queued and in-flight requests all
     fail through ``on_abort``.
     """
@@ -153,19 +221,27 @@ class InferenceServer:
         *,
         rng: Optional[np.random.Generator] = None,
         jitter: float = 0.05,
+        max_queue: Optional[int] = None,
     ) -> None:
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter {jitter} outside [0, 1)")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError(f"max_queue {max_queue} < 0")
         self.engine = engine
         self.profile = profile
         self.slowdown = 1.0
         self._rng = rng
         self._jitter = jitter
+        self._max_queue = max_queue
         self._queue: list[_Pending] = []
         self._in_flight: dict[int, _Pending] = {}
         self._aborted = False
         self._frozen = False
         self._generation = 0  # bumped on abort; stale completions are dropped
+        self._shed = 0
+        #: Continuous batching on? (slope-0 profiles keep the original
+        #: fixed-rate scheduling bit-for-bit, with zero re-pricing work.)
+        self._batching = profile.decode_batch_slope > 0.0
 
     @property
     def ongoing(self) -> int:
@@ -175,7 +251,22 @@ class InferenceServer:
 
     @property
     def executing(self) -> int:
+        """Requests holding a batching slot — the batch occupancy."""
         return len(self._in_flight)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a batching slot."""
+        return len(self._queue)
+
+    @property
+    def shed_count(self) -> int:
+        """Requests rejected by admission control since startup."""
+        return self._shed
+
+    @property
+    def max_queue(self) -> Optional[int]:
+        return self._max_queue
 
     def submit(
         self,
@@ -185,8 +276,15 @@ class InferenceServer:
         on_first_token: Optional[Callable[[Request], None]] = None,
         *,
         span: Optional[RequestSpan] = None,
-    ) -> None:
+        urgent: bool = False,
+    ) -> bool:
         """Enqueue a request for execution.
+
+        Returns ``False`` when the request was shed by admission control
+        (every batching slot busy and the bounded queue full) — no
+        callback will ever fire for it.  ``urgent`` bypasses the queue
+        bound (readiness probes must observe an overloaded-but-healthy
+        replica instead of being shed into a false failure).
 
         ``on_first_token`` fires when the prefill phase finishes — the
         server-side component of TTFT (queueing + overhead + prefill).
@@ -195,35 +293,99 @@ class InferenceServer:
         """
         if self._aborted:
             on_abort(request)
-            return
+            return True
+        if (
+            not urgent
+            and self._max_queue is not None
+            and len(self._in_flight) >= self.profile.max_concurrency
+            and len(self._queue) >= self._max_queue
+        ):
+            self._shed += 1
+            return False
+        if span is not None:
+            span.note_queue_depth(len(self._queue))
         self._queue.append(
             _Pending(request, on_complete, on_abort, on_first_token, span)
         )
         self._drain()
+        return True
 
     def _drain(self) -> None:
+        admitted = False
         while self._queue and len(self._in_flight) < self.profile.max_concurrency:
+            admitted = True
             pending = self._queue.pop(0)
             request = pending.request
             self._in_flight[request.request_id] = pending
             if pending.span is not None:
-                pending.span.mark_exec_start(self.engine.now)
+                pending.span.mark_exec_start(
+                    self.engine.now, batch=len(self._in_flight)
+                )
             duration = self.profile.processing_time(request, slowdown=self.slowdown)
             if self._rng is not None and self._jitter > 0:
                 duration *= float(
                     self._rng.uniform(1 - self._jitter, 1 + self._jitter)
                 )
             generation = self._generation
+            ttft = self.profile.time_to_first_token(request, slowdown=self.slowdown)
+            ttft = min(ttft, duration)
             if pending.on_first_token is not None or pending.span is not None:
-                ttft = self.profile.time_to_first_token(
-                    request, slowdown=self.slowdown
-                )
                 self.engine.call_after(
-                    min(ttft, duration),
+                    ttft,
                     lambda p=pending, g=generation: self._first_token(p, g),
                 )
-            self.engine.call_after(
-                duration, lambda r=request, g=generation: self._finish(r, g)
+            if not self._batching:
+                # Fixed-rate model: one finish event, never re-priced.
+                self.engine.call_after(
+                    duration, lambda r=request, g=generation: self._finish(r, g)
+                )
+                continue
+            # Continuous batching: price the decode budget at the
+            # occupancy this admission produced.  ``duration - ttft`` is
+            # the batch-1 decode budget; the surcharge term is an exact
+            # +0.0 at factor 1, keeping batch-1 runs byte-identical to
+            # the fixed-rate model.
+            pending.prefill_end = self.engine.now + ttft
+            pending.factor = self.profile.batch_factor(len(self._in_flight))
+            pending.finish_at = (
+                self.engine.now
+                + duration
+                + (duration - ttft) * (pending.factor - 1.0)
+            )
+            pending.finish_handle = self.engine.call_at(
+                pending.finish_at,
+                lambda r=request, g=generation: self._finish(r, g),
+            )
+        if admitted or self._batching:
+            self._reprice()
+
+    def _reprice(self) -> None:
+        """Re-price in-flight decode work after a membership change.
+
+        The outstanding wall-clock decode budget of every stream is
+        converted back to batch-1 seconds at its old factor and forward
+        to wall seconds at the factor of the current occupancy; the
+        finish event moves accordingly.  Streams whose factor is
+        unchanged are untouched (their scheduled event stands), so a
+        pinned batch or a slope-0 profile never reschedules anything.
+        """
+        if not self._batching or not self._in_flight:
+            return
+        now = self.engine.now
+        factor = self.profile.batch_factor(len(self._in_flight))
+        for pending in self._in_flight.values():
+            if pending.factor == factor:
+                continue
+            anchor = max(now, pending.prefill_end)
+            remaining = max(pending.finish_at - anchor, 0.0)
+            pending.finish_at = anchor + (remaining / pending.factor) * factor
+            pending.factor = factor
+            if pending.finish_handle is not None:
+                pending.finish_handle.cancel()
+            generation = self._generation
+            pending.finish_handle = self.engine.call_at(
+                pending.finish_at,
+                lambda r=pending.request, g=generation: self._finish(r, g),
             )
 
     def _first_token(self, pending: _Pending, generation: int) -> None:
@@ -253,6 +415,8 @@ class InferenceServer:
         self._queue.clear()
         self._in_flight.clear()
         for entry in pending:
+            if entry.finish_handle is not None:
+                entry.finish_handle.cancel()
             entry.on_abort(entry.request)
 
     def freeze(self) -> None:

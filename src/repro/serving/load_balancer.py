@@ -42,19 +42,36 @@ class LoadBalancer(abc.ABC):
 
 
 class RoundRobinBalancer(LoadBalancer):
-    """Cycle through ready replicas in id order."""
+    """Cycle through ready replicas in id order.
+
+    The rotation is keyed by the *id* of the last-picked replica, not a
+    positional cursor: each pick takes the smallest id strictly greater
+    than the last one (wrapping to the smallest overall).  That makes
+    the rotation stable when the ready set changes between picks —
+    replicas joining or leaving never shift which replica is "next" the
+    way a modulo cursor aliases — and runs in one O(n) pass instead of
+    re-sorting the ready set per request.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._next = 0
+        self._last: Optional[int] = None
 
     def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
         if not replicas:
             return None
-        ordered = sorted(replicas, key=lambda r: r.id)
-        choice = ordered[self._next % len(ordered)]
-        self._next += 1
+        successor: Optional[Replica] = None  # smallest id > self._last
+        smallest: Optional[Replica] = None  # smallest id overall (wrap)
+        for replica in replicas:
+            if smallest is None or replica.id < smallest.id:
+                smallest = replica
+            if self._last is not None and replica.id > self._last:
+                if successor is None or replica.id < successor.id:
+                    successor = replica
+        choice = successor if successor is not None else smallest
+        assert choice is not None
+        self._last = choice.id
         return choice
 
 
@@ -110,13 +127,20 @@ class LocalityAwareBalancer(LoadBalancer):
     def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
         if not replicas:
             return None
-        by_rtt = sorted(
-            replicas,
-            key=lambda r: (self._rtt_to(r), r.id),
-        )
-        for replica in by_rtt:
-            if replica.ongoing_requests < self.overload_threshold:
-                return replica
+        # Nearest RTT bucket containing a non-overloaded replica, then
+        # least-loaded within that bucket (ties broken by id).  One pass:
+        # min over non-overloaded replicas of (rtt, ongoing, id).
+        best: Optional[Replica] = None
+        best_key: tuple[float, int, int] = (float("inf"), 0, 0)
+        for replica in replicas:
+            load = replica.ongoing_requests
+            if load >= self.overload_threshold:
+                continue
+            key = (self._rtt_to(replica), load, replica.id)
+            if best is None or key < best_key:
+                best, best_key = replica, key
+        if best is not None:
+            return best
         logger.debug(
             "request %d: every replica at/over %d ongoing, falling back to "
             "globally least loaded",

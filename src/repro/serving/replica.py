@@ -23,6 +23,7 @@ import numpy as np
 from repro.cloud.instance import Instance, InstanceState
 from repro.serving.inference import InferenceServer, ModelProfile
 from repro.sim.engine import SimulationEngine
+from repro.telemetry.events import RequestShed
 from repro.telemetry.spans import RequestSpan
 from repro.workloads.request import Request
 
@@ -55,6 +56,7 @@ class Replica:
         adaptive_parallelism: bool = False,
         migration_pause: float = 30.0,
         replica_id: Optional[int] = None,
+        max_queue: Optional[int] = None,
     ) -> None:
         # The controller passes its own per-service counter so replica
         # ids (and hence telemetry event streams) are reproducible
@@ -69,7 +71,7 @@ class Replica:
         self.migration_pause = migration_pause
         self.workers: list[Instance] = []
         self._initial_workers = 0
-        self.server = InferenceServer(engine, profile, rng=rng)
+        self.server = InferenceServer(engine, profile, rng=rng, max_queue=max_queue)
         self.state = ReplicaState.PROVISIONING
         self.ready_at: Optional[float] = None
         self.died_at: Optional[float] = None
@@ -99,6 +101,21 @@ class Replica:
     @property
     def ongoing_requests(self) -> int:
         return self.server.ongoing
+
+    @property
+    def executing_requests(self) -> int:
+        """Batch occupancy: requests holding an inference slot."""
+        return self.server.executing
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the server-side FIFO queue."""
+        return self.server.queue_depth
+
+    @property
+    def shed_count(self) -> int:
+        """Cumulative admission-control rejections on this replica."""
+        return self.server.shed_count
 
     # ------------------------------------------------------------------
     # Worker management (driven by the controller)
@@ -174,12 +191,35 @@ class Replica:
         on_first_token: Optional[Callable[[Request], None]] = None,
         *,
         span: Optional[RequestSpan] = None,
-    ) -> None:
-        """Accept a routed request.  Only valid on a ready replica."""
+        urgent: bool = False,
+    ) -> bool:
+        """Accept a routed request.  Only valid on a ready replica.
+
+        Returns ``False`` when admission control shed the request (no
+        callback fires; the client retries with backoff).  Requests
+        landing on a non-ready replica are aborted, which counts as
+        accepted (``on_abort`` fired).  ``urgent`` bypasses the queue
+        bound — readiness probes must reach an overloaded replica.
+        """
         if self.state not in (ReplicaState.READY, ReplicaState.MIGRATING):
             on_abort(request)
-            return
-        self.server.submit(request, on_complete, on_abort, on_first_token, span=span)
+            return True
+        accepted = self.server.submit(
+            request, on_complete, on_abort, on_first_token, span=span, urgent=urgent
+        )
+        if not accepted:
+            bus = self.engine.telemetry
+            if bus.enabled:
+                bus.emit(
+                    RequestShed(
+                        time=self.engine.now,
+                        request_id=request.request_id,
+                        replica_id=self.id,
+                        zone=self.zone_id,
+                        queue_depth=self.server.queue_depth,
+                    )
+                )
+        return accepted
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "spot" if self.spot else "od"

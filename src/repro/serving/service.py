@@ -18,7 +18,7 @@ from repro.cloud.network import NetworkModel, default_network
 from repro.cloud.provider import CloudConfig, SimCloud
 from repro.cloud.topology import Topology
 from repro.cloud.traces import SpotTrace
-from repro.serving.client import ClientStats, ServiceClient
+from repro.serving.client import ClientStats, RetryPolicy, ServiceClient
 from repro.serving.controller import ServiceController
 from repro.serving.inference import ModelProfile, llama2_70b_profile
 from repro.serving.policy import ServingPolicy
@@ -115,6 +115,7 @@ class SkyService:
         adaptive_parallelism: bool = False,
         telemetry: Optional[EventBus] = None,
         scenario: Optional["ScenarioSpec"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.spec = spec
         self.policy = policy
@@ -172,6 +173,9 @@ class SkyService:
             self.injector.arm()
         self.client: Optional[ServiceClient] = None
         self.client_region = client_region
+        #: Client retry behaviour: None keeps the legacy fixed-interval
+        #: retry; a RetryPolicy switches to seeded jittered backoff.
+        self.retry_policy = retry_policy
 
     def run(self, workload: Workload, duration: float) -> ServiceReport:
         """Serve ``workload`` for ``duration`` seconds and report."""
@@ -182,7 +186,13 @@ class SkyService:
             self.policy.name,
         )
         self.client = ServiceClient(
-            self.controller, workload, client_region=self.client_region
+            self.controller,
+            workload,
+            client_region=self.client_region,
+            backoff=self.retry_policy,
+            rng=(
+                self.rng.stream("client") if self.retry_policy is not None else None
+            ),
         )
         self.controller.start()
         self.client.start()

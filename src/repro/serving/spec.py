@@ -19,6 +19,7 @@ __all__ = ["DomainFilter", "ReplicaPolicyConfig", "ResourceSpec", "ServiceSpec"]
 
 _VALID_PLACERS = ("dynamic", "even_spread", "round_robin")
 _VALID_BALANCERS = ("round_robin", "least_load", "locality")
+_VALID_AUTOSCALE_MODES = ("qps", "slo")
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,17 @@ class ReplicaPolicyConfig:
     qps_window: float = 60.0
     upscale_delay: float = 300.0
     downscale_delay: float = 600.0
+    #: "qps" scales on request rate only; "slo" additionally bumps the
+    #: candidate target when recent TTFT/TPOT samples violate their SLO.
+    autoscale_mode: str = "qps"
+    #: Time-to-first-token SLO in seconds (None = no TTFT signal).
+    ttft_slo: Optional[float] = None
+    #: Time-per-output-token SLO in seconds (None = no TPOT signal).
+    tpot_slo: Optional[float] = None
+    #: Violation fraction above which slo mode pushes the target up.
+    slo_violation_threshold: float = 0.1
+    #: Trailing window (seconds) over which violations are counted.
+    slo_window: float = 120.0
 
     def __post_init__(self) -> None:
         if self.target_qps_per_replica <= 0:
@@ -92,6 +104,21 @@ class ReplicaPolicyConfig:
             )
         if min(self.qps_window, self.upscale_delay, self.downscale_delay) < 0:
             raise ValueError("negative autoscaler delays")
+        if self.autoscale_mode not in _VALID_AUTOSCALE_MODES:
+            raise ValueError(
+                f"unknown autoscale_mode {self.autoscale_mode!r}; "
+                f"expected one of {_VALID_AUTOSCALE_MODES}"
+            )
+        if self.ttft_slo is not None and self.ttft_slo <= 0:
+            raise ValueError("ttft_slo must be positive when set")
+        if self.tpot_slo is not None and self.tpot_slo <= 0:
+            raise ValueError("tpot_slo must be positive when set")
+        if not 0.0 <= self.slo_violation_threshold < 1.0:
+            raise ValueError("slo_violation_threshold outside [0, 1)")
+        if self.slo_window <= 0:
+            raise ValueError("slo_window must be positive")
+        if self.autoscale_mode == "slo" and self.ttft_slo is None and self.tpot_slo is None:
+            raise ValueError("autoscale_mode='slo' needs ttft_slo and/or tpot_slo")
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -106,6 +133,11 @@ class ReplicaPolicyConfig:
             "qps_window": self.qps_window,
             "upscale_delay": self.upscale_delay,
             "downscale_delay": self.downscale_delay,
+            "autoscale_mode": self.autoscale_mode,
+            "ttft_slo": self.ttft_slo,
+            "tpot_slo": self.tpot_slo,
+            "slo_violation_threshold": self.slo_violation_threshold,
+            "slo_window": self.slo_window,
         }
 
     @classmethod
@@ -175,10 +207,15 @@ class ServiceSpec:
     resources: ResourceSpec = field(default_factory=ResourceSpec)
     load_balancing_policy: str = "least_load"
     request_timeout: float = 100.0
+    #: Bound on each replica's server-side FIFO queue (requests waiting
+    #: for a batching slot).  ``None`` = unbounded (no shedding).
+    max_queue_per_replica: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if self.max_queue_per_replica is not None and self.max_queue_per_replica < 0:
+            raise ValueError("max_queue_per_replica must be >= 0 when set")
         if self.load_balancing_policy not in _VALID_BALANCERS:
             raise ValueError(
                 f"unknown load_balancing_policy {self.load_balancing_policy!r}; "
@@ -193,6 +230,7 @@ class ServiceSpec:
             "resources": self.resources.to_dict(),
             "load_balancing_policy": self.load_balancing_policy,
             "request_timeout": self.request_timeout,
+            "max_queue_per_replica": self.max_queue_per_replica,
         }
 
     @classmethod
@@ -204,4 +242,5 @@ class ServiceSpec:
             resources=ResourceSpec.from_dict(data.get("resources", {})),
             load_balancing_policy=data.get("load_balancing_policy", "least_load"),
             request_timeout=data.get("request_timeout", 100.0),
+            max_queue_per_replica=data.get("max_queue_per_replica"),
         )

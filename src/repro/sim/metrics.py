@@ -33,8 +33,10 @@ __all__ = [
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile; ``nan`` on empty input.
 
-    ``q`` is in [0, 100].  Matches ``numpy.percentile`` but avoids the
-    array round-trip for the common small-sample case in unit tests.
+    ``q`` is in [0, 100].  A thin wrapper over ``numpy.percentile``
+    (including the array conversion) that adds the two behaviours the
+    callers rely on: ``nan`` instead of an exception on empty input, and
+    an explicit range check on ``q``.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q={q!r} outside [0, 100]")

@@ -47,9 +47,11 @@ __all__ = [
     "ProbeFailure",
     "ReplicaLaunch",
     "ReplicaLaunchFailed",
+    "ReplicaLoadSample",
     "ReplicaPreempted",
     "ReplicaReady",
     "ReplicaTerminated",
+    "RequestShed",
     "RequestSpanEvent",
     "RouteDecision",
     "SweepProgress",
@@ -183,13 +185,20 @@ class ProbeFailure(TelemetryEvent):
 @_register
 @dataclass(slots=True)
 class AutoscaleDecision(TelemetryEvent):
-    """The autoscaler moved N_Tar."""
+    """The autoscaler moved N_Tar.
+
+    ``mode`` is the signal that drove the move (``qps`` or ``slo``);
+    ``slo_violation_rate`` is the fraction of recent first-token /
+    per-token samples that violated their SLO (0 in qps mode).
+    """
 
     kind: ClassVar[str] = "autoscale.target"
 
     old_target: int
     new_target: int
     request_rate: float
+    mode: str = "qps"
+    slo_violation_rate: float = 0.0
 
 
 @_register
@@ -227,6 +236,43 @@ class RequestSpanEvent(TelemetryEvent):
     retries: int
     replica_id: int = -1
     zone: str = ""
+    #: Batch occupancy when the request entered its slot (0 = unknown,
+    #: e.g. spans recorded before batching telemetry existed).
+    batch_size: int = 0
+    #: Server queue depth observed at submission time.
+    queue_depth: int = 0
+
+
+@_register
+@dataclass(slots=True)
+class ReplicaLoadSample(TelemetryEvent):
+    """Periodic snapshot of one replica's load (controller tick).
+
+    ``executing`` is batch occupancy (requests holding a batching slot),
+    ``queued`` the server-side FIFO depth behind it, and ``shed`` the
+    cumulative admission-control rejections on this replica.
+    """
+
+    kind: ClassVar[str] = "replica.load"
+
+    replica_id: int
+    zone: str
+    executing: int
+    queued: int
+    shed: int = 0
+
+
+@_register
+@dataclass(slots=True)
+class RequestShed(TelemetryEvent):
+    """Admission control rejected a request (bounded queue full)."""
+
+    kind: ClassVar[str] = "request.shed"
+
+    request_id: int
+    replica_id: int
+    zone: str
+    queue_depth: int
 
 
 @_register

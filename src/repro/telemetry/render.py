@@ -51,6 +51,18 @@ class _ReplicaRow:
 
 
 @dataclass
+class _LoadRow:
+    """Aggregated ``replica.load`` samples for one replica."""
+
+    replica_id: int
+    zone: str = ""
+    samples: int = 0
+    peak_batch: int = 0
+    peak_queue: int = 0
+    shed: int = 0  # cumulative counter: the last sample carries the max
+
+
+@dataclass
 class EventLogSummary:
     """Structured aggregates of one event log."""
 
@@ -65,6 +77,8 @@ class EventLogSummary:
     failed_spans: int = 0
     completed_spans: int = 0
     policy_decisions: Counter = field(default_factory=Counter)
+    replica_load: dict[int, _LoadRow] = field(default_factory=dict)
+    shed_requests: int = 0
     rebalance_times: list[float] = field(default_factory=list)
     autoscale_moves: list[tuple[float, int, int]] = field(default_factory=list)
     final_cost: Optional[tuple[float, float]] = None  # (spot, od)
@@ -88,6 +102,17 @@ def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
             out.end_time = event.time
 
         kind = event.kind
+        if kind == "replica.load":
+            # Load samples are periodic snapshots, not lifecycle
+            # transitions — they must not create timeline rows.
+            load = out.replica_load.setdefault(
+                event.replica_id, _LoadRow(event.replica_id, event.zone)
+            )
+            load.samples += 1
+            load.peak_batch = max(load.peak_batch, event.executing)
+            load.peak_queue = max(load.peak_queue, event.queued)
+            load.shed = max(load.shed, event.shed)
+            continue
         if kind.startswith("replica.") and getattr(event, "replica_id", -1) >= 0:
             row = out.replicas.setdefault(
                 event.replica_id, _ReplicaRow(event.replica_id)
@@ -108,6 +133,8 @@ def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
             elif kind == "replica.launch_failed":
                 row.ended = event.time
                 row.outcome = "launch failed"
+        if kind == "request.shed":
+            out.shed_requests += 1
         if kind == "replica.preempted":
             out.preemptions_by_zone[getattr(event, "zone", "")] += 1
             if getattr(event, "warned", False):
@@ -222,6 +249,31 @@ def format_summary(
                 ]
             )
         lines.extend(_table(["leg", "p50", "p90", "p99"], rows))
+
+    if s.replica_load:
+        lines.append("")
+        total_shed = sum(row.shed for row in s.replica_load.values())
+        lines.append(
+            f"replica load ({s.shed_requests or total_shed} requests shed):"
+        )
+        rows = []
+        for row in sorted(s.replica_load.values(), key=lambda r: r.replica_id):
+            rows.append(
+                [
+                    row.replica_id,
+                    row.zone or "-",
+                    row.samples,
+                    row.peak_batch,
+                    row.peak_queue,
+                    row.shed,
+                ]
+            )
+        lines.extend(
+            _table(
+                ["replica", "zone", "samples", "peak batch", "peak queue", "shed"],
+                rows,
+            )
+        )
 
     if s.policy_decisions:
         lines.append("")

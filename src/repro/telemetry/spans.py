@@ -51,6 +51,10 @@ class RequestSpan:
     finish: Optional[float] = None
     wan: float = 0.0
     legs: dict[str, float] = field(default_factory=dict)
+    #: Batch occupancy when the request entered its slot (0 = never ran).
+    batch_size: int = 0
+    #: Server FIFO depth observed at submission time.
+    queue_depth: int = 0
 
     # -- marks, stamped as the request moves through the stack ---------
     def note_attempt(self, replica_id: int, zone: str) -> None:
@@ -58,9 +62,16 @@ class RequestSpan:
         self.replica_id = replica_id
         self.zone = zone
 
-    def mark_exec_start(self, time: float) -> None:
-        """The inference server moved the request into a batching slot."""
+    def note_queue_depth(self, depth: int) -> None:
+        """The inference server accepted the request behind ``depth``
+        already-queued requests."""
+        self.queue_depth = depth
+
+    def mark_exec_start(self, time: float, batch: int = 0) -> None:
+        """The inference server moved the request into a batching slot;
+        ``batch`` is the occupancy including this request."""
         self.exec_start = time
+        self.batch_size = batch
 
     def mark_first_token(self, time: float) -> None:
         """Server-side first token (prefill done) for the current attempt."""
@@ -72,6 +83,7 @@ class RequestSpan:
         self.retries += 1
         self.exec_start = None
         self.first_token = None
+        self.batch_size = 0
 
     # -- finalisation ---------------------------------------------------
     def _finalize(self, finish: float, wan: float, status: str) -> None:
@@ -112,6 +124,8 @@ class RequestSpan:
             retries=self.retries,
             replica_id=self.replica_id,
             zone=self.zone,
+            batch_size=self.batch_size,
+            queue_depth=self.queue_depth,
         )
 
 

@@ -1,0 +1,178 @@
+"""End-to-end continuous batching: batch=1 equivalence against the
+recorded fixture, and overload behaviour (shedding, backoff retries,
+SLO-aware autoscaling) through the full service stack."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud import HOUR, SpotTrace, aws1
+from repro.core import spothedge
+from repro.experiments import service_report_to_dict
+from repro.serving import (
+    DomainFilter,
+    ModelProfile,
+    ReplicaPolicyConfig,
+    ResourceSpec,
+    RetryPolicy,
+    ServiceSpec,
+    SkyService,
+    llama2_70b_profile,
+)
+from repro.workloads import Request, Workload, poisson_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ZONES = [
+    "aws:us-west-2:us-west-2a",
+    "aws:us-west-2:us-west-2b",
+    "aws:us-west-2:us-west-2c",
+]
+
+
+def abundant_trace(hours=2):
+    steps = int(hours * 60)
+    return SpotTrace("batch", ZONES, 60.0, np.full((3, steps), 8))
+
+
+def steady_workload(rate, start, end):
+    """Evenly spaced arrivals at ``rate`` req/s over [start, end)."""
+    requests = []
+    t, i = start, 0
+    while t < end:
+        requests.append(Request(i, t, input_tokens=20, output_tokens=20))
+        i += 1
+        t += 1.0 / rate
+    return Workload("steady", requests)
+
+
+class TestBatchOneEquivalence:
+    def test_batched_engine_pinned_to_batch_one_matches_fixture(self):
+        """Acceptance: with a non-zero decode_batch_slope but
+        max_concurrency=1 (batch never exceeds 1), the batched engine
+        reproduces the recorded fixed-rate service report byte for
+        byte — the contention model is exactly free at occupancy 1."""
+        trace = aws1()
+        profile = dataclasses.replace(
+            llama2_70b_profile(), max_concurrency=1, decode_batch_slope=0.08
+        )
+        spec = ServiceSpec(
+            name="batch1-fixture",
+            replica_policy=ReplicaPolicyConfig(
+                fixed_target=3, num_overprovision=1
+            ),
+            resources=ResourceSpec(accelerator="V100"),
+            request_timeout=100.0,
+        )
+        duration = 2 * HOUR
+        service = SkyService(
+            spec,
+            spothedge(trace.zone_ids, num_overprovision=1),
+            trace,
+            profile=profile,
+            seed=42,
+        )
+        report = service.run(
+            poisson_workload(duration, rate=0.2, seed=42), duration
+        )
+        payload = service_report_to_dict(report)
+        payload["latency_samples"] = list(report.latency_samples)
+        recorded = json.loads(
+            (REPO_ROOT / "tests" / "data" / "batch1_service_report.json")
+            .read_text()
+        )
+        assert payload == recorded
+
+
+class TestOverloadIntegration:
+    def run_overloaded(self):
+        """Sustained ~3x overload against two fixed replicas with a
+        bounded queue and backoff retries."""
+        trace = abundant_trace()
+        profile = ModelProfile(
+            "m", overhead=1.0, prefill_per_token=0.0, decode_per_token=0.1,
+            max_concurrency=2, decode_batch_slope=0.3,
+        )
+        spec = ServiceSpec(
+            name="overload",
+            replica_policy=ReplicaPolicyConfig(
+                fixed_target=2, num_overprovision=0
+            ),
+            resources=ResourceSpec(
+                accelerator="V100",
+                any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            ),
+            request_timeout=40.0,
+            max_queue_per_replica=2,
+        )
+        service = SkyService(
+            spec,
+            spothedge(ZONES, num_overprovision=0),
+            trace,
+            profile=profile,
+            seed=7,
+            retry_policy=RetryPolicy(base=0.5, multiplier=2.0, cap=8.0,
+                                     jitter=0.1),
+        )
+        # Capacity: 2 replicas x 2 slots / ~3 s per request ~= 1.3 req/s.
+        # Offered: 4 req/s -- about 3x capacity.
+        report = service.run(steady_workload(4.0, 120.0, 480.0), 900.0)
+        return service, report
+
+    def test_sheds_and_retries_under_overload(self):
+        service, report = self.run_overloaded()
+        stats = service.client.stats()
+        assert stats.shed > 0          # admission control engaged
+        assert stats.retries >= stats.shed
+        assert report.completed > 0    # the service still made progress
+        assert report.failed > 0       # but could not absorb 3x load
+
+    def test_overload_run_is_deterministic(self):
+        first = service_report_to_dict(self.run_overloaded()[1])
+        second = service_report_to_dict(self.run_overloaded()[1])
+        assert first == second
+
+    def test_slo_autoscaler_reacts_to_overload(self):
+        """In slo mode the TTFT-violation signal raises N_Tar even when
+        the QPS candidate sees no pressure (high Q_Tar)."""
+        trace = abundant_trace(hours=3)
+        profile = ModelProfile(
+            "m", overhead=1.0, prefill_per_token=0.0, decode_per_token=0.1,
+            max_concurrency=2, decode_batch_slope=0.3,
+        )
+        spec = ServiceSpec(
+            name="slo-overload",
+            replica_policy=ReplicaPolicyConfig(
+                target_qps_per_replica=50.0,  # qps candidate stays at 1
+                min_replicas=1,
+                max_replicas=8,
+                num_overprovision=0,
+                upscale_delay=120.0,
+                downscale_delay=600.0,
+                autoscale_mode="slo",
+                ttft_slo=2.0,
+                tpot_slo=0.3,
+                slo_violation_threshold=0.1,
+                slo_window=120.0,
+            ),
+            resources=ResourceSpec(
+                accelerator="V100",
+                any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            ),
+            request_timeout=60.0,
+            max_queue_per_replica=8,
+        )
+        service = SkyService(
+            spec,
+            spothedge(ZONES, num_overprovision=0),
+            trace,
+            profile=profile,
+            seed=7,
+            retry_policy=RetryPolicy(),
+        )
+        service.run(steady_workload(3.0, 120.0, 3000.0), 3600.0)
+        n_tar = service.controller.n_tar_series
+        peak = max(n_tar.value_at(t) for t in np.linspace(300.0, 3000.0, 100))
+        assert peak >= 4  # violations pushed well past the QPS candidate

@@ -11,6 +11,7 @@ from repro.serving import (
     ModelProfile,
     ReplicaPolicyConfig,
     ResourceSpec,
+    RetryPolicy,
     ServiceClient,
     ServiceController,
     ServiceSpec,
@@ -147,6 +148,145 @@ class TestPreemptionRetry:
         if stats.retries and stats.completed:
             # Wasted work before the preemption stays in the latency.
             assert stats.latency.p50 > 30.0
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base=2.0, multiplier=2.0, cap=30.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(6)] == [
+            2.0, 4.0, 8.0, 16.0, 30.0, 30.0
+        ]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base=2.0, multiplier=2.0, cap=30.0, jitter=0.25)
+        a = [policy.delay(n, np.random.default_rng(7)) for n in range(4)]
+        b = [policy.delay(n, np.random.default_rng(7)) for n in range(4)]
+        assert a == b  # same seed, same delays
+        for n, value in enumerate(a):
+            raw = min(2.0 * 2.0**n, 30.0)
+            assert 0.75 * raw <= value <= 1.25 * raw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(cap=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestBackoffRetries:
+    def test_no_replica_backs_off_exponentially(self):
+        """With no replicas ever ready, the retry attempts follow the
+        deterministic (jitter-0) exponential schedule."""
+        rows = [[0] * 60, [0] * 60]
+        engine, controller, _ = build(rows, workload_at([0.0]), timeout=120.0)
+        client = ServiceClient(
+            controller,
+            workload_at([0.0]),
+            backoff=RetryPolicy(base=2.0, multiplier=2.0, cap=30.0, jitter=0.0),
+        )
+        attempts = []
+        original = controller.route
+
+        def tracking_route(request):
+            attempts.append(engine.now)
+            return original(request)
+
+        controller.route = tracking_route
+        client.start()  # controller never starts -> no replicas
+        engine.run_until(200.0)
+        # Arrival attempt plus backoffs at +2, +4(=6), +8(=14), +16(=30),
+        # +30(=60), +30(=90); the next (+30=120) would hit the deadline.
+        assert attempts == [0.0, 2.0, 6.0, 14.0, 30.0, 60.0, 90.0]
+        assert client.stats().failed == 1
+
+    def test_shed_requests_retry_and_complete(self):
+        """Admission-control sheds bounce back through the backoff path
+        and eventually complete once the queue drains."""
+        engine = SimulationEngine()
+        trace = SpotTrace("cli", ZONES, 60.0, np.asarray(full_rows()))
+        cloud = SimCloud(
+            engine,
+            trace,
+            config=CloudConfig(provision_delay_mean=30.0, setup_delay_mean=30.0,
+                               delay_jitter=0.0),
+        )
+        spec = ServiceSpec(
+            replica_policy=ReplicaPolicyConfig(fixed_target=1, num_overprovision=0),
+            resources=ResourceSpec(
+                accelerator="V100",
+                any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+            ),
+            request_timeout=400.0,
+            max_queue_per_replica=1,
+        )
+        policy = spothedge(ZONES, num_overprovision=0)
+        profile = ModelProfile("m", overhead=10.0, prefill_per_token=0.0,
+                               decode_per_token=0.0, max_concurrency=1)
+        controller = ServiceController(engine, cloud, spec, policy, profile)
+        # Burst of 6 requests at one instant against a single replica
+        # with 1 slot + 1 queue entry: most are shed at least once.
+        times = [100.0] * 6
+        client = ServiceClient(
+            controller,
+            workload_at(times),
+            backoff=RetryPolicy(base=2.0, multiplier=2.0, cap=30.0, jitter=0.0),
+        )
+        controller.start()
+        client.start()
+        engine.run_until(500.0)
+        stats = client.stats()
+        assert stats.shed > 0
+        assert stats.retries >= stats.shed
+        assert stats.completed == 6
+
+    def test_backoff_runs_are_deterministic(self):
+        """Same seed in, same stats out — the jitter draws come from the
+        seeded generator."""
+
+        def run():
+            rows = full_rows()
+            engine = SimulationEngine()
+            trace = SpotTrace("cli", ZONES, 60.0, np.asarray(rows))
+            cloud = SimCloud(
+                engine,
+                trace,
+                config=CloudConfig(provision_delay_mean=30.0,
+                                   setup_delay_mean=30.0, delay_jitter=0.0),
+            )
+            spec = ServiceSpec(
+                replica_policy=ReplicaPolicyConfig(fixed_target=1,
+                                                   num_overprovision=0),
+                resources=ResourceSpec(
+                    accelerator="V100",
+                    any_of=(DomainFilter(cloud="aws", region="us-west-2"),),
+                ),
+                request_timeout=300.0,
+                max_queue_per_replica=1,
+            )
+            policy = spothedge(ZONES, num_overprovision=0)
+            profile = ModelProfile("m", overhead=5.0, prefill_per_token=0.0,
+                                   decode_per_token=0.0, max_concurrency=1)
+            controller = ServiceController(engine, cloud, spec, policy, profile)
+            client = ServiceClient(
+                controller,
+                workload_at([100.0] * 5),
+                backoff=RetryPolicy(jitter=0.2),
+                rng=np.random.default_rng(11),
+            )
+            controller.start()
+            client.start()
+            engine.run_until(400.0)
+            s = client.stats()
+            return (s.completed, s.failed, s.retries, s.shed,
+                    tuple(client.latencies.samples))
+
+        assert run() == run()
 
 
 class TestValidation:

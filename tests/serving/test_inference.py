@@ -1,6 +1,7 @@
 """Unit tests for the simulated inference engine."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
     InferenceServer,
@@ -53,6 +54,42 @@ class TestModelProfile:
             ModelProfile("m", -1.0, 0.0, 0.1, 4)
         with pytest.raises(ValueError):
             ModelProfile("m", 1.0, 0.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            ModelProfile("m", 1.0, 0.0, 0.1, 4, decode_batch_slope=-0.1)
+
+    def test_ttft_slowdown_below_one_rejected(self):
+        """Consistency with processing_time: both raise on slowdown < 1
+        (time_to_first_token used to clamp silently)."""
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 4)
+        with pytest.raises(ValueError):
+            profile.time_to_first_token(req(), slowdown=0.5)
+
+    def test_batch_factor_exact_one_at_batch_one(self):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 4, decode_batch_slope=0.37)
+        assert profile.batch_factor(1) == 1.0  # exact, not approx
+
+    def test_batch_factor_linear(self):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 8, decode_batch_slope=0.1)
+        assert profile.batch_factor(5) == pytest.approx(1.4)
+
+    def test_batch_factor_rejects_nonpositive_batch(self):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 4, decode_batch_slope=0.1)
+        with pytest.raises(ValueError):
+            profile.batch_factor(0)
+
+    def test_factories_accept_batch_slope(self):
+        for factory in (llama2_70b_profile, opt_6_7b_profile, vicuna_13b_profile):
+            assert factory().decode_batch_slope == 0.0
+            assert factory(decode_batch_slope=0.08).decode_batch_slope == 0.08
+
+    @given(
+        slope=st.floats(min_value=0.0, max_value=2.0),
+        batch=st.integers(min_value=1, max_value=63),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batch_factor_monotone_nondecreasing(self, slope, batch):
+        profile = ModelProfile("m", 1.0, 0.0, 0.1, 64, decode_batch_slope=slope)
+        assert profile.batch_factor(batch + 1) >= profile.batch_factor(batch)
 
 
 class TestInferenceServer:
@@ -127,3 +164,138 @@ class TestInferenceServer:
         profile = llama2_70b_profile()
         with pytest.raises(ValueError):
             InferenceServer(engine, profile, jitter=1.0)
+
+    def test_negative_max_queue_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            InferenceServer(engine, llama2_70b_profile(), max_queue=-1)
+
+
+class TestAdmissionControl:
+    def make(self, concurrency=1, max_queue=1):
+        engine = SimulationEngine()
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                               decode_per_token=0.0, max_concurrency=concurrency)
+        return engine, InferenceServer(engine, profile, max_queue=max_queue)
+
+    def test_sheds_when_queue_full(self):
+        engine, server = self.make(concurrency=1, max_queue=1)
+        done, aborted = [], []
+        assert server.submit(req(0), done.append, aborted.append) is True
+        assert server.submit(req(1), done.append, aborted.append) is True
+        # Slot busy, queue full: deterministic shed, no callback ever.
+        assert server.submit(req(2), done.append, aborted.append) is False
+        assert server.shed_count == 1
+        assert server.queue_depth == 1
+        engine.run()
+        assert [r.request_id for r in done] == [0, 1]
+        assert aborted == []
+
+    def test_urgent_bypasses_queue_bound(self):
+        engine, server = self.make(concurrency=1, max_queue=0)
+        done = []
+        server.submit(req(0), done.append, lambda r: None)
+        assert server.submit(req(1), done.append, lambda r: None) is False
+        assert server.submit(req(2), done.append, lambda r: None,
+                             urgent=True) is True
+        engine.run()
+        assert [r.request_id for r in done] == [0, 2]
+
+    def test_unbounded_queue_never_sheds(self):
+        engine = SimulationEngine()
+        profile = ModelProfile("m", 1.0, 0.0, 0.0, 1)
+        server = InferenceServer(engine, profile)
+        for i in range(50):
+            assert server.submit(req(i), lambda r: None, lambda r: None) is True
+        assert server.shed_count == 0
+
+    def test_shed_frees_slot_for_later_submit(self):
+        engine, server = self.make(concurrency=1, max_queue=1)
+        done = []
+        server.submit(req(0), done.append, lambda r: None)
+        server.submit(req(1), done.append, lambda r: None)
+        assert server.submit(req(2), done.append, lambda r: None) is False
+        engine.run_until(1.5)  # request 0 done, 1 executing, queue empty
+        assert server.submit(req(3), done.append, lambda r: None) is True
+        engine.run()
+        assert [r.request_id for r in done] == [0, 1, 3]
+
+
+class TestContinuousBatching:
+    def batched_server(self, *, slope=0.5, concurrency=2):
+        engine = SimulationEngine()
+        profile = ModelProfile("m", overhead=1.0, prefill_per_token=0.0,
+                               decode_per_token=0.1, max_concurrency=concurrency,
+                               decode_batch_slope=slope)
+        return engine, InferenceServer(engine, profile)
+
+    def test_solo_request_matches_fixed_rate_model(self):
+        """With nothing co-resident the batched engine reproduces the
+        slope-0 timing exactly."""
+        engine, server = self.batched_server()
+        done = {}
+        server.submit(req(0, out=40), lambda r: done.__setitem__(r.request_id, engine.now),
+                      lambda r: None)
+        engine.run()
+        assert done[0] == 5.0  # 1.0 overhead + 40 * 0.1, bit-exact
+
+    def test_repricing_hand_computed(self):
+        """Two overlapping streams, slope 0.5 (factor 1.5 at batch 2).
+
+        A (40 out tokens): decode budget 4 s, prefill done at t=1.
+        B (20 out tokens): decode budget 2 s, admitted at t=0 too.
+        Both decode at 1.5x slowness while co-resident: B's 2 s budget
+        takes 3 s of wall clock (done t=4); A consumed 2 of its 4 s by
+        then and finishes the rest solo (done t=6).
+        """
+        engine, server = self.batched_server(slope=0.5, concurrency=2)
+        done = {}
+        server.submit(req(0, out=40), lambda r: done.__setitem__(r.request_id, engine.now),
+                      lambda r: None)
+        server.submit(req(1, out=20), lambda r: done.__setitem__(r.request_id, engine.now),
+                      lambda r: None)
+        engine.run()
+        assert done[1] == pytest.approx(4.0)
+        assert done[0] == pytest.approx(6.0)
+
+    def test_batched_slower_than_solo(self):
+        """Total completion under co-residency strictly exceeds the
+        fixed-rate model's (same requests, slope 0)."""
+
+        def last_finish(slope):
+            engine, server = self.batched_server(slope=slope, concurrency=4)
+            for i in range(4):
+                server.submit(req(i, out=30), lambda r: None, lambda r: None)
+            engine.run()
+            return engine.now
+
+        assert last_finish(0.3) > last_finish(0.0)
+
+    @given(extra=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_finish_time_monotone_in_batch_size(self, extra):
+        """A request's total decode time is monotone non-decreasing in
+        the number of co-resident streams."""
+
+        def finish_with_companions(k):
+            engine, server = self.batched_server(slope=0.4, concurrency=8)
+            done = {}
+            server.submit(req(0, out=30), lambda r: done.__setitem__(r.request_id, engine.now),
+                          lambda r: None)
+            for i in range(1, k + 1):
+                server.submit(req(i, out=30), lambda r: None, lambda r: None)
+            engine.run()
+            return done[0]
+
+        assert finish_with_companions(extra + 1) >= finish_with_companions(extra)
+
+    def test_abort_all_cancels_batched_finish_events(self):
+        engine, server = self.batched_server()
+        done, aborted = [], []
+        server.submit(req(0), done.append, lambda r: aborted.append(r.request_id))
+        server.submit(req(1), done.append, lambda r: aborted.append(r.request_id))
+        server.abort_all()
+        engine.run()
+        assert done == []
+        assert sorted(aborted) == [0, 1]
+        assert server.ongoing == 0

@@ -51,6 +51,43 @@ class TestRoundRobin:
         replicas.append(make_ready_replica(engine, "aws:us-west-2:us-west-2a"))
         assert balancer.pick(replicas, request()) is not None
 
+    def test_departure_does_not_alias_rotation(self):
+        """Removing a replica mid-rotation must not skip or repeat the
+        others (the old modulo cursor aliased on membership changes)."""
+        engine = SimulationEngine()
+        a, b, c = (make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+                   for _ in range(3))
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([a, b, c], request(0)) is a
+        assert balancer.pick([a, b, c], request(1)) is b
+        # b leaves the ready set: the rotation continues at c, the next
+        # id after the last pick — not back at a.
+        assert balancer.pick([a, c], request(2)) is c
+        assert balancer.pick([a, c], request(3)) is a
+
+    def test_join_does_not_disrupt_rotation(self):
+        """A new replica slots into id order without resetting the
+        rotation position."""
+        engine = SimulationEngine()
+        a, b = (make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+                for _ in range(2))
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([a, b], request(0)) is a
+        c = make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+        assert balancer.pick([a, b, c], request(1)) is b
+        assert balancer.pick([a, b, c], request(2)) is c
+        assert balancer.pick([a, b, c], request(3)) is a
+
+    def test_pick_is_order_insensitive(self):
+        """The rotation depends on replica ids, not list order."""
+        engine = SimulationEngine()
+        a, b, c = (make_ready_replica(engine, "aws:us-west-2:us-west-2a")
+                   for _ in range(3))
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([c, a, b], request(0)) is a
+        assert balancer.pick([b, c, a], request(1)) is b
+        assert balancer.pick([a, c, b], request(2)) is c
+
 
 class TestLeastLoad:
     def test_prefers_least_ongoing(self):
@@ -102,6 +139,41 @@ class TestLocalityAware:
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             LocalityAwareBalancer("aws:us-west-2", default_network(), overload_threshold=0)
+
+    def test_least_loaded_within_nearest_bucket(self):
+        """Regression: within the nearest RTT bucket the balancer must
+        pick the least-loaded replica, not the lowest-id one under the
+        threshold (which skewed load onto low-id replicas)."""
+        engine = SimulationEngine()
+        busy_local = make_ready_replica(
+            engine, "aws:us-west-2:us-west-2a", ongoing=5
+        )
+        idle_local = make_ready_replica(
+            engine, "aws:us-west-2:us-west-2b", ongoing=0
+        )
+        assert busy_local.id < idle_local.id  # low id is the busy one
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([busy_local, idle_local], request()) is idle_local
+
+    def test_bucket_tie_broken_by_id(self):
+        engine = SimulationEngine()
+        a = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=2)
+        b = make_ready_replica(engine, "aws:us-west-2:us-west-2b", ongoing=2)
+        balancer = LocalityAwareBalancer("aws:us-west-2", default_network())
+        assert balancer.pick([b, a], request()) is min(a, b, key=lambda r: r.id)
+
+    def test_loaded_local_still_beats_idle_remote(self):
+        """Bucket order dominates load: a below-threshold local replica
+        wins over an idle remote one."""
+        engine = SimulationEngine()
+        local = make_ready_replica(engine, "aws:us-west-2:us-west-2a", ongoing=7)
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a")
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([remote, local], request()) is local
 
 
 class TestFactory:
