@@ -118,6 +118,30 @@ def _matrix_point(
     return result
 
 
+#: Buckets in the scorecard's downsampled metric series.
+_TIMELINE_BUCKETS = 32
+
+
+def _downsample(series: np.ndarray, buckets: int = _TIMELINE_BUCKETS) -> list[float]:
+    """Bucket means of a per-step series, as rounded plain floats.
+
+    Deterministic and canonical-JSON-safe; series shorter than
+    ``buckets`` pass through unchanged.
+    """
+    n = len(series)
+    if n == 0:
+        return []
+    values = np.asarray(series, dtype=float)
+    if n <= buckets:
+        return [float(round(v, 4)) for v in values]
+    edges = np.linspace(0, n, buckets + 1).astype(int)
+    return [
+        float(round(float(values[a:b].mean()), 4))
+        for a, b in zip(edges[:-1], edges[1:])
+        if b > a
+    ]
+
+
 def score_run(
     scenario: ScenarioSpec,
     result: ReplayResult,
@@ -159,6 +183,15 @@ def score_run(
         "launch_failures": int(result.launch_failures),
         "relative_cost": float(result.relative_cost),
         "od_peak": od_peak,
+        # Downsampled metric series (bucket means over the trace) so
+        # scorecards carry the availability/fallback *shape*, not just
+        # end-of-run scalars — the Fig. 7/10 timeline view per cell.
+        "ready_timeline": _downsample(ready),
+        "od_timeline": (
+            _downsample(result.od_series)
+            if result.od_series is not None
+            else None
+        ),
     }
     if baseline is not None:
         score["baseline_relative_cost"] = float(baseline.relative_cost)

@@ -19,6 +19,10 @@ Subcommands:
     Summarise a JSONL telemetry log written by ``repro serve --events``:
     replica timeline, preemption counts, per-leg latency percentiles,
     policy decision counts, and chaos injections.
+``repro report``
+    Aggregate an event log (or a seeded in-memory replay) into a run
+    report: terminal dashboard with fleet/cost/SLO timelines and hot
+    profiler phases, plus a canonical byte-stable JSON artifact.
 ``repro chaos``
     Fault-injection tooling (``repro.chaos``): list/show the bundled
     scenarios and run the policy × scenario robustness matrix, emitting
@@ -259,13 +263,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
+    policies = _parse_axis(args.policies, str, "--policies")
+    for name in policies:
+        if name not in _REPLAY_POLICIES:
+            raise SystemExit(
+                f"unknown policy {name!r}: expected one of {sorted(_REPLAY_POLICIES)}"
+            )
+    if args.events and len(policies) != 1:
+        raise SystemExit(
+            "--events records one replay: select a single policy with "
+            "--policies (got " + ",".join(policies) + ")"
+        )
     rows = []
     raw_results = {}
-    for name, factory in _REPLAY_POLICIES.items():
+    for name in policies:
+        factory = _REPLAY_POLICIES[name]
+        telemetry = None
+        jsonl_sink = None
+        if args.events:
+            try:
+                jsonl_sink = JsonlSink(args.events)
+            except OSError as exc:
+                raise SystemExit(f"cannot write event log {args.events}: {exc}")
+            telemetry = EventBus([jsonl_sink])
         replayer = TraceReplayer(
-            trace, ReplayConfig(n_tar=args.target, k=args.k), seed=args.seed
+            trace,
+            ReplayConfig(n_tar=args.target, k=args.k),
+            seed=args.seed,
+            telemetry=telemetry,
         )
         result = replayer.run(factory(trace.zone_ids))
+        if telemetry is not None:
+            telemetry.close()
         raw_results[name] = result
         rows.append(
             [
@@ -285,6 +314,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             store.add("replay", name, result)
         store.save(args.json)
         print(f"\nwrote raw results to {args.json}")
+    if args.events and jsonl_sink is not None:
+        print(f"\nwrote {jsonl_sink.count} events to {args.events} "
+              f"(report with: repro report {args.events})")
     return 0
 
 
@@ -466,6 +498,52 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import RingBufferSink, build_report, render_dashboard
+
+    if args.log:
+        path = Path(args.log)
+        if not path.exists():
+            raise SystemExit(f"no such event log: {args.log}")
+        try:
+            events = read_events(path)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"malformed event log {args.log}: {exc}")
+        label = path.name
+    elif args.replay:
+        # Seeded in-memory replay: deterministic, so the artifact is
+        # byte-identical across invocations of the same command line.
+        trace = _load_trace(args.trace)
+        if args.policy not in _REPLAY_POLICIES:
+            raise SystemExit(
+                f"unknown policy {args.policy!r}: expected one of "
+                f"{sorted(_REPLAY_POLICIES)}"
+            )
+        sink = RingBufferSink()
+        replayer = TraceReplayer(
+            trace,
+            ReplayConfig(n_tar=args.target, k=args.k),
+            seed=args.seed,
+            telemetry=EventBus([sink]),
+        )
+        replayer.run(_REPLAY_POLICIES[args.policy](trace.zone_ids))
+        events = sink.events
+        marker = sink.drop_event()
+        if marker is not None:
+            events.append(marker)
+        label = f"{args.policy}@{trace.name} seed={args.seed}"
+    else:
+        raise SystemExit("pass an event log, or --replay to replay a trace")
+    report = build_report(events, label=label)
+    if not args.no_dashboard:
+        print(render_dashboard(report, top_k=args.top_k), end="")
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        if not args.no_dashboard:
+            print(f"wrote report JSON to {args.json}")
+    return 0
+
+
 def _fmt_opt(value, fmt: str) -> str:
     """Format an optional scorecard number; ``None`` renders as ``-``."""
     return "-" if value is None else format(value, fmt)
@@ -629,6 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--k", type=float, default=4.0,
                         help="on-demand/spot price ratio")
     replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--policies", default=",".join(_REPLAY_POLICIES),
+                        help="comma list of replay policies "
+                             f"({','.join(_REPLAY_POLICIES)})")
+    replay.add_argument("--events",
+                        help="write telemetry events to this JSONL file "
+                             "(single policy only)")
     replay.add_argument("--json", help="also write raw results to this JSON file")
     replay.set_defaults(func=_cmd_replay)
 
@@ -680,6 +764,29 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--replica-limit", type=int, default=40,
                         help="max rows in the replica timeline table")
     events.set_defaults(func=_cmd_events)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run report: terminal dashboard + canonical JSON",
+    )
+    report.add_argument("log", nargs="?",
+                        help="JSONL event log (from serve/replay --events)")
+    report.add_argument("--replay", action="store_true",
+                        help="replay a trace with telemetry and report on it")
+    report.add_argument("--trace", default="gcp1",
+                        help="canned name or trace file (with --replay)")
+    report.add_argument("--policy", default="SpotHedge",
+                        help="replay policy (with --replay)")
+    report.add_argument("--target", type=int, default=4, help="N_Tar")
+    report.add_argument("--k", type=float, default=3.0,
+                        help="on-demand/spot price ratio")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--top-k", type=int, default=8,
+                        help="hot phases shown in the dashboard")
+    report.add_argument("--json", help="write the canonical report JSON here")
+    report.add_argument("--no-dashboard", action="store_true",
+                        help="suppress the terminal dashboard")
+    report.set_defaults(func=_cmd_report)
 
     chaos = sub.add_parser(
         "chaos",

@@ -35,8 +35,10 @@ __all__ = ["ALL_RULES", "rules_by_id"]
 
 #: Directories whose randomness must be threaded through
 #: ``repro.sim.rng.derive_seed`` — the replay / policy / experiment
-#: code whose outputs are cached and compared across runs.
-SEEDED_DIRS = ("core/", "sim/", "baselines/", "experiments/", "chaos/")
+#: code whose outputs are cached and compared across runs, plus the
+#: telemetry layer (metric aggregation must never perturb or depend on
+#: global RNG state).
+SEEDED_DIRS = ("core/", "sim/", "baselines/", "experiments/", "chaos/", "telemetry/")
 
 #: ``numpy.random`` module-level convenience functions: all of them
 #: draw from the hidden global RNG.
@@ -283,7 +285,7 @@ def _body_order_sensitivity(body: Sequence[ast.stmt]) -> Optional[str]:
             tail = chain[-1]
             if tail in ("append", "appendleft", "extend"):
                 return f"appends to a result list via .{tail}()"
-            if tail in ("emit", "record"):
+            if tail in ("emit", "record", "observe"):
                 return f"emits telemetry via .{tail}()"
             if tail in _GENERATOR_DRAWS and any(
                 "rng" in part.lower() for part in chain[:-1]
@@ -521,11 +523,11 @@ class TelemetryJsonRule(Rule):
     id = "REPRO-J001"
     name = "telemetry-json"
     rationale = (
-        "Events flow to JsonlSink and back through `repro events`; a "
-        "payload holding a set, generator, lambda, or bytes either "
-        "crashes the sink mid-experiment or (sets) serialises in "
-        "nondeterministic order, breaking event-log diffs between "
-        "runs."
+        "Events flow to JsonlSink and back through `repro events`, and "
+        "metric observations land in canonical report JSON; a payload "
+        "holding a set, generator, lambda, or bytes either crashes the "
+        "sink mid-experiment or (sets) serialises in nondeterministic "
+        "order, breaking event-log and report diffs between runs."
     )
     fix_hint = (
         "pass JSON-native values: sort sets into lists, materialise "
@@ -536,7 +538,7 @@ class TelemetryJsonRule(Rule):
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
         assert isinstance(node, ast.Call)
         chain = _attr_chain(node.func)
-        if not chain or chain[-1] not in ("emit", "record"):
+        if not chain or chain[-1] not in ("emit", "record", "observe"):
             return
         values = [*node.args, *(kw.value for kw in node.keywords)]
         for value in values:

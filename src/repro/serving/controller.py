@@ -34,6 +34,9 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Counter, TimeSeries
 from repro.telemetry.events import (
     AutoscaleDecision,
+    AutoscalerSample,
+    FleetSample,
+    LoadBalancerFallback,
     PreemptWarning,
     ProbeFailure,
     ReplicaLaunch,
@@ -246,6 +249,15 @@ class ServiceController:
                     ongoing=replica.ongoing_requests,
                 )
             )
+            if getattr(self.balancer, "last_pick_fallback", False):
+                bus.emit(
+                    LoadBalancerFallback(
+                        time=self.engine.now,
+                        request_id=request.request_id,
+                        replica_id=replica.id,
+                        balancer=type(self.balancer).__name__,
+                    )
+                )
         return replica
 
     def note_slo_ttft(self, value: float) -> None:
@@ -699,6 +711,17 @@ class ServiceController:
         self.n_tar_series.record(now, self.autoscaler.n_tar)
         bus = self.engine.telemetry
         if bus.enabled:
+            n_tar = self.autoscaler.n_tar
+            bus.emit(FleetSample(now, ready_spot + ready_od, n_tar))
+            bus.emit(
+                AutoscalerSample(
+                    time=now,
+                    target=n_tar,
+                    candidate=self.autoscaler.candidate_target(now),
+                    request_rate=self.autoscaler.request_rate(now),
+                    slo_violation_rate=self.autoscaler.slo_violation_rate(now),
+                )
+            )
             for replica in self.replicas:
                 if not replica.is_ready:
                     continue

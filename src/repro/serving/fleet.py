@@ -31,6 +31,7 @@ from repro.serving.service import ServiceReport
 from repro.serving.spec import ServiceSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngRegistry
+from repro.telemetry.events import EventBus
 from repro.workloads.request import Workload
 
 __all__ = ["FleetService", "ServiceFleet"]
@@ -82,8 +83,9 @@ class ServiceFleet:
         cloud_config: Optional[CloudConfig] = None,
         network: Optional[NetworkModel] = None,
         seed: int = 0,
+        telemetry: Optional[EventBus] = None,
     ) -> None:
-        self.engine = SimulationEngine()
+        self.engine = SimulationEngine(telemetry=telemetry)
         self.rng = RngRegistry(seed)
         self.network = network or default_network()
         self.cloud = SimCloud(

@@ -44,6 +44,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.sim.engine import EventHandle, SimulationEngine
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.spans import RequestSpan
 from repro.workloads.request import Request
 
@@ -222,6 +223,7 @@ class InferenceServer:
         rng: Optional[np.random.Generator] = None,
         jitter: float = 0.05,
         max_queue: Optional[int] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter {jitter} outside [0, 1)")
@@ -230,6 +232,7 @@ class InferenceServer:
         self.engine = engine
         self.profile = profile
         self.slowdown = 1.0
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._rng = rng
         self._jitter = jitter
         self._max_queue = max_queue
@@ -311,6 +314,10 @@ class InferenceServer:
         return True
 
     def _drain(self) -> None:
+        profiler = self.profiler
+        do_profile = profiler.enabled
+        if do_profile:
+            t0 = profiler.clock()
         admitted = False
         while self._queue and len(self._in_flight) < self.profile.max_concurrency:
             admitted = True
@@ -358,6 +365,8 @@ class InferenceServer:
             )
         if admitted or self._batching:
             self._reprice()
+        if do_profile:
+            profiler.accumulate("inference.drain", profiler.clock() - t0)
 
     def _reprice(self) -> None:
         """Re-price in-flight decode work after a membership change.
@@ -371,6 +380,10 @@ class InferenceServer:
         """
         if not self._batching or not self._in_flight:
             return
+        profiler = self.profiler
+        do_profile = profiler.enabled
+        if do_profile:
+            t0 = profiler.clock()
         now = self.engine.now
         factor = self.profile.batch_factor(len(self._in_flight))
         for pending in self._in_flight.values():
@@ -387,6 +400,8 @@ class InferenceServer:
                 pending.finish_at,
                 lambda r=pending.request, g=generation: self._finish(r, g),
             )
+        if do_profile:
+            profiler.accumulate("inference.reprice", profiler.clock() - t0)
 
     def _first_token(self, pending: _Pending, generation: int) -> None:
         if generation != self._generation:

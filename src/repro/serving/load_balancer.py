@@ -112,6 +112,11 @@ class LocalityAwareBalancer(LoadBalancer):
         self.client_region = client_region
         self.network = network
         self.overload_threshold = overload_threshold
+        #: Cumulative global fallbacks (every local replica overloaded).
+        self.fallbacks_total = 0
+        #: Set by ``pick`` when its last decision was a fallback — the
+        #: controller reads this to emit a LoadBalancerFallback event.
+        self.last_pick_fallback = False
 
     #: RTT assumed for replicas whose region the network model cannot
     #: place (synthetic topologies): worse than any modelled WAN bucket,
@@ -130,6 +135,7 @@ class LocalityAwareBalancer(LoadBalancer):
         # Nearest RTT bucket containing a non-overloaded replica, then
         # least-loaded within that bucket (ties broken by id).  One pass:
         # min over non-overloaded replicas of (rtt, ongoing, id).
+        self.last_pick_fallback = False
         best: Optional[Replica] = None
         best_key: tuple[float, int, int] = (float("inf"), 0, 0)
         for replica in replicas:
@@ -147,6 +153,8 @@ class LocalityAwareBalancer(LoadBalancer):
             request.request_id,
             self.overload_threshold,
         )
+        self.fallbacks_total += 1
+        self.last_pick_fallback = True
         return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
 
 

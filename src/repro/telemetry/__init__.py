@@ -1,4 +1,4 @@
-"""Structured telemetry: event bus, request spans, policy audit log.
+"""Structured telemetry: event bus, metrics, spans, profiling, reports.
 
 The observability layer of the reproduction (see
 ``docs/OBSERVABILITY.md``):
@@ -7,6 +7,19 @@ The observability layer of the reproduction (see
     Typed, timestamped events plus the :class:`EventBus` they flow over.
 ``repro.telemetry.sinks``
     Ring buffer, JSONL file, and Prometheus-text-format sinks.
+``repro.telemetry.metrics``
+    Typed time-series registry: counters, gauges, and fixed-bucket
+    histograms with deterministic percentile estimation, fed from the
+    event bus by :class:`MetricsSink`.
+``repro.telemetry.slo``
+    SLO error budgets and multi-window burn-rate monitors emitting
+    :class:`SloBurnAlert` events.
+``repro.telemetry.profile``
+    Zero-overhead-when-disabled phase profiler over the harness hot
+    paths (replay loop, continuous-batching step).
+``repro.telemetry.report``
+    Canonical per-run JSON report artifacts and the ``repro report``
+    terminal dashboard.
 ``repro.telemetry.spans``
     Per-request latency legs (queue / prefill / decode / WAN) that sum
     exactly to the client-recorded end-to-end latency.
@@ -31,16 +44,20 @@ from repro.telemetry.clock import wall_monotonic, wall_time
 from repro.telemetry.events import (
     NULL_BUS,
     AutoscaleDecision,
+    AutoscalerSample,
     ChaosInjected,
     ChaosScenarioEnded,
     ChaosScenarioStarted,
     CostSnapshot,
     EventBus,
+    EventsDropped,
     FleetSample,
     GenericEvent,
+    LoadBalancerFallback,
     PolicyDecision,
     PreemptWarning,
     ProbeFailure,
+    ProfilePhase,
     ReplicaLaunch,
     ReplicaLaunchFailed,
     ReplicaPreempted,
@@ -48,6 +65,7 @@ from repro.telemetry.events import (
     ReplicaTerminated,
     RequestSpanEvent,
     RouteDecision,
+    SloBurnAlert,
     SweepProgress,
     TelemetryEvent,
     ZoneCapacity,
@@ -55,7 +73,18 @@ from repro.telemetry.events import (
     event_kinds,
 )
 from repro.telemetry.logsetup import configure_logging, root_logger
+from repro.telemetry.metrics import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    HistogramMetric,
+    MetricRegistry,
+    MetricsSink,
+    registry_from_events,
+)
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler, PhaseStats
 from repro.telemetry.render import EventLogSummary, format_summary, summarize
+from repro.telemetry.report import RunReport, build_report, render_dashboard
 from repro.telemetry.sinks import (
     JsonlSink,
     PrometheusSnapshot,
@@ -63,25 +92,46 @@ from repro.telemetry.sinks import (
     iter_events,
     read_events,
 )
+from repro.telemetry.slo import (
+    BurnRateMonitor,
+    SloBudget,
+    SloMonitorSink,
+    burn_rate,
+    default_budgets,
+)
 from repro.telemetry.spans import RequestSpan, SpanRecorder
 
 __all__ = [
     "NULL_BUS",
+    "NULL_PROFILER",
     "AuditRecord",
     "AutoscaleDecision",
+    "AutoscalerSample",
+    "BurnRateMonitor",
     "ChaosInjected",
     "ChaosScenarioEnded",
     "ChaosScenarioStarted",
     "CostSnapshot",
+    "CounterFamily",
     "EventBus",
     "EventLogSummary",
+    "EventsDropped",
     "FleetSample",
+    "GaugeFamily",
     "GenericEvent",
+    "HistogramFamily",
+    "HistogramMetric",
     "JsonlSink",
+    "LoadBalancerFallback",
+    "MetricRegistry",
+    "MetricsSink",
+    "PhaseProfiler",
+    "PhaseStats",
     "PolicyAuditLog",
     "PolicyDecision",
     "PreemptWarning",
     "ProbeFailure",
+    "ProfilePhase",
     "PrometheusSnapshot",
     "ReplicaLaunch",
     "ReplicaLaunchFailed",
@@ -92,16 +142,25 @@ __all__ = [
     "RequestSpanEvent",
     "RingBufferSink",
     "RouteDecision",
+    "RunReport",
+    "SloBudget",
+    "SloBurnAlert",
+    "SloMonitorSink",
     "SpanRecorder",
     "SweepProgress",
     "TelemetryEvent",
     "ZoneCapacity",
+    "build_report",
+    "burn_rate",
     "configure_logging",
+    "default_budgets",
     "event_from_dict",
     "event_kinds",
     "format_summary",
     "iter_events",
     "read_events",
+    "registry_from_events",
+    "render_dashboard",
     "root_logger",
     "summarize",
     "wall_monotonic",

@@ -35,16 +35,20 @@ from typing import Any, ClassVar, Iterable
 __all__ = [
     "NULL_BUS",
     "AutoscaleDecision",
+    "AutoscalerSample",
     "ChaosInjected",
     "ChaosScenarioEnded",
     "ChaosScenarioStarted",
     "CostSnapshot",
     "EventBus",
+    "EventsDropped",
     "FleetSample",
     "GenericEvent",
+    "LoadBalancerFallback",
     "PolicyDecision",
     "PreemptWarning",
     "ProbeFailure",
+    "ProfilePhase",
     "ReplicaLaunch",
     "ReplicaLaunchFailed",
     "ReplicaLoadSample",
@@ -54,6 +58,7 @@ __all__ = [
     "RequestShed",
     "RequestSpanEvent",
     "RouteDecision",
+    "SloBurnAlert",
     "SweepProgress",
     "TelemetryEvent",
     "ZoneCapacity",
@@ -377,6 +382,96 @@ class ChaosScenarioEnded(TelemetryEvent):
 
     scenario: str
     injected: int = 0
+
+
+@_register
+@dataclass(slots=True)
+class AutoscalerSample(TelemetryEvent):
+    """Periodic autoscaler internals (controller tick).
+
+    Complements :class:`AutoscaleDecision` (emitted only when N_Tar
+    moves): the sample carries the signals the autoscaler *sees* every
+    tick, so dashboards can plot request rate and SLO attainment
+    between target moves.
+    """
+
+    kind: ClassVar[str] = "autoscale.sample"
+
+    target: int
+    candidate: int
+    request_rate: float
+    slo_violation_rate: float = 0.0
+
+
+@_register
+@dataclass(slots=True)
+class LoadBalancerFallback(TelemetryEvent):
+    """A locality-aware balancer found every local replica overloaded
+    and fell back to the globally least-loaded one (§6)."""
+
+    kind: ClassVar[str] = "lb.fallback"
+
+    request_id: int
+    replica_id: int
+    balancer: str
+
+
+@_register
+@dataclass(slots=True)
+class SloBurnAlert(TelemetryEvent):
+    """A multi-window SLO burn-rate alert changed state.
+
+    ``burn_fast``/``burn_slow`` are error-budget burn rates over the
+    fast and slow trailing windows (1.0 = consuming the budget exactly
+    at the sustainable rate); the alert fires when *both* exceed the
+    monitor's threshold and resolves when either drops back below it.
+    """
+
+    kind: ClassVar[str] = "slo.burn_alert"
+
+    budget: str  # budget name, e.g. "ttft" / "availability"
+    state: str  # firing | resolved
+    burn_fast: float
+    burn_slow: float
+    window_fast: float
+    window_slow: float
+    threshold: float
+
+
+@_register
+@dataclass(slots=True)
+class ProfilePhase(TelemetryEvent):
+    """Aggregated timings of one profiler phase (wall-clock seconds).
+
+    ``time`` is wall-clock (``telemetry.clock``), not simulated time —
+    the profiler measures the harness itself, like
+    :class:`SweepProgress`.  ``sampled`` marks phases timed on a stride
+    of hot-loop iterations rather than on every call.
+    """
+
+    kind: ClassVar[str] = "profile.phase"
+
+    phase: str
+    calls: int
+    total_s: float
+    max_s: float
+    sampled: bool = False
+
+
+@_register
+@dataclass(slots=True)
+class EventsDropped(TelemetryEvent):
+    """A bounded sink dropped events (ring buffer overflow).
+
+    Emitted by code that drains a :class:`~repro.telemetry.sinks.
+    RingBufferSink` so the loss is visible in ``repro events`` output
+    instead of silent; ``dropped_total`` is cumulative.
+    """
+
+    kind: ClassVar[str] = "telemetry.dropped"
+
+    dropped_total: int
+    capacity: int = 0
 
 
 @dataclass(slots=True)

@@ -1,0 +1,220 @@
+"""Zero-overhead-when-disabled phase profiler for harness hot paths.
+
+The replay loop and the continuous-batching step are the two hot paths
+the ROADMAP's throughput targets live or die on, so the profiler is
+built around one rule: **when disabled it must cost nothing** — no
+context-manager object, no clock read, no Python frame.  Call sites
+therefore never construct timers directly; they hold a
+:class:`PhaseProfiler` (or :data:`NULL_PROFILER`) and guard with the
+plain attribute ``profiler.enabled``, exactly like the event bus::
+
+    profiler = self.profiler
+    do_profile = profiler.enabled
+    ...
+    if do_profile:
+        t0 = profiler.clock()
+    work()
+    if do_profile:
+        profiler.accumulate("replay.promote", profiler.clock() - t0)
+
+For cold paths the ``with profiler.phase("name"):`` context manager is
+more readable and the disabled case still allocates nothing — the
+profiler hands back one shared no-op context manager instance.
+
+All clock reads go through :func:`repro.telemetry.clock.wall_monotonic`
+(the sanctioned wall-clock seam — lint rule T001 bans ``time.*``
+anywhere else), pre-bound as ``self.clock`` so hot call sites pay one
+attribute load instead of a module-global lookup.
+
+Aggregated stats are deterministic given the same sequence of
+``accumulate`` calls; the durations themselves are wall-clock and vary
+run to run, which is why report artifacts keep profile output in a
+separate, non-canonical section.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.telemetry.clock import wall_monotonic
+from repro.telemetry.events import ProfilePhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.events import EventBus
+
+__all__ = ["NULL_PROFILER", "PhaseProfiler", "PhaseStats", "profiler_or_null"]
+
+
+class PhaseStats:
+    """Aggregated timings for one named phase."""
+
+    __slots__ = ("name", "calls", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+        }
+
+
+class _NullPhase:
+    """Shared no-op context manager: the disabled ``phase()`` result."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Timer:
+    """Context manager timing one phase occurrence (enabled path)."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = self._profiler.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._profiler.accumulate(self._name, self._profiler.clock() - self._t0)
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase.
+
+    ``enabled`` is a plain attribute so hot paths can hoist it into a
+    local; ``clock`` is the pre-bound monotonic clock.  ``stride`` is
+    advisory metadata recorded by hot loops that sample every N-th
+    iteration instead of every one (the stats then *underestimate*
+    total time by ~stride and callers scale accordingly).
+    """
+
+    __slots__ = ("enabled", "clock", "stride", "_phases")
+
+    def __init__(self, *, enabled: bool = True, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.enabled = enabled
+        self.clock = wall_monotonic
+        self.stride = stride
+        self._phases: dict[str, PhaseStats] = {}
+
+    # -- recording ------------------------------------------------------
+    def phase(self, name: str) -> Any:
+        """Context manager timing one occurrence of ``name``.
+
+        Disabled profilers return one shared no-op instance — zero
+        allocations, suitable for warm (but not innermost-loop) paths.
+        Innermost loops should use the ``accumulate`` pattern from the
+        module docstring instead, which also skips the CM protocol.
+        """
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Timer(self, name)
+
+    def accumulate(self, name: str, elapsed_s: float, calls: int = 1) -> None:
+        """Fold ``elapsed_s`` seconds into phase ``name`` directly."""
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = PhaseStats(name)
+            self._phases[name] = stats
+        stats.calls += calls
+        stats.total_s += elapsed_s
+        if elapsed_s > stats.max_s:
+            stats.max_s = elapsed_s
+
+    # -- inspection -----------------------------------------------------
+    def stats(self) -> dict[str, PhaseStats]:
+        """Phase stats keyed by name (sorted for stable iteration)."""
+        return {name: self._phases[name] for name in sorted(self._phases)}
+
+    def top(self, k: int = 5) -> list[PhaseStats]:
+        """The ``k`` phases with the largest total time, descending;
+        ties broken by name so the ordering is deterministic."""
+        ranked = sorted(
+            self._phases.values(), key=lambda s: (-s.total_s, s.name)
+        )
+        return ranked[:k]
+
+    def total_s(self) -> float:
+        return sum(stats.total_s for stats in self._phases.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stride": self.stride,
+            "phases": [stats.to_dict() for stats in self.stats().values()],
+        }
+
+    # -- composition ----------------------------------------------------
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's stats into this one (phase-wise)."""
+        for name, stats in other._phases.items():
+            self.accumulate(name, stats.total_s, calls=stats.calls)
+            mine = self._phases[name]
+            if stats.max_s > mine.max_s:
+                mine.max_s = stats.max_s
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+    def emit(self, bus: "EventBus") -> None:
+        """Publish one :class:`ProfilePhase` event per phase."""
+        if not bus.enabled:
+            return
+        now = self.clock()
+        sampled = self.stride > 1
+        for stats in self.stats().values():
+            bus.emit(
+                ProfilePhase(
+                    now, stats.name, stats.calls, stats.total_s, stats.max_s, sampled
+                )
+            )
+
+
+class _NullProfiler(PhaseProfiler):
+    """The shared always-disabled profiler.  ``accumulate`` raises —
+    call sites must guard with ``enabled``, and an unguarded call on a
+    hot path is exactly the overhead bug this class exists to prevent."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def accumulate(self, name: str, elapsed_s: float, calls: int = 1) -> None:
+        raise RuntimeError(
+            "accumulate() on the null profiler; guard the call site with "
+            "`if profiler.enabled:` or pass a real PhaseProfiler"
+        )
+
+
+NULL_PROFILER: PhaseProfiler = _NullProfiler()
+
+
+def profiler_or_null(profiler: Optional[PhaseProfiler]) -> PhaseProfiler:
+    """Normalise an optional profiler argument."""
+    return profiler if profiler is not None else NULL_PROFILER

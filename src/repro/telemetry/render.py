@@ -79,6 +79,12 @@ class EventLogSummary:
     policy_decisions: Counter = field(default_factory=Counter)
     replica_load: dict[int, _LoadRow] = field(default_factory=dict)
     shed_requests: int = 0
+    #: Events the producing sink dropped (``telemetry.dropped`` carries a
+    #: cumulative counter; the last marker wins).
+    dropped_total: int = 0
+    lb_fallbacks: int = 0
+    #: (time, budget name, state) per SLO burn-rate alert transition.
+    burn_alerts: list[tuple[float, str, str]] = field(default_factory=list)
     rebalance_times: list[float] = field(default_factory=list)
     autoscale_moves: list[tuple[float, int, int]] = field(default_factory=list)
     final_cost: Optional[tuple[float, float]] = None  # (spot, od)
@@ -154,6 +160,12 @@ def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
             out.autoscale_moves.append((event.time, event.old_target, event.new_target))
         elif kind == "cost.snapshot":
             out.final_cost = (event.spot, event.on_demand)
+        elif kind == "telemetry.dropped":
+            out.dropped_total = max(out.dropped_total, event.dropped_total)
+        elif kind == "lb.fallback":
+            out.lb_fallbacks += 1
+        elif kind == "slo.burn_alert":
+            out.burn_alerts.append((event.time, event.budget, event.state))
         elif kind == "chaos.scenario_started":
             out.chaos_scenario = event.scenario
         elif kind == "chaos.injected":
@@ -182,6 +194,11 @@ def format_summary(
         f"{_fmt_time(span if not math.isnan(span) else None)} "
         f"(t={_fmt_time(s.start_time)} .. t={_fmt_time(s.end_time)})"
     )
+    if s.dropped_total:
+        lines.append(
+            f"WARNING: the producing sink dropped {s.dropped_total} events "
+            "(ring buffer overflow) -- counts below undercount the run"
+        )
 
     lines.append("")
     lines.append("events by kind:")
@@ -299,6 +316,28 @@ def format_summary(
             f"t={_fmt_time(t)}: {old}->{new}" for t, old, new in s.autoscale_moves[:10]
         )
         lines.append(f"autoscale moves: {moves}")
+
+    if s.lb_fallbacks:
+        lines.append("")
+        lines.append(f"load-balancer locality fallbacks: {s.lb_fallbacks}")
+
+    if s.burn_alerts:
+        firing = sum(1 for _, _, state in s.burn_alerts if state == "firing")
+        lines.append("")
+        lines.append(
+            f"SLO burn alerts: {len(s.burn_alerts)} transitions ({firing} firing)"
+        )
+        lines.extend(
+            _table(
+                ["time", "budget", "state"],
+                [
+                    [_fmt_time(t), budget, state]
+                    for t, budget, state in s.burn_alerts[:12]
+                ],
+            )
+        )
+        if len(s.burn_alerts) > 12:
+            lines.append(f"... {len(s.burn_alerts) - 12} more transitions")
 
     if s.chaos_scenario is not None:
         lines.append("")

@@ -19,7 +19,7 @@ from collections import Counter as _Counter, deque
 from pathlib import Path
 from typing import Callable, Iterator, Optional, TextIO, Union
 
-from repro.telemetry.events import TelemetryEvent, event_from_dict
+from repro.telemetry.events import EventsDropped, TelemetryEvent, event_from_dict
 
 __all__ = [
     "JsonlSink",
@@ -31,13 +31,19 @@ __all__ = [
 
 
 class RingBufferSink:
-    """Keeps the last ``capacity`` events in memory (all, when ``None``)."""
+    """Keeps the last ``capacity`` events in memory (all, when ``None``).
+
+    Bounded buffers overwrite oldest-first; every overwrite increments
+    ``dropped_total`` so the loss is observable (``repro events`` prints
+    it, and :meth:`drop_event` packages it as a
+    :class:`~repro.telemetry.events.EventsDropped` event for logs).
+    """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self._events: deque[TelemetryEvent] = deque(maxlen=capacity)
-        self.dropped = 0
+        self.dropped_total = 0
         if capacity is None:
             # Unbounded buffers never drop, so accept can be the bound
             # deque.append itself — no Python frame per event.
@@ -45,8 +51,13 @@ class RingBufferSink:
 
     def accept(self, event: TelemetryEvent) -> None:
         if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
-            self.dropped += 1
+            self.dropped_total += 1
         self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Backwards-compatible alias for ``dropped_total``."""
+        return self.dropped_total
 
     @property
     def events(self) -> list[TelemetryEvent]:
@@ -55,9 +66,23 @@ class RingBufferSink:
     def __len__(self) -> int:
         return len(self._events)
 
+    @property
+    def capacity(self) -> int:
+        """The buffer bound (0 when unbounded)."""
+        return self._events.maxlen or 0
+
+    def drop_event(self) -> Optional[EventsDropped]:
+        """An :class:`EventsDropped` event describing the current loss,
+        or ``None`` when nothing was dropped.  ``time`` is the last
+        buffered event's timestamp (the drop horizon)."""
+        if not self.dropped_total:
+            return None
+        last_time = self._events[-1].time if self._events else float("nan")
+        return EventsDropped(last_time, self.dropped_total, self.capacity)
+
     def clear(self) -> None:
         self._events.clear()
-        self.dropped = 0
+        self.dropped_total = 0
 
 
 class JsonlSink:
@@ -105,7 +130,15 @@ def read_events(path: Union[str, Path]) -> list[TelemetryEvent]:
 
 
 def _escape_label(value: str) -> str:
+    """Escape a label *value* per the Prometheus text exposition format:
+    backslash, double-quote, and line-feed."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash and
+    line-feed only — quotes are legal in HELP)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class PrometheusSnapshot:
@@ -156,7 +189,7 @@ class PrometheusSnapshot:
             if name not in seen_gauges:
                 seen_gauges.add(name)
                 if help_text:
-                    lines.append(f"# HELP {name} {help_text}")
+                    lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} gauge")
             label_str = ",".join(
                 f'{key}="{_escape_label(str(value))}"'

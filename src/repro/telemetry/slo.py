@@ -1,0 +1,346 @@
+"""SLO error budgets and multi-window burn-rate monitors.
+
+An :class:`SloBudget` states an objective — "99% of requests see TTFT
+under 2 s", "the fleet is at target 99.9% of the time" — as a target
+*good fraction*; its **error budget** is ``1 - target``.  The **burn
+rate** over a trailing window is::
+
+    burn = bad_fraction_in_window / error_budget
+
+``burn == 1`` consumes the budget exactly at the sustainable rate; at
+``burn == 14.4`` a 30-day budget is gone in 50 hours, the classic
+page-worthy threshold from the SRE workbook.
+
+:class:`BurnRateMonitor` implements the standard *multi-window* alert:
+it fires only when **both** a fast window (catches the spike quickly,
+noisy alone) and a slow window (confirms it is sustained) exceed the
+threshold, and resolves when either drops back below.  Transitions are
+edge-triggered :class:`~repro.telemetry.events.SloBurnAlert` events;
+steady state emits nothing.
+
+Monitors consume (time, good/bad) observations.  :class:`SloMonitorSink`
+adapts the event bus: ``request.span`` events feed TTFT / TPOT / latency
+budgets, ``fleet.ready`` samples feed a time-weighted availability
+budget (ready >= target counts as good seconds).  Everything is pure
+arithmetic on simulated timestamps — deterministic given the same
+event stream.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.telemetry.events import (
+    NULL_BUS,
+    EventBus,
+    SloBurnAlert,
+    TelemetryEvent,
+)
+
+__all__ = [
+    "BurnRateMonitor",
+    "SloBudget",
+    "SloMonitorSink",
+    "burn_rate",
+    "default_budgets",
+]
+
+
+def burn_rate(bad_fraction: float, error_budget: float) -> float:
+    """Budget burn rate; infinite when the budget is zero and anything
+    is bad, zero when nothing is bad."""
+    if bad_fraction <= 0.0:
+        return 0.0
+    if error_budget <= 0.0:
+        return math.inf
+    return bad_fraction / error_budget
+
+
+@dataclass(frozen=True)
+class SloBudget:
+    """One service-level objective.
+
+    ``threshold_s`` applies to latency-style budgets (an observation is
+    *bad* when its value exceeds the threshold); availability-style
+    budgets feed good/bad directly and leave it NaN.
+    """
+
+    name: str
+    target: float  # e.g. 0.99 -> 1% error budget
+    threshold_s: float = math.nan
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    @property
+    def error_budget(self) -> float:
+        # Rounded to kill float representation error: a target of 0.99
+        # means exactly a 1% budget, so a bad fraction of exactly 10%
+        # burns at exactly 10.0 (the threshold boundary is well-defined).
+        return round(1.0 - self.target, 12)
+
+
+class _Window:
+    """Bad-fraction accounting over one trailing window.
+
+    Holds ``(time, weight, bad_weight)`` observations; request-style
+    budgets use weight 1 per request, availability uses seconds of
+    fleet state.  Pruning is O(evicted) amortised.
+    """
+
+    __slots__ = ("horizon_s", "_obs", "_weight", "_bad")
+
+    def __init__(self, horizon_s: float) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"window must be positive, got {horizon_s}")
+        self.horizon_s = horizon_s
+        self._obs: deque[tuple[float, float, float]] = deque()
+        self._weight = 0.0
+        self._bad = 0.0
+
+    def add(self, time: float, weight: float, bad_weight: float) -> None:
+        self._obs.append((time, weight, bad_weight))
+        self._weight += weight
+        self._bad += bad_weight
+        self.prune(time)
+
+    def prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        obs = self._obs
+        while obs and obs[0][0] <= cutoff:
+            _, weight, bad = obs.popleft()
+            self._weight -= weight
+            self._bad -= bad
+
+    def bad_fraction(self) -> float:
+        if self._weight <= 0.0:
+            return 0.0
+        # Clamp accumulated float drift out of [0, 1].
+        return min(max(self._bad / self._weight, 0.0), 1.0)
+
+
+class BurnRateMonitor:
+    """Multi-window burn-rate alerting for one budget.
+
+    ``window_fast``/``window_slow`` are trailing horizons in simulated
+    seconds (fast < slow); ``threshold`` is the burn rate both windows
+    must exceed for the alert to fire.  ``observe`` feeds one good/bad
+    observation; ``observe_value`` applies the budget's latency
+    threshold.  Both return the :class:`SloBurnAlert` emitted on a
+    state transition (also published to ``bus``), or ``None``.
+    """
+
+    def __init__(
+        self,
+        budget: SloBudget,
+        *,
+        window_fast: float = 300.0,
+        window_slow: float = 3600.0,
+        threshold: float = 10.0,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if window_fast >= window_slow:
+            raise ValueError(
+                f"fast window ({window_fast}) must be shorter than slow "
+                f"({window_slow})"
+            )
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.budget = budget
+        self.window_fast = window_fast
+        self.window_slow = window_slow
+        self.threshold = threshold
+        self.bus = bus if bus is not None else NULL_BUS
+        self.firing = False
+        self.transitions = 0
+        self._fast = _Window(window_fast)
+        self._slow = _Window(window_slow)
+
+    # -- feeding --------------------------------------------------------
+    def observe(
+        self, time: float, *, bad: bool = False, weight: float = 1.0
+    ) -> Optional[SloBurnAlert]:
+        """One observation: ``weight`` units of which ``bad`` marks all
+        or none as budget-consuming."""
+        bad_weight = weight if bad else 0.0
+        self._fast.add(time, weight, bad_weight)
+        self._slow.add(time, weight, bad_weight)
+        return self._evaluate(time)
+
+    def observe_value(self, time: float, value: float) -> Optional[SloBurnAlert]:
+        """Latency-style observation judged against ``threshold_s``."""
+        threshold_s = self.budget.threshold_s
+        if math.isnan(threshold_s):
+            raise ValueError(
+                f"budget {self.budget.name!r} has no latency threshold; "
+                "use observe(bad=...)"
+            )
+        return self.observe(time, bad=value > threshold_s)
+
+    def advance(self, time: float) -> Optional[SloBurnAlert]:
+        """Prune windows to ``time`` without adding an observation —
+        lets an alert resolve after traffic stops."""
+        self._fast.prune(time)
+        self._slow.prune(time)
+        return self._evaluate(time)
+
+    # -- state ----------------------------------------------------------
+    def burn_fast(self) -> float:
+        return burn_rate(self._fast.bad_fraction(), self.budget.error_budget)
+
+    def burn_slow(self) -> float:
+        return burn_rate(self._slow.bad_fraction(), self.budget.error_budget)
+
+    def _evaluate(self, time: float) -> Optional[SloBurnAlert]:
+        fast = self.burn_fast()
+        slow = self.burn_slow()
+        should_fire = fast >= self.threshold and slow >= self.threshold
+        if should_fire == self.firing:
+            return None
+        self.firing = should_fire
+        self.transitions += 1
+        alert = SloBurnAlert(
+            time,
+            self.budget.name,
+            "firing" if should_fire else "resolved",
+            fast if math.isfinite(fast) else -1.0,
+            slow if math.isfinite(slow) else -1.0,
+            self.window_fast,
+            self.window_slow,
+            self.threshold,
+        )
+        if self.bus.enabled:
+            self.bus.emit(alert)
+        return alert
+
+
+def default_budgets() -> dict[str, SloBudget]:
+    """The serving budgets the paper's evaluation cares about: client
+    TTFT and TPOT attainment (§6.3's deadline family) plus fleet
+    availability (Fig. 7/10 timelines)."""
+    return {
+        "ttft": SloBudget(
+            "ttft", 0.99, 10.0, "99% of requests start streaming within 10 s"
+        ),
+        "latency": SloBudget(
+            "latency", 0.99, 60.0, "99% of requests finish within 60 s"
+        ),
+        "availability": SloBudget(
+            "availability", 0.999, math.nan, "fleet at target 99.9% of the time"
+        ),
+    }
+
+
+class SloMonitorSink:
+    """Event-bus sink feeding burn-rate monitors from the event stream.
+
+    * ``request.span`` (status ok): TTFT budget sees queue+prefill+wan,
+      latency budget sees the end-to-end total; failed spans count as
+      bad for both.
+    * ``fleet.ready``: availability is time-weighted — the interval
+      since the previous sample is good seconds when the fleet *was* at
+      target over it, bad seconds otherwise.
+
+    Alerts go to ``alert_bus`` (typically the same bus this sink is
+    attached to — re-entrant emission is safe because sinks run
+    synchronously and ``SloBurnAlert`` triggers no handler here).
+    """
+
+    def __init__(
+        self,
+        budgets: Optional[dict[str, SloBudget]] = None,
+        *,
+        window_fast: float = 300.0,
+        window_slow: float = 3600.0,
+        threshold: float = 10.0,
+        alert_bus: Optional[EventBus] = None,
+    ) -> None:
+        budgets = budgets if budgets is not None else default_budgets()
+        self.monitors = {
+            name: BurnRateMonitor(
+                budget,
+                window_fast=window_fast,
+                window_slow=window_slow,
+                threshold=threshold,
+                bus=alert_bus,
+            )
+            for name, budget in sorted(budgets.items())
+        }
+        self.alerts: list[SloBurnAlert] = []
+        self._last_fleet_time = math.nan
+        self._last_fleet_good = True
+
+    def accept(self, event: TelemetryEvent) -> None:
+        kind = event.kind
+        if kind == "request.span":
+            self._on_span(event)
+        elif kind == "fleet.ready":
+            self._on_fleet(event)
+
+    def _record(self, alert: Optional[SloBurnAlert]) -> None:
+        if alert is not None:
+            self.alerts.append(alert)
+
+    def _on_span(self, event: Any) -> None:
+        failed = event.status != "ok"
+        monitor = self.monitors.get("ttft")
+        if monitor is not None:
+            if failed:
+                self._record(monitor.observe(event.time, bad=True))
+            else:
+                ttft = event.queue + event.prefill + event.wan
+                self._record(monitor.observe_value(event.time, ttft))
+        monitor = self.monitors.get("latency")
+        if monitor is not None:
+            if failed:
+                self._record(monitor.observe(event.time, bad=True))
+            else:
+                self._record(monitor.observe_value(event.time, event.total))
+
+    def _on_fleet(self, event: Any) -> None:
+        monitor = self.monitors.get("availability")
+        if monitor is None:
+            return
+        last_time = self._last_fleet_time
+        if not math.isnan(last_time) and event.time > last_time:
+            elapsed = event.time - last_time
+            self._record(
+                monitor.observe(
+                    event.time, bad=not self._last_fleet_good, weight=elapsed
+                )
+            )
+        self._last_fleet_time = event.time
+        self._last_fleet_good = event.ready >= event.target
+
+    # -- offline use ----------------------------------------------------
+    def feed(self, events: Iterable[TelemetryEvent]) -> list[SloBurnAlert]:
+        """Run a recorded stream through the monitors; returns the
+        transition alerts in order."""
+        for event in events:
+            self.accept(event)
+        return list(self.alerts)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Current burn state per budget (JSON-native, sorted keys)."""
+        out: dict[str, Any] = {}
+        for name, monitor in self.monitors.items():
+            fast = monitor.burn_fast()
+            slow = monitor.burn_slow()
+            out[name] = {
+                "target": monitor.budget.target,
+                "threshold_s": (
+                    None
+                    if math.isnan(monitor.budget.threshold_s)
+                    else monitor.budget.threshold_s
+                ),
+                "burn_fast": fast if math.isfinite(fast) else None,
+                "burn_slow": slow if math.isfinite(slow) else None,
+                "firing": monitor.firing,
+                "transitions": monitor.transitions,
+            }
+        return out

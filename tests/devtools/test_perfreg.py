@@ -1,0 +1,213 @@
+"""Unit tests for the perf-regression tracker (repro.devtools.perfreg)."""
+
+import json
+
+import pytest
+
+from repro.devtools.perfreg import (
+    REGRESSION_TOLERANCE,
+    PerfCheck,
+    append_trajectory,
+    build_record,
+    calibration_probe,
+    check_entries,
+    main,
+    write_baseline,
+)
+
+
+def _bench(replay=50_000.0, smoke=True):
+    return {
+        "replay": {
+            "steps_per_second": replay,
+            "seconds": 0.1,
+            "smoke": smoke,
+        },
+        "batched_inference": {
+            "requests_per_second": 100_000.0,
+            "smoke": smoke,
+        },
+        "replay_phases": {
+            "replay.policy": 0.012,
+            "replay.reconcile": 0.004,
+            "smoke": smoke,
+        },
+    }
+
+
+def _baseline(replay=50_000.0, calibration=0.010, smoke=True):
+    return {
+        "calibration_seconds": calibration,
+        "entries": {
+            "replay": {"steps_per_second": replay, "smoke": smoke},
+            "batched_inference": {
+                "requests_per_second": 100_000.0, "smoke": smoke,
+            },
+        },
+        "tolerance": REGRESSION_TOLERANCE,
+    }
+
+
+class TestCheckEntries:
+    def test_identical_numbers_pass(self):
+        checks = check_entries(_bench(), _baseline(), calibration_s=0.010)
+        assert len(checks) == 2
+        assert all(c.ok for c in checks)
+        assert all(c.ratio == pytest.approx(1.0) for c in checks)
+
+    def test_regression_beyond_tolerance_fails(self):
+        # 30% drop on the replay entry with same-speed machine.
+        checks = check_entries(
+            _bench(replay=35_000.0), _baseline(), calibration_s=0.010
+        )
+        by_entry = {c.entry: c for c in checks}
+        assert not by_entry["replay"].ok
+        assert by_entry["replay"].ratio == pytest.approx(0.7)
+        assert by_entry["batched_inference"].ok
+
+    def test_drop_within_tolerance_passes(self):
+        checks = check_entries(
+            _bench(replay=41_000.0), _baseline(), calibration_s=0.010
+        )
+        assert all(c.ok for c in checks)
+
+    def test_slow_machine_is_forgiven(self):
+        # Half-speed runner (probe takes 2x as long) measuring half the
+        # throughput: normalized back to baseline, passes.
+        checks = check_entries(
+            _bench(replay=25_000.0), _baseline(), calibration_s=0.020
+        )
+        by_entry = {c.entry: c for c in checks}
+        assert by_entry["replay"].normalized == pytest.approx(50_000.0)
+        assert by_entry["replay"].ok
+
+    def test_fast_machine_never_scaled_down(self):
+        # A 2x-faster probe must NOT scale identical throughput to 0.5x
+        # (probe jitter would manufacture regressions out of thin air).
+        checks = check_entries(_bench(), _baseline(), calibration_s=0.005)
+        assert all(c.normalized == c.measured for c in checks)
+        assert all(c.ok for c in checks)
+
+    def test_missing_entries_skipped(self):
+        bench = _bench()
+        del bench["batched_inference"]
+        checks = check_entries(bench, _baseline(), calibration_s=0.010)
+        assert [c.entry for c in checks] == ["replay"]
+
+    def test_mode_mismatch_skipped(self):
+        # Smoke numbers are not comparable to full-run numbers.
+        checks = check_entries(
+            _bench(smoke=False), _baseline(smoke=True), calibration_s=0.010
+        )
+        assert checks == []
+
+    def test_custom_tolerance(self):
+        checks = check_entries(
+            _bench(replay=44_000.0),
+            _baseline(),
+            calibration_s=0.010,
+            tolerance=0.10,
+        )
+        by_entry = {c.entry: c for c in checks}
+        assert not by_entry["replay"].ok  # 0.88 < 0.90
+
+
+class TestRecordAndTrajectory:
+    def test_build_record_shape(self):
+        checks = check_entries(_bench(), _baseline(), calibration_s=0.010)
+        record = build_record(_bench(), checks, calibration_s=0.010)
+        assert record["ok"] is True
+        assert record["smoke"] is True
+        assert record["entries"]["replay"]["steps_per_second"] == 50_000.0
+        assert record["checks"][0]["ratio"] == 1.0
+        # Phase totals carried into the trajectory; the "smoke" tag
+        # (a bool, not a timing) filtered out.
+        assert record["replay_phases"] == {
+            "replay.policy": 0.012, "replay.reconcile": 0.004,
+        }
+
+    def test_record_is_json_native(self):
+        checks = check_entries(_bench(), _baseline(), calibration_s=0.010)
+        record = build_record(_bench(), checks, calibration_s=0.010)
+        json.dumps(record)  # must not raise
+
+    def test_append_trajectory_is_jsonl(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        checks = check_entries(_bench(), _baseline(), calibration_s=0.010)
+        record = build_record(_bench(), checks, calibration_s=0.010)
+        append_trajectory(record, path)
+        append_trajectory(record, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["ok"] is True
+
+
+class TestBaseline:
+    def test_write_baseline_round_trips(self, tmp_path):
+        path = tmp_path / "PERF_BASELINE.json"
+        baseline = write_baseline(_bench(), calibration_s=0.0123, path=path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == baseline
+        assert on_disk["calibration_seconds"] == 0.0123
+        assert on_disk["entries"]["replay"]["smoke"] is True
+        assert check_entries(_bench(), on_disk, 0.0123)
+
+    def test_write_baseline_requires_tracked_entries(self, tmp_path):
+        with pytest.raises(SystemExit):
+            write_baseline({}, 0.01, path=tmp_path / "b.json")
+
+
+class TestCalibrationProbe:
+    def test_probe_is_positive_and_validates(self):
+        assert calibration_probe(repeats=1) > 0.0
+        with pytest.raises(ValueError):
+            calibration_probe(repeats=0)
+
+
+class TestMain:
+    def _write(self, tmp_path):
+        bench_path = tmp_path / "BENCH_replay.json"
+        baseline_path = tmp_path / "PERF_BASELINE.json"
+        trajectory_path = tmp_path / "TRAJECTORY.jsonl"
+        bench_path.write_text(json.dumps(_bench()))
+        # Calibration 10s: vastly slower than any real probe, so the
+        # asymmetric scale stays 1.0x-or-better and the gate passes on
+        # identical numbers regardless of the machine running the test.
+        baseline_path.write_text(json.dumps(_baseline(calibration=10.0)))
+        return bench_path, baseline_path, trajectory_path
+
+    def test_check_passes_and_appends(self, tmp_path, capsys):
+        bench, baseline, trajectory = self._write(tmp_path)
+        code = main([
+            "check", "--bench", str(bench), "--baseline", str(baseline),
+            "--trajectory", str(trajectory),
+        ])
+        assert code == 0
+        assert "perf gate: pass" in capsys.readouterr().out
+        (line,) = trajectory.read_text().splitlines()
+        assert json.loads(line)["ok"] is True
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        bench, baseline, trajectory = self._write(tmp_path)
+        bench.write_text(json.dumps(_bench(replay=30_000.0)))
+        code = main([
+            "check", "--bench", str(bench), "--baseline", str(baseline),
+            "--trajectory", str(trajectory),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # Failed runs still land in the trajectory.
+        (line,) = trajectory.read_text().splitlines()
+        assert json.loads(line)["ok"] is False
+
+    def test_baseline_command_writes(self, tmp_path, capsys):
+        bench, baseline, _ = self._write(tmp_path)
+        baseline.unlink()
+        code = main(["baseline", "--bench", str(bench),
+                     "--baseline", str(baseline)])
+        assert code == 0
+        assert json.loads(baseline.read_text())["entries"]["replay"]
+
+    def test_missing_artifact_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit, match="no benchmark artifact"):
+            main(["check", "--bench", str(tmp_path / "missing.json")])

@@ -1,0 +1,121 @@
+"""Property-based tests: histogram percentile estimation vs numpy.
+
+The fixed-bucket :class:`~repro.telemetry.metrics.HistogramMetric`
+estimates percentiles by linear interpolation inside the containing
+bucket, using the same rank convention as ``numpy.percentile``'s
+default linear interpolation.  The estimate cannot be exact — the
+histogram only keeps bucket counts — but it is bounded: the estimated
+percentile always lies within the data range, is monotone in ``q``,
+and never strays from the exact value by more than one bucket width
+(for in-range data).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import HistogramMetric
+
+#: Random strictly-increasing bucket edges.
+edges_strategy = (
+    st.lists(
+        st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    )
+    .map(sorted)
+    .filter(lambda e: all(b - a > 1e-6 for a, b in zip(e, e[1:])))
+)
+
+samples_strategy = st.lists(
+    st.floats(min_value=-150.0, max_value=150.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+quantile_strategy = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _fill(edges, samples):
+    h = HistogramMetric(edges)
+    for s in samples:
+        h.observe(s)
+    return h
+
+
+@given(edges_strategy, samples_strategy, quantile_strategy)
+def test_quantile_within_observed_range(edges, samples, q):
+    h = _fill(edges, samples)
+    estimate = h.quantile(q)
+    assert min(samples) <= estimate <= max(samples)
+
+
+@given(edges_strategy, samples_strategy)
+def test_quantile_monotone_in_q(edges, samples):
+    h = _fill(edges, samples)
+    values = [h.quantile(q) for q in (0, 10, 25, 50, 75, 90, 99, 100)]
+    assert values == sorted(values)
+
+
+@given(edges_strategy, samples_strategy)
+def test_extremes_exact(edges, samples):
+    h = _fill(edges, samples)
+    assert h.quantile(0) == min(samples)
+    assert h.quantile(100) == max(samples)
+
+
+def _error_bound(edges, samples):
+    """Worst-case estimate-vs-numpy error from the data geometry.
+
+    numpy's exact percentile interpolates between two *adjacent sorted
+    samples*; the histogram only knows those samples' buckets, so its
+    estimate can land anywhere inside them.  The error is therefore
+    bounded by the widest bucket interval (open-ended end buckets
+    clamped to the observed min/max) plus the largest gap between
+    adjacent samples (the cross-bucket interpolation span)."""
+    lo_clamp = min(samples)
+    hi_clamp = max(samples)
+    bounds = [lo_clamp] + [
+        min(max(e, lo_clamp), hi_clamp) for e in edges
+    ] + [hi_clamp]
+    widest = max(b - a for a, b in zip(bounds, bounds[1:]))
+    ordered = sorted(samples)
+    max_gap = max(
+        (b - a for a, b in zip(ordered, ordered[1:])), default=0.0
+    )
+    return widest + max_gap
+
+
+@settings(max_examples=200)
+@given(edges_strategy, samples_strategy, quantile_strategy)
+def test_quantile_error_bounded_by_data_geometry(edges, samples, q):
+    h = _fill(edges, samples)
+    estimate = h.quantile(q)
+    exact = float(np.percentile(samples, q))
+    assert abs(estimate - exact) <= _error_bound(edges, samples) + 1e-9
+
+
+@given(samples_strategy)
+def test_dense_uniform_edges_converge_to_numpy(samples):
+    """With bucket edges much denser than the data spread, the bucket
+    term of the error bound shrinks to the (unit) edge spacing — the
+    estimate tracks numpy up to the sample gaps themselves."""
+    edges = [float(e) for e in np.linspace(-150.0, 150.0, 301)]  # width 1
+    h = _fill(edges, samples)
+    ordered = sorted(samples)
+    max_gap = max(
+        (b - a for a, b in zip(ordered, ordered[1:])), default=0.0
+    )
+    for q in (10, 50, 90):
+        exact = float(np.percentile(samples, q))
+        assert abs(h.quantile(q) - exact) <= 1.0 + max_gap + 1e-9
+
+
+@given(edges_strategy, samples_strategy)
+def test_count_and_sum_exact(edges, samples):
+    h = _fill(edges, samples)
+    assert h.count == len(samples)
+    assert np.isclose(h.total, sum(samples))
+    assert sum(h.counts) == len(samples)

@@ -164,3 +164,59 @@ class TestChaosRendering:
 
     def test_no_chaos_no_section(self):
         assert "chaos" not in format_summary(sample_events())
+
+
+class TestObservabilitySections:
+    def test_dropped_events_warning(self):
+        from repro.telemetry import EventsDropped
+
+        events = sample_events() + [EventsDropped(450.0, 7, 1000)]
+        s = summarize(events)
+        assert s.dropped_total == 7
+        text = format_summary(events)
+        assert "WARNING: the producing sink dropped 7 events" in text
+        assert "undercount" in text
+
+    def test_last_dropped_marker_wins(self):
+        from repro.telemetry import EventsDropped
+
+        events = [EventsDropped(1.0, 3, 10), EventsDropped(2.0, 9, 10)]
+        assert summarize(events).dropped_total == 9
+
+    def test_no_drops_no_warning(self):
+        assert "WARNING" not in format_summary(sample_events())
+
+    def test_lb_fallbacks_counted(self):
+        from repro.telemetry import LoadBalancerFallback
+
+        events = sample_events() + [
+            LoadBalancerFallback(10.0, 5, 1, "locality"),
+            LoadBalancerFallback(11.0, 6, 2, "locality"),
+        ]
+        assert summarize(events).lb_fallbacks == 2
+        assert "load-balancer locality fallbacks: 2" in format_summary(events)
+
+    def test_burn_alert_table(self):
+        from repro.telemetry import SloBurnAlert
+
+        events = sample_events() + [
+            SloBurnAlert(50.0, "ttft", "firing", 20.0, 12.0, 300.0, 3600.0, 10.0),
+            SloBurnAlert(90.0, "ttft", "resolved", 1.0, 2.0, 300.0, 3600.0, 10.0),
+        ]
+        s = summarize(events)
+        assert s.burn_alerts == [
+            (50.0, "ttft", "firing"), (90.0, "ttft", "resolved"),
+        ]
+        text = format_summary(events)
+        assert "SLO burn alerts: 2 transitions (1 firing)" in text
+        assert "ttft" in text
+
+    def test_burn_alert_table_truncates(self):
+        from repro.telemetry import SloBurnAlert
+
+        events = [
+            SloBurnAlert(float(i), "ttft", "firing" if i % 2 == 0 else "resolved",
+                         20.0, 12.0, 300.0, 3600.0, 10.0)
+            for i in range(15)
+        ]
+        assert "... 3 more transitions" in format_summary(events)

@@ -1,0 +1,150 @@
+"""Unit tests for the canonical run report and terminal dashboard."""
+
+import json
+
+import numpy as np
+
+from repro.telemetry import (
+    CostSnapshot,
+    EventBus,
+    FleetSample,
+    ProfilePhase,
+    RingBufferSink,
+    build_report,
+    render_dashboard,
+)
+from repro.telemetry.events import RequestSpanEvent
+from repro.telemetry.report import (
+    REPORT_SCHEMA,
+    downsample_series,
+    sparkline,
+)
+
+
+def _span(time, status="ok"):
+    return RequestSpanEvent(
+        time=time, request_id=int(time), status=status, queue=0.1,
+        prefill=0.2, decode=0.6, wan=0.1, total=1.0, retries=0,
+        replica_id=1, zone="aws:z:a", batch_size=1, queue_depth=0,
+    )
+
+
+def _events():
+    events = []
+    for i in range(20):
+        t = float(i * 10)
+        events.append(FleetSample(t, 3 if i % 4 else 1, 4))
+        events.append(_span(t, status="ok" if i % 5 else "failed"))
+    events.append(CostSnapshot(200.0, 1.25, 2.75, 4.0))
+    return events
+
+
+class TestDownsample:
+    def test_short_series_pass_through(self):
+        series = [(0.0, 1.0), (10.0, 2.0)]
+        assert downsample_series(series, width=64) == [1.0, 2.0]
+
+    def test_time_weighted_bucket_means(self):
+        # Step function: value 0 for [0, 50), value 10 for [50, 100).
+        series = [(0.0, 0.0), (50.0, 10.0), (100.0, 10.0)]
+        out = downsample_series(series, width=2)
+        assert out == [0.0, 10.0]
+
+    def test_deterministic(self):
+        series = [(float(i), float(i % 7)) for i in range(500)]
+        assert downsample_series(series, 32) == downsample_series(series, 32)
+        assert len(downsample_series(series, 32)) == 32
+
+    def test_sparkline_levels(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestBuildReport:
+    def test_sections_present(self):
+        report = build_report(_events(), label="unit")
+        data = report.to_dict()
+        assert data["schema"] == REPORT_SCHEMA
+        assert data["label"] == "unit"
+        assert data["events"]["count"] == 41
+        assert data["events"]["time_start"] == 0.0
+        assert data["events"]["time_end"] == 200.0
+        assert data["timelines"]["fleet_ready"]
+        assert data["latency"]["latency.ok"]["count"] == 16
+        assert data["latency"]["ttft"]["count"] == 16
+        assert "availability" in data["slo"]
+
+    def test_json_byte_identical_across_invocations(self):
+        events = _events()
+        r1 = build_report(events, label="x").to_json()
+        r2 = build_report(events, label="x").to_json()
+        assert r1 == r2
+        assert r1.endswith("\n")
+        json.loads(r1)  # valid JSON
+
+    def test_profile_phases_excluded_from_time_range(self):
+        events = _events()
+        # A profile event stamped with wall-clock time must not stretch
+        # the simulated time range.
+        events.append(ProfilePhase(99999.0, "replay.policy", 10, 0.5, 0.1, True))
+        report = build_report(events, label="x")
+        data = report.to_dict()
+        assert data["events"]["time_end"] == 200.0
+        assert data["profile"][0]["phase"] == "replay.policy"
+
+    def test_dropped_total_from_marker_events(self):
+        from repro.telemetry import EventsDropped
+
+        events = _events()
+        events.append(EventsDropped(150.0, 42, 1000))
+        report = build_report(events, label="x")
+        assert report.to_dict()["events"]["dropped_total"] == 42
+
+    def test_burn_alerts_listed(self):
+        events = [_span(float(i), status="failed") for i in range(6)]
+        report = build_report(
+            events, label="x", window_fast=60.0, window_slow=600.0
+        )
+        data = report.to_dict()
+        assert data["alerts"]
+        assert data["alerts"][0]["state"] == "firing"
+        assert data["slo"]["ttft"]["firing"]
+
+    def test_from_replay_events(self):
+        from repro.cloud import SpotTrace
+        from repro.core import spothedge
+        from repro.experiments import ReplayConfig, TraceReplayer
+
+        zones = ["aws:r1:a", "aws:r1:b"]
+        rng = np.random.default_rng(0)
+        trace = SpotTrace("t", zones, 60.0, rng.integers(0, 4, size=(2, 128)))
+        sink = RingBufferSink()
+        replayer = TraceReplayer(
+            trace, ReplayConfig(n_tar=2), telemetry=EventBus([sink])
+        )
+        replayer.run(spothedge(zones))
+        report = build_report(sink.events, label="replay")
+        data = report.to_dict()
+        assert data["timelines"]["cost_total"][-1] > 0
+        assert sum(data["counters"]["replica_launches_total"].values()) >= 1
+
+
+class TestRenderDashboard:
+    def test_renders_all_sections(self):
+        events = _events()
+        events.append(ProfilePhase(0.0, "replay.policy", 8, 0.4, 0.1, True))
+        report = build_report(events, label="demo")
+        text = render_dashboard(report)
+        assert "demo" in text
+        assert "fleet" in text
+        assert "hot phases" in text
+        assert "replay.policy" in text
+        assert "(sampled)" in text
+
+    def test_dashboard_is_pure_function_of_report(self):
+        events = _events()
+        a = render_dashboard(build_report(events, label="x"))
+        b = render_dashboard(build_report(events, label="x"))
+        assert a == b

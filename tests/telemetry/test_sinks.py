@@ -46,6 +46,34 @@ class TestRingBufferSink:
         assert len(sink) == 0
         assert sink.dropped == 0
 
+    def test_dropped_total_counts_every_overwrite(self):
+        sink = RingBufferSink(capacity=2)
+        for i in range(7):
+            sink.accept(_event(i))
+        assert sink.dropped_total == 5
+        assert sink.dropped == sink.dropped_total  # legacy alias
+        assert sink.capacity == 2
+
+    def test_drop_event_packages_the_loss(self):
+        sink = RingBufferSink(capacity=2)
+        assert sink.drop_event() is None  # nothing dropped yet
+        for i in range(5):
+            sink.accept(_event(i))
+        marker = sink.drop_event()
+        assert marker is not None
+        assert marker.kind == "telemetry.dropped"
+        assert marker.dropped_total == 3
+        assert marker.capacity == 2
+        assert marker.time == 4.0  # last buffered event's timestamp
+
+    def test_unbounded_never_produces_drop_event(self):
+        sink = RingBufferSink()
+        for i in range(10):
+            sink.accept(_event(i))
+        assert sink.dropped_total == 0
+        assert sink.capacity == 0
+        assert sink.drop_event() is None
+
 
 class TestJsonlSink:
     def test_file_round_trip(self, tmp_path):
@@ -118,3 +146,41 @@ class TestPrometheusSnapshot:
         snap = PrometheusSnapshot()
         snap.accept(ReplicaReady(time=0.0, replica_id=1, zone='z"1', spot=True))
         assert 'zone="z\\"1"' in snap.render()
+
+    def test_label_escaping_backslash_and_newline(self):
+        # Exposition format: \ -> \\, " -> \", newline -> \n, in that
+        # escape order (a backslash introduced by the quote escape must
+        # not be doubled).
+        snap = PrometheusSnapshot()
+        snap.accept(
+            ReplicaReady(time=0.0, replica_id=1, zone='a\\b"c\nd', spot=True)
+        )
+        assert 'zone="a\\\\b\\"c\\nd"' in snap.render()
+
+    def test_gauge_label_values_escaped(self):
+        snap = PrometheusSnapshot()
+        snap.register_gauge(
+            "repro_cost_dollars",
+            lambda: 1.0,
+            labels={"zone": 'z"1\n'},
+        )
+        assert 'zone="z\\"1\\n"' in snap.render()
+
+    def test_help_text_escaped(self):
+        # HELP lines escape backslash and newline (quotes are legal).
+        snap = PrometheusSnapshot()
+        snap.register_gauge(
+            "repro_cost_dollars",
+            lambda: 1.0,
+            help_text='Accrued "cost"\nwith a \\ backslash.',
+        )
+        text = snap.render()
+        assert (
+            '# HELP repro_cost_dollars Accrued "cost"\\nwith a \\\\ backslash.'
+            in text
+        )
+        # The exposition stays one-metric-per-line despite the newline.
+        assert all(
+            line.startswith(("#", "repro_"))
+            for line in text.strip().split("\n")
+        )

@@ -1,0 +1,190 @@
+"""Unit tests for SLO budgets and multi-window burn-rate monitors."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    BurnRateMonitor,
+    EventBus,
+    FleetSample,
+    RingBufferSink,
+    SloBudget,
+    SloMonitorSink,
+    burn_rate,
+    default_budgets,
+)
+from repro.telemetry.events import RequestSpanEvent
+
+
+def _span(time, status="ok", queue=0.1, prefill=0.2, wan=0.05, total=1.0):
+    return RequestSpanEvent(
+        time=time, request_id=1, status=status, queue=queue, prefill=prefill,
+        decode=total - queue - prefill - wan, wan=wan, total=total,
+        retries=0, replica_id=1, zone="aws:z:a", batch_size=1, queue_depth=0,
+    )
+
+
+class TestBurnRate:
+    def test_exact_budget_boundary(self):
+        # bad fraction == error budget -> burn exactly 1.0.
+        assert burn_rate(0.01, 0.01) == 1.0
+
+    def test_zero_bad_is_zero_even_with_zero_budget(self):
+        assert burn_rate(0.0, 0.0) == 0.0
+
+    def test_zero_budget_with_bad_is_infinite(self):
+        assert burn_rate(0.001, 0.0) == math.inf
+
+    def test_proportional(self):
+        assert burn_rate(0.144, 0.01) == pytest.approx(14.4)
+
+
+class TestSloBudget:
+    def test_error_budget(self):
+        assert SloBudget("x", 0.99).error_budget == pytest.approx(0.01)
+
+    def test_target_bounds(self):
+        with pytest.raises(ValueError):
+            SloBudget("x", 1.0)
+        with pytest.raises(ValueError):
+            SloBudget("x", 0.0)
+
+    def test_defaults_cover_paper_slos(self):
+        budgets = default_budgets()
+        assert set(budgets) == {"ttft", "latency", "availability"}
+        assert budgets["ttft"].threshold_s == 10.0
+        assert math.isnan(budgets["availability"].threshold_s)
+
+
+class TestBurnRateMonitor:
+    def _monitor(self, **kw):
+        kw.setdefault("window_fast", 60.0)
+        kw.setdefault("window_slow", 600.0)
+        kw.setdefault("threshold", 10.0)
+        return BurnRateMonitor(SloBudget("x", 0.99, 1.0), **kw)
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            BurnRateMonitor(
+                SloBudget("x", 0.99), window_fast=600.0, window_slow=60.0
+            )
+
+    def test_fires_only_when_both_windows_burn(self):
+        monitor = self._monitor()
+        # All-bad observations: both windows hit burn 100 >= 10.
+        alert = None
+        for i in range(5):
+            alert = monitor.observe(float(i), bad=True) or alert
+        assert monitor.firing
+        assert alert is not None and alert.state == "firing"
+        assert monitor.transitions == 1
+
+    def test_boundary_burn_exactly_at_threshold_fires(self):
+        # error budget 1%, threshold 10 -> bad fraction exactly 10%
+        # burns at exactly the threshold; >= fires.
+        monitor = self._monitor()
+        for i in range(9):
+            monitor.observe(float(i), bad=False)
+        assert not monitor.firing
+        monitor.observe(9.0, bad=True)  # 1 bad / 10 = burn 10.0
+        assert monitor.firing
+
+    def test_burn_just_below_threshold_does_not_fire(self):
+        monitor = self._monitor()
+        for i in range(10):
+            monitor.observe(float(i), bad=False)
+        monitor.observe(10.0, bad=True)  # 1/11 -> burn ~9.09
+        assert not monitor.firing
+
+    def test_fast_spike_alone_does_not_fire(self):
+        monitor = self._monitor()
+        # A long good history fills the slow window...
+        for i in range(500):
+            monitor.observe(float(i), bad=False)
+        # ...then a 10-observation bad burst: the fast window (60 s)
+        # sees ~100% bad, the slow window only ~2% (burn 2 < 10).
+        for i in range(500, 510):
+            monitor.observe(float(i), bad=True)
+        assert monitor.burn_fast() >= monitor.threshold
+        assert monitor.burn_slow() < monitor.threshold
+        assert not monitor.firing
+
+    def test_edge_triggered_resolution(self):
+        monitor = self._monitor()
+        for i in range(5):
+            monitor.observe(float(i), bad=True)
+        assert monitor.firing
+        # Bad observations age out of both windows; advance() alone
+        # must resolve the alert even with no new traffic.
+        alert = monitor.advance(1000.0)
+        assert alert is not None and alert.state == "resolved"
+        assert not monitor.firing
+        assert monitor.transitions == 2
+        # Steady state emits nothing further.
+        assert monitor.advance(2000.0) is None
+
+    def test_observe_value_uses_latency_threshold(self):
+        monitor = self._monitor()
+        monitor.observe_value(0.0, 0.5)  # under 1 s threshold: good
+        monitor.observe_value(1.0, 1.5)  # over: bad
+        assert monitor.burn_fast() == pytest.approx(0.5 / 0.01)
+
+    def test_observe_value_requires_threshold(self):
+        monitor = BurnRateMonitor(
+            SloBudget("x", 0.99), window_fast=60.0, window_slow=600.0
+        )
+        with pytest.raises(ValueError):
+            monitor.observe_value(0.0, 1.0)
+
+    def test_alerts_published_to_bus(self):
+        sink = RingBufferSink()
+        monitor = self._monitor(bus=EventBus([sink]))
+        for i in range(3):
+            monitor.observe(float(i), bad=True)
+        kinds = [e.kind for e in sink.events]
+        assert kinds == ["slo.burn_alert"]
+
+
+class TestSloMonitorSink:
+    def test_failed_spans_burn_ttft_and_latency(self):
+        sink = SloMonitorSink(
+            window_fast=60.0, window_slow=600.0, threshold=10.0
+        )
+        for i in range(5):
+            sink.accept(_span(float(i), status="timeout"))
+        assert sink.monitors["ttft"].firing
+        assert sink.monitors["latency"].firing
+        assert not sink.monitors["availability"].firing
+
+    def test_availability_is_time_weighted(self):
+        sink = SloMonitorSink(
+            window_fast=60.0, window_slow=600.0, threshold=10.0
+        )
+        # 10 s at target, then 10 s below target.
+        sink.accept(FleetSample(0.0, 4, 4))
+        sink.accept(FleetSample(10.0, 1, 4))   # interval [0,10] was good
+        sink.accept(FleetSample(20.0, 1, 4))   # interval [10,20] was bad
+        monitor = sink.monitors["availability"]
+        # 10 bad seconds of 20 -> bad fraction 0.5, budget 0.1% -> 500x.
+        assert monitor.burn_fast() == pytest.approx(0.5 / 0.001)
+        assert monitor.firing
+
+    def test_snapshot_is_json_native(self):
+        import json
+
+        sink = SloMonitorSink()
+        sink.accept(_span(1.0))
+        snap = sink.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["ttft"]["transitions"] == 0
+        assert snap["availability"]["threshold_s"] is None
+
+    def test_feed_returns_transition_alerts_in_order(self):
+        sink = SloMonitorSink(
+            window_fast=60.0, window_slow=600.0, threshold=10.0
+        )
+        events = [_span(float(i), status="failed") for i in range(4)]
+        alerts = sink.feed(events)
+        assert [a.state for a in alerts] == ["firing", "firing"]
+        assert sorted(a.budget for a in alerts) == ["latency", "ttft"]

@@ -193,6 +193,60 @@ class TestEventsCommand:
         ]) == 0
 
 
+class TestReportCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["report", "--replay"])
+        assert args.replay
+        assert args.trace == "gcp1"
+        assert args.policy == "SpotHedge"
+        assert args.top_k == 8
+
+    def test_requires_log_or_replay(self):
+        with pytest.raises(SystemExit, match="--replay"):
+            main(["report"])
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such event log"):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["report", "--replay", "--policy", "Nope"])
+
+    def test_replay_dashboard(self, capsys):
+        assert main(["report", "--replay", "--trace", "aws1",
+                     "--target", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SpotHedge@AWS 1 seed=0" in out
+        assert "fleet" in out
+        assert "cost" in out
+
+    def test_replay_json_byte_identical_across_invocations(
+        self, tmp_path, capsys
+    ):
+        argv = ["report", "--replay", "--trace", "aws1", "--target", "2",
+                "--no-dashboard"]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(argv + ["--json", str(a)]) == 0
+        assert main(argv + ["--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        data = json.loads(a.read_text())
+        assert data["schema"] == "repro.report/v1"
+        assert data["label"] == "SpotHedge@AWS 1 seed=0"
+
+    def test_report_from_serve_event_log(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main([
+            "serve", "--trace", "aws1", "--hours", "0.3", "--rate", "0.2",
+            "--events", str(log),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert log.name in out
+        assert "latency" in out
+
+
 class TestSweepCommand:
     def _env(self, monkeypatch, tmp_path):
         from repro.experiments import ReplayCache
