@@ -24,6 +24,8 @@ class ASGPolicy(ServingPolicy):
     """Static spot/on-demand mixture with even spread in one region."""
 
     name = "ASG"
+    # Static mixture — decisions depend only on fleet counts.
+    stationary_decisions = True
 
     def __init__(
         self,

@@ -27,6 +27,8 @@ class AWSSpotPolicy(ServingPolicy):
 
     name = "AWSSpot"
     respects_zone_cooldown = False
+    # Static pure-spot target — no time-dependent state.
+    stationary_decisions = True
 
     def __init__(
         self,

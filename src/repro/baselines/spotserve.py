@@ -34,6 +34,8 @@ class SingleZonePolicy(ServingPolicy):
     """All spot replicas in one pinned zone; no fallback, no spread."""
 
     name = "SpotServe-1zone"
+    # Pinned single zone, static target — trivially stationary.
+    stationary_decisions = True
 
     def __init__(self, zone: str) -> None:
         self.zone = zone

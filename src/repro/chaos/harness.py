@@ -78,6 +78,7 @@ def _matrix_point(
     config: ReplayConfig,
     use_cache: bool,
     seed: int,
+    engine: str = "discrete",
     *,
     scenario: str,
     policy: str,
@@ -111,6 +112,7 @@ def _matrix_point(
         seed=seed,
         cold_start_factors=cold_start,
         zone_price_factors=prices,
+        engine=engine,
     )
     result = replayer.run(POLICY_FACTORIES[policy](effective.zone_ids))
     if cache is not None:
@@ -255,12 +257,18 @@ def run_matrix(
     workers: int = 1,
     use_cache: bool = True,
     telemetry: Optional[EventBus] = None,
+    engine: str = "discrete",
 ) -> ChaosScorecard:
     """Replay every policy × (baseline + scenarios) cell and score it.
 
     ``telemetry`` receives the usual per-point
     :class:`~repro.telemetry.events.SweepProgress` events.  Replay
     errors propagate (a broken matrix must not produce a scorecard).
+
+    ``engine`` selects the replay engine for every cell (the chaos
+    overlays' per-step cold-start/price factor rows feed the vectorized
+    data plane natively); scorecards are byte-identical across engines,
+    and cache entries are shared between them for the same reason.
     """
     config = config or ReplayConfig()
     names = [s.name for s in scenarios]
@@ -284,7 +292,7 @@ def run_matrix(
         "policy": list(policies),
     }
     points = grid_sweep(
-        partial(_matrix_point, trace, by_name, config, use_cache, seed),
+        partial(_matrix_point, trace, by_name, config, use_cache, seed, engine),
         grid,
         raise_errors=True,
         workers=workers,

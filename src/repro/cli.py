@@ -57,6 +57,7 @@ from repro.core import (
     spothedge,
 )
 from repro.experiments import (
+    ENGINES,
     ReplayCache,
     ReplayConfig,
     ResultStore,
@@ -291,6 +292,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             ReplayConfig(n_tar=args.target, k=args.k),
             seed=args.seed,
             telemetry=telemetry,
+            engine=args.engine,
         )
         result = replayer.run(factory(trace.zone_ids))
         if telemetry is not None:
@@ -332,6 +334,7 @@ _REPLAY_POLICIES: dict[str, Callable] = {
 def _sweep_point(
     trace: SpotTrace,
     use_cache: bool,
+    engine: str = "discrete",
     *,
     policy: str = "SpotHedge",
     n_tar: int = 4,
@@ -340,7 +343,11 @@ def _sweep_point(
     seed: int = 0,
 ):
     """One replay grid point.  Module-level (with the fixed arguments
-    bound via ``functools.partial``) so parallel sweeps can pickle it."""
+    bound via ``functools.partial``) so parallel sweeps can pickle it.
+
+    The engine is deliberately not part of the cache key: all engines
+    produce byte-identical results, so a cached discrete replay is a
+    valid hit for a hybrid sweep and vice versa."""
     config = ReplayConfig(n_tar=n_tar, cold_start=cold_start, k=k)
     cache = ReplayCache() if use_cache else None
     if cache is not None:
@@ -348,7 +355,7 @@ def _sweep_point(
         hit = cache.get(key)
         if hit is not None:
             return hit
-    replayer = TraceReplayer(trace, config, seed=seed)
+    replayer = TraceReplayer(trace, config, seed=seed, engine=engine)
     result = replayer.run(_REPLAY_POLICIES[policy](trace.zone_ids))
     if cache is not None:
         cache.put(key, result)
@@ -395,7 +402,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import functools
 
     points = grid_sweep(
-        functools.partial(_sweep_point, trace, use_cache, seed=args.seed),
+        functools.partial(_sweep_point, trace, use_cache, args.engine, seed=args.seed),
         grid,
         workers=args.workers,
         telemetry=telemetry,
@@ -612,6 +619,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             use_cache=not args.no_cache,
             telemetry=telemetry,
+            engine=args.engine,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -714,6 +722,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write telemetry events to this JSONL file "
                              "(single policy only)")
     replay.add_argument("--json", help="also write raw results to this JSON file")
+    replay.add_argument("--engine", choices=ENGINES, default="discrete",
+                        help="replay engine; vectorized/hybrid run the numpy "
+                             "fastpath with byte-identical results "
+                             "(default: discrete)")
     replay.set_defaults(func=_cmd_replay)
 
     sweep = sub.add_parser(
@@ -744,6 +756,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true",
                        help="print per-point progress to stderr")
     sweep.add_argument("--json", help="also write raw results to this JSON file")
+    sweep.add_argument("--engine", choices=ENGINES, default="hybrid",
+                       help="replay engine for every grid point; results are "
+                            "byte-identical across engines (default: hybrid)")
     sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser("trace", help="inspect or export a trace")
@@ -831,6 +846,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument("--progress", action="store_true",
                            help="print per-point progress to stderr")
     chaos_run.add_argument("--out", help="write the scorecard JSON here")
+    chaos_run.add_argument("--engine", choices=ENGINES, default="hybrid",
+                           help="replay engine for every matrix cell; "
+                                "scorecards are byte-identical across "
+                                "engines (default: hybrid)")
     chaos_run.set_defaults(func=_cmd_chaos_run)
 
     lint = sub.add_parser(

@@ -51,6 +51,8 @@ class OnDemandOnlyPolicy(ServingPolicy):
     N_Tar on-demand replicas, no spot at all."""
 
     name = "OnDemand"
+    # Pure function of obs.n_tar — safe to fast-forward.
+    stationary_decisions = True
 
     def __init__(self, od_zones: Sequence[str]) -> None:
         if not od_zones:
@@ -76,6 +78,13 @@ class OnDemandOnlyPolicy(ServingPolicy):
 
 class MixturePolicy(ServingPolicy):
     """Spot/on-demand mixture driven by a placer and fallback rule."""
+
+    # target_mix depends only on fleet counts (never obs.now); placer
+    # mutations (set_target, mix interning) are idempotent under
+    # repeated identical observations.  The audit log is the one
+    # time-keyed side effect, so the fastpath additionally requires
+    # ``audit is None`` before skipping steps.
+    stationary_decisions = True
 
     def __init__(
         self,

@@ -74,6 +74,8 @@ REGRESSION_TOLERANCE = 0.20
 #: Benchmark entry -> its throughput field (higher is better).
 THROUGHPUT_FIELDS: dict[str, str] = {
     "replay": "steps_per_second",
+    "replay_vectorized": "steps_per_second",
+    "hybrid_sweep": "points_per_second",
     "batched_inference": "requests_per_second",
     "latency_estimation": "requests_per_second",
 }

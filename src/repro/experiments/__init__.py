@@ -10,7 +10,9 @@ from repro.experiments.endtoend import (
     spot_zone_costs,
     standard_policies,
 )
+from repro.experiments.fastpath import run_fastpath, supports_fluid
 from repro.experiments.replay import (
+    ENGINES,
     ReplayConfig,
     ReplayResult,
     TraceReplayer,
@@ -27,6 +29,7 @@ from repro.experiments.results import (
 from repro.experiments.sweep import SweepPoint, grid_sweep
 
 __all__ = [
+    "ENGINES",
     "EndToEndResult",
     "ReplayCache",
     "ReplayConfig",
@@ -42,9 +45,11 @@ __all__ = [
     "replay_result_from_dict",
     "replay_result_to_dict",
     "run_comparison",
+    "run_fastpath",
     "run_system",
     "service_report_to_dict",
     "spot_zone_costs",
     "standard_policies",
+    "supports_fluid",
     "grid_sweep",
 ]

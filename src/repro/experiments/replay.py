@@ -19,6 +19,12 @@ trace once, fleet and readiness counts are maintained incrementally,
 and scale-down selects its victim with a single max-scan instead of
 sorting the fleet per termination.  :func:`estimate_latency` is fully
 vectorised — O(steps + requests) instead of O(requests × steps).
+
+For sweeps at trace scale, :class:`TraceReplayer` accepts
+``engine="vectorized"`` or ``engine="hybrid"`` to dispatch to the
+numpy fluid/flow data plane in :mod:`repro.experiments.fastpath`,
+which is property-tested byte-identical to this discrete loop (the
+oracle) on every :class:`ReplayResult` field.
 """
 
 from __future__ import annotations
@@ -50,12 +56,21 @@ from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.workloads.request import Workload
 
 __all__ = [
+    "ENGINES",
     "ReplayConfig",
     "ReplayResult",
     "TraceReplayer",
     "erlang_c_wait",
     "estimate_latency",
 ]
+
+#: Replay engines accepted by :class:`TraceReplayer`.  ``discrete`` is
+#: the per-instance oracle below; ``vectorized`` and ``hybrid`` run the
+#: numpy data plane in :mod:`repro.experiments.fastpath` (``vectorized``
+#: demands a fast-forwardable policy and raises otherwise, ``hybrid``
+#: degrades to exact per-step processing when it cannot skip).  All
+#: three produce byte-identical :class:`ReplayResult` objects.
+ENGINES: tuple[str, ...] = ("discrete", "vectorized", "hybrid")
 
 logger = logging.getLogger(__name__)
 
@@ -162,9 +177,16 @@ class TraceReplayer:
         profiler: Optional[PhaseProfiler] = None,
         cold_start_factors: Optional[Sequence[float]] = None,
         zone_price_factors: Optional[Mapping[str, Sequence[float]]] = None,
+        engine: str = "discrete",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown replay engine {engine!r}: expected one of {ENGINES}"
+            )
         self.trace = trace
         self.config = config or ReplayConfig()
+        self.engine = engine
+        self._seed = seed
         self._rng = RngRegistry(seed).stream("replay")
         self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self.profiler = profiler if profiler is not None else NULL_PROFILER
@@ -198,7 +220,21 @@ class TraceReplayer:
         )
 
     def run(self, policy: ServingPolicy, *, spot_zones: Optional[Sequence[str]] = None) -> ReplayResult:
-        """Replay ``policy`` over the full trace."""
+        """Replay ``policy`` over the full trace.
+
+        Every call starts from a pristine replayer: the RNG stream and
+        the telemetry replica-id counter are re-derived from the
+        constructor seed, so replaying a second policy on the same
+        instance sees the exact stream a fresh replayer would.
+        """
+        # Per-run reset — without it a second run() consumed a shifted
+        # RNG stream and continued the replica-id sequence.
+        self._rng = RngRegistry(self._seed).stream("replay")
+        self._next_id = 0
+        if self.engine != "discrete":
+            from repro.experiments.fastpath import run_fastpath
+
+            return run_fastpath(self, policy, spot_zones=spot_zones)
         cfg = self.config
         trace = self.trace
         bus = self.telemetry
@@ -623,14 +659,24 @@ def estimate_latency(
     m_timeout = int(np.searchsorted(waits, timeout, side="left"))
 
     # Latency is a function of the arrival step alone, so evaluate it
-    # once per occupied step and gather.
+    # once per occupied step and gather.  The Erlang-C evaluation is
+    # further memoised by (rate, servers): rates are integer arrival
+    # counts over a fixed step and servers are quantised by replica
+    # count, so long series collapse to a handful of distinct pairs and
+    # the O(servers) iterative sum runs once per pair instead of once
+    # per occupied step.  Same scalar function → bit-identical results.
     lat_by_step = np.full(n, float(timeout))
+    wait_cache: dict[tuple[float, int], float] = {}
     for k in np.unique(arrival_steps):
         j = int(nxt[k])
         if j >= n or j - k >= m_timeout:
             continue  # no capacity before the timeout: reported at it
         servers = int(ready[j]) * concurrency_per_replica
-        queue_wait = erlang_c_wait(float(rates[j]), service_time, servers)
+        cache_key = (float(rates[j]), servers)
+        queue_wait = wait_cache.get(cache_key)
+        if queue_wait is None:
+            queue_wait = erlang_c_wait(cache_key[0], service_time, servers)
+            wait_cache[cache_key] = queue_wait
         total = waits[j - k] + queue_wait + service_time
         lat_by_step[k] = min(total, timeout)
     latencies[:] = lat_by_step[arrival_steps]

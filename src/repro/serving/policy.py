@@ -89,6 +89,19 @@ class ServingPolicy(abc.ABC):
     #: policy silent.  Attached by the service when telemetry is on.
     audit: Optional[PolicyAuditLog] = None
 
+    #: Whether this policy's decisions depend only on the non-temporal
+    #: fields of the :class:`Observation` (fleet counts and zone
+    #: occupancy), never on ``obs.now`` or on call count.  Stationary
+    #: policies must return the same :class:`MixTarget` for two
+    #: observations that differ only in ``now``, and any internal
+    #: mutation in :meth:`target_mix` must be idempotent under repeated
+    #: identical observations.  The hybrid replay engine
+    #: (``repro.experiments.fastpath``) uses this declaration to
+    #: fast-forward across quiescent trace windows without consulting
+    #: the policy each step; policies that keep time-indexed state
+    #: (e.g. MArk's sliding prediction window) must leave it ``False``.
+    stationary_decisions: bool = False
+
     def attach_audit(self, audit: PolicyAuditLog) -> None:
         """Start recording this policy's decisions into ``audit``.
 

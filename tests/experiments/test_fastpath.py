@@ -1,0 +1,325 @@
+"""Unit tests for the vectorized/hybrid replay engines.
+
+The contract under test: every engine produces *byte-identical*
+:class:`ReplayResult` fields and telemetry event content, consuming the
+same RNG stream — the discrete loop stays the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ASGPolicy, AWSSpotPolicy, MArkPolicy, SingleZonePolicy
+from repro.chaos import BUILTIN_SCENARIOS, builtin_scenario, compile_scenario
+from repro.cloud import SpotTrace
+from repro.cloud.traces import aws1, aws2, aws3, cpu_trace, gcp1
+from repro.core import (
+    OnDemandOnlyPolicy,
+    even_spread_policy,
+    round_robin_policy,
+    spothedge,
+)
+from repro.core.spothedge import MixturePolicy
+from repro.experiments import ENGINES, ReplayConfig, TraceReplayer
+from repro.experiments.fastpath import bucket_step, supports_fluid
+from repro.telemetry.audit import PolicyAuditLog
+from repro.telemetry.events import EventBus
+from repro.telemetry.sinks import RingBufferSink
+
+Z1, Z2, Z3 = "aws:r1:r1a", "aws:r1:r1b", "aws:r2:r2a"
+ZONES = [Z1, Z2, Z3]
+
+POLICY_FACTORIES = {
+    "SpotHedge": spothedge,
+    "RoundRobin": round_robin_policy,
+    "EvenSpread": even_spread_policy,
+    "OnDemand": OnDemandOnlyPolicy,
+}
+
+
+def trace_with(rows, step=60.0, name="fastpath-test"):
+    return SpotTrace(name, ZONES, step, np.asarray(rows))
+
+
+def assert_identical(ref, got):
+    """Byte-identical ReplayResult comparison — no approx anywhere."""
+    assert got.policy == ref.policy
+    assert got.trace == ref.trace
+    assert got.n_tar == ref.n_tar
+    assert got.availability == ref.availability
+    assert got.relative_cost == ref.relative_cost
+    assert got.spot_cost == ref.spot_cost
+    assert got.od_cost == ref.od_cost
+    assert got.preemptions == ref.preemptions
+    assert got.launch_failures == ref.launch_failures
+    assert got.step == ref.step
+    assert got.ready_series.dtype == ref.ready_series.dtype
+    np.testing.assert_array_equal(got.ready_series, ref.ready_series)
+    np.testing.assert_array_equal(got.od_series, ref.od_series)
+
+
+def replay(trace, factory, engine, *, seed=3, config=None, **kwargs):
+    config = config or ReplayConfig(n_tar=4, k=4.0)
+    replayer = TraceReplayer(trace, config, seed=seed, engine=engine, **kwargs)
+    return replayer.run(factory(trace.zone_ids))
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown replay engine"):
+            TraceReplayer(aws1(), engine="fluid")
+
+    def test_engines_constant(self):
+        assert ENGINES == ("discrete", "vectorized", "hybrid")
+
+    def test_vectorized_requires_stationary_policy(self):
+        trace = aws1()
+        replayer = TraceReplayer(trace, engine="vectorized")
+        with pytest.raises(ValueError, match="stationary_decisions"):
+            replayer.run(MArkPolicy(trace.zone_ids))
+
+    def test_vectorized_rejects_audited_policy(self):
+        trace = aws1()
+        policy = spothedge(trace.zone_ids)
+        policy.attach_audit(PolicyAuditLog())
+        assert not supports_fluid(policy)
+        with pytest.raises(ValueError, match="audit"):
+            TraceReplayer(trace, engine="vectorized").run(policy)
+
+    def test_hybrid_accepts_non_stationary_policy(self):
+        trace = aws1()
+        ref = replay(trace, MArkPolicy, "discrete")
+        got = replay(trace, MArkPolicy, "hybrid")
+        assert_identical(ref, got)
+
+    def test_stationarity_declarations(self):
+        assert MixturePolicy.stationary_decisions
+        assert OnDemandOnlyPolicy.stationary_decisions
+        assert ASGPolicy.stationary_decisions
+        assert AWSSpotPolicy.stationary_decisions
+        assert SingleZonePolicy.stationary_decisions
+        assert not MArkPolicy.stationary_decisions
+
+
+class TestBundledTraceEquivalence:
+    @pytest.mark.parametrize("trace_factory", [aws1, aws2, aws3, gcp1, cpu_trace])
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_byte_identical_on_bundled_traces(self, trace_factory, policy, engine):
+        trace = trace_factory()
+        factory = POLICY_FACTORIES[policy]
+        ref = replay(trace, factory, "discrete")
+        got = replay(trace, factory, engine)
+        assert_identical(ref, got)
+
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_identical_rng_stream_consumption(self, engine):
+        # After a replay, the *next* draw from the stream must agree —
+        # i.e. both engines consumed exactly the same draws.
+        trace = aws3()
+        ref_replayer = TraceReplayer(trace, ReplayConfig(n_tar=4), seed=9)
+        ref_replayer.run(spothedge(trace.zone_ids))
+        fast_replayer = TraceReplayer(trace, ReplayConfig(n_tar=4), seed=9, engine=engine)
+        fast_replayer.run(spothedge(trace.zone_ids))
+        assert ref_replayer._rng.random() == fast_replayer._rng.random()
+        assert ref_replayer._next_id == fast_replayer._next_id
+
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_baseline_policies_match(self, engine):
+        trace = aws1()  # single-region: ASG rejects multi-region zones
+        for factory in (
+            lambda z: ASGPolicy(z),
+            lambda z: AWSSpotPolicy(z),
+            lambda z: SingleZonePolicy(z[0]),
+        ):
+            ref = replay(trace, factory, "discrete")
+            got = replay(trace, factory, engine)
+            assert_identical(ref, got)
+
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_spot_zones_subset(self, engine):
+        trace = aws1()
+        subset = list(trace.zone_ids[:2])
+        config = ReplayConfig(n_tar=3)
+        ref = TraceReplayer(trace, config, seed=1).run(
+            spothedge(subset), spot_zones=subset
+        )
+        got = TraceReplayer(trace, config, seed=1, engine=engine).run(
+            spothedge(subset), spot_zones=subset
+        )
+        assert_identical(ref, got)
+
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_zone_price_multipliers_match(self, engine):
+        trace = aws2()
+        config = ReplayConfig(
+            n_tar=4, zone_price_multipliers={trace.zone_ids[0]: 0.7, trace.zone_ids[1]: 1.3}
+        )
+        ref = replay(trace, spothedge, "discrete", config=config)
+        got = replay(trace, spothedge, engine, config=config)
+        assert_identical(ref, got)
+
+
+class TestChaosEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(BUILTIN_SCENARIOS))
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_builtin_scenarios_byte_identical(self, scenario, engine):
+        trace = aws1()
+        compiled = compile_scenario(builtin_scenario(scenario), trace)
+        kwargs = dict(
+            cold_start_factors=compiled.cold_start_factors,
+            zone_price_factors=compiled.price_factors,
+        )
+        ref = replay(compiled.trace, spothedge, "discrete", **kwargs)
+        got = replay(compiled.trace, spothedge, engine, **kwargs)
+        assert_identical(ref, got)
+
+
+class TestTelemetryEquivalence:
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    @pytest.mark.parametrize("policy", ["SpotHedge", "RoundRobin"])
+    def test_event_streams_identical(self, engine, policy):
+        trace = aws1()
+        factory = POLICY_FACTORIES[policy]
+        streams = []
+        for eng in ("discrete", engine):
+            sink = RingBufferSink()
+            replayer = TraceReplayer(
+                trace, ReplayConfig(n_tar=4), seed=3, engine=eng,
+                telemetry=EventBus([sink]),
+            )
+            replayer.run(factory(trace.zone_ids))
+            streams.append(sink.events)
+        assert streams[0] == streams[1]
+
+    @pytest.mark.parametrize("engine", ["vectorized", "hybrid"])
+    def test_chaos_event_streams_identical(self, engine):
+        trace = aws1()
+        compiled = compile_scenario(builtin_scenario("cold-start-storm"), trace)
+        streams = []
+        for eng in ("discrete", engine):
+            sink = RingBufferSink()
+            replayer = TraceReplayer(
+                compiled.trace, ReplayConfig(n_tar=4), seed=3, engine=eng,
+                telemetry=EventBus([sink]),
+                cold_start_factors=compiled.cold_start_factors,
+                zone_price_factors=compiled.price_factors,
+            )
+            replayer.run(spothedge(compiled.trace.zone_ids))
+            streams.append(sink.events)
+        assert streams[0] == streams[1]
+
+
+class _CountingSpotHedge(MixturePolicy):
+    """SpotHedge that records the step index of every target_mix call."""
+
+    def __init__(self, zones, step):
+        from repro.core.placement import DynamicSpotPlacer
+
+        super().__init__(
+            DynamicSpotPlacer(zones), dynamic_ondemand_fallback=True, name="SpotHedge"
+        )
+        self._obs_step = step
+        self.consulted_steps = []
+
+    def target_mix(self, obs):
+        self.consulted_steps.append(int(obs.now // self._obs_step))
+        return super().target_mix(obs)
+
+
+class TestHybridWindowing:
+    def make_quiet_trace(self, crossing_step=120, n_steps=300):
+        # Plenty of capacity everywhere, except zone 1 collapses to 0
+        # at ``crossing_step`` for 10 steps — the one churn window.
+        rows = np.full((3, n_steps), 6, dtype=np.int64)
+        rows[1, crossing_step : crossing_step + 10] = 0
+        return trace_with(rows.tolist())
+
+    def test_windows_skip_quiescent_steps(self):
+        trace = self.make_quiet_trace()
+        policy = _CountingSpotHedge(ZONES, trace.step)
+        TraceReplayer(trace, ReplayConfig(n_tar=4), engine="hybrid").run(policy)
+        # The hybrid engine consulted the policy on far fewer steps...
+        assert len(policy.consulted_steps) < trace.n_steps / 4
+        # ...including exactly the forced boundary: the capacity
+        # crossing.  Capacity *restoration* is not a churn point — the
+        # fleet re-settled in other zones during the outage — so after
+        # the outage churn dies out, no further steps are consulted.
+        assert 120 in policy.consulted_steps
+        assert max(policy.consulted_steps) < 130
+
+    def test_discrete_consults_every_step(self):
+        trace = self.make_quiet_trace()
+        policy = _CountingSpotHedge(ZONES, trace.step)
+        TraceReplayer(trace, ReplayConfig(n_tar=4)).run(policy)
+        assert len(policy.consulted_steps) == trace.n_steps
+
+    def test_window_boundary_at_chaos_injection_edge(self):
+        # A cold-start spike alone changes nothing unless a launch
+        # happens — force one by a capacity dip inside the spike, and
+        # check the boundary steps were processed discretely.
+        trace = self.make_quiet_trace(crossing_step=150)
+        compiled = compile_scenario(builtin_scenario("cold-start-storm"), trace)
+        policy = _CountingSpotHedge(ZONES, trace.step)
+        got = TraceReplayer(
+            compiled.trace,
+            ReplayConfig(n_tar=4),
+            engine="hybrid",
+            cold_start_factors=compiled.cold_start_factors,
+            zone_price_factors=compiled.price_factors,
+        ).run(policy)
+        assert 150 in policy.consulted_steps
+        ref = TraceReplayer(
+            compiled.trace,
+            ReplayConfig(n_tar=4),
+            cold_start_factors=compiled.cold_start_factors,
+            zone_price_factors=compiled.price_factors,
+        ).run(_CountingSpotHedge(ZONES, trace.step))
+        assert_identical(ref, got)
+
+    def test_windowing_respects_pending_readiness(self):
+        # Cold start of 5 steps: after the initial launches the engine
+        # must wake exactly when replicas become ready (readiness
+        # changes availability), not at the end of the trace.
+        trace = self.make_quiet_trace(crossing_step=50, n_steps=200)
+        config = ReplayConfig(n_tar=4, cold_start=300.0)
+        ref = replay(trace, spothedge, "discrete", config=config)
+        got = replay(trace, spothedge, "hybrid", config=config)
+        assert_identical(ref, got)
+
+    def test_mid_shortage_equivalence(self):
+        # Sustained shortage: total capacity below target — the launch
+        # loop fails every step, so hybrid degrades to per-step churn
+        # but must stay byte-identical.
+        rows = [[1] * 80, [0] * 80, [0] * 80]
+        trace = trace_with(rows)
+        config = ReplayConfig(n_tar=4)
+        ref = replay(trace, round_robin_policy, "discrete", config=config)
+        got = replay(trace, round_robin_policy, "hybrid", config=config)
+        assert_identical(ref, got)
+        assert got.launch_failures > 0
+
+
+class TestBucketStep:
+    @pytest.mark.parametrize("step", [60.0, 1.0, 0.1, 7.3])
+    def test_matches_promotion_comparison(self, step):
+        # bucket_step must return the first k with ready_at <= k*step.
+        for k_launch in range(0, 50, 7):
+            for d in (0.05, 0.1, 1.0, 59.9, 60.0, 180.0, 183.7):
+                ready_at = k_launch * step + d
+                s = bucket_step(ready_at, step)
+                assert s * step >= ready_at
+                assert (s - 1) * step < ready_at
+
+    def test_exact_multiple(self):
+        assert bucket_step(180.0, 60.0) == 3
+        assert bucket_step(180.0000001, 60.0) == 4
+
+
+class TestStatefulReuse:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_second_run_identical(self, engine):
+        trace = aws1()
+        replayer = TraceReplayer(trace, ReplayConfig(n_tar=4), seed=5, engine=engine)
+        first = replayer.run(spothedge(trace.zone_ids))
+        second = replayer.run(spothedge(trace.zone_ids))
+        assert_identical(first, second)
