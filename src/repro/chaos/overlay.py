@@ -157,11 +157,11 @@ def compile_scenario(
             rng = np.random.default_rng(derive_seed(root_seed, label))
             keep = 1.0 - injection.severity
             t = injection.start
-            while t < injection.end:
+            while t < injection.end:  # repro: fixed-draws: pulse outcomes must never shift the draws of later pulses
                 pulse_end = min(t + injection.pulse, injection.end)
-                # Fixed draw count per pulse — systemic/common/per-zone
-                # uniforms are always consumed so outcomes of one pulse
-                # never shift the draws of the next.
+                # Systemic/common/per-zone uniforms are always consumed
+                # (the fixed-draws contract above, enforced by
+                # ``repro lint --deep``).
                 systemic = rng.random() < injection.correlation
                 common_hit = rng.random() < injection.hit_prob
                 zone_u = rng.random(len(rows))

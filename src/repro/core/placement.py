@@ -240,6 +240,10 @@ class EvenSpreadPlacer(SpotPlacer):
 
     name = "even_spread"
 
+    # set_target writes the same quota for the same observation: safe
+    # to reach from a stationary policy's target_mix.
+    stationary_state = frozenset({"_target"})
+
     def __init__(
         self, zones: Sequence[str], zone_costs: Optional[Mapping[str, float]] = None
     ) -> None:

@@ -86,6 +86,10 @@ class MixturePolicy(ServingPolicy):
     # ``audit is None`` before skipping steps.
     stationary_decisions = True
 
+    # The MixTarget interning table: re-running target_mix on an
+    # identical observation rewrites the same key with an equal value.
+    stationary_state = frozenset({"_mix_cache"})
+
     def __init__(
         self,
         placer: SpotPlacer,

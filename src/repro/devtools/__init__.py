@@ -2,10 +2,17 @@
 
 ``repro.devtools`` is deliberately *not* imported by any simulation or
 serving code path: it holds the machinery that keeps the rest of the
-repository honest.  Today that is :mod:`repro.devtools.lint`, an
-AST-based static analyzer that encodes the simulator's determinism and
-hygiene invariants as machine-checked rules (run it with ``repro
-lint``).
+repository honest:
+
+* :mod:`repro.devtools.lint` — a per-file AST static analyzer encoding
+  the simulator's determinism and hygiene invariants as machine-checked
+  rules (run it with ``repro lint``);
+* :mod:`repro.devtools.flow` — the interprocedural layer on top of it:
+  a whole-package symbol table + call graph with passes for RNG-stream
+  taint, policy stationarity, and engine write-surface parity (run with
+  ``repro lint --deep``);
+* :mod:`repro.devtools.perfreg` — the machine-calibrated perf
+  regression gate.
 """
 
 __all__: list[str] = []

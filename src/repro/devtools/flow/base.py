@@ -1,0 +1,60 @@
+"""Shared plumbing for the interprocedural (``--deep``) passes.
+
+Deep findings reuse the shallow engine's :class:`Diagnostic` and
+:class:`Rule` types so they flow through the same report, baseline, and
+JSON machinery.  Deep rule ids live in the reserved ``REPRO-Dxxx``
+range; a ``# repro: noqa[REPRO-Dxxx]: reason`` marker must name the
+deep id explicitly (a bare ``noqa`` never silences whole-program
+findings), and markers must not mix deep and shallow ids — each layer
+checks staleness of its own markers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.devtools.lint.engine import Diagnostic, Rule
+from repro.devtools.flow.project import ModuleInfo
+
+__all__ = ["DEEP_ID_PREFIX", "deep_diag", "deep_rule", "is_deep_id"]
+
+#: Deep rule ids all start with this prefix — the shallow engine uses it
+#: to leave staleness checking of deep-only markers to the flow runner.
+DEEP_ID_PREFIX = "REPRO-D"
+
+
+def is_deep_id(rule_id: str) -> bool:
+    return rule_id.startswith(DEEP_ID_PREFIX)
+
+
+def deep_rule(
+    rule_id: str, name: str, rationale: str, fix_hint: str
+) -> Rule:
+    """A descriptor-only :class:`Rule` (deep passes do their own
+    traversal; the instance carries id/name/rationale for reports)."""
+    rule = Rule()
+    rule.id = rule_id
+    rule.name = name
+    rule.rationale = rationale
+    rule.fix_hint = fix_hint
+    return rule
+
+
+def deep_diag(
+    rule: Rule,
+    module: ModuleInfo,
+    node: Optional[ast.AST],
+    message: str,
+    *,
+    fix_hint: Optional[str] = None,
+) -> Diagnostic:
+    """One deep finding anchored in ``module`` (at ``node`` or line 1)."""
+    return Diagnostic(
+        rule=rule.id,
+        path=module.path,
+        line=getattr(node, "lineno", 1) if node is not None else 1,
+        col=getattr(node, "col_offset", 0) if node is not None else 0,
+        message=message,
+        fix_hint=rule.fix_hint if fix_hint is None else fix_hint,
+    )

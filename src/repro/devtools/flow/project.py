@@ -1,0 +1,681 @@
+"""Project symbol table + call graph for ``repro lint --deep``.
+
+The per-file rule engine (:mod:`repro.devtools.lint.engine`) sees one
+AST at a time, so it cannot answer questions like "does any function
+reachable from ``MixturePolicy.target_mix`` read the wall clock?" or
+"is this Generator pickled into a sweep worker?".  :class:`ProjectIndex`
+parses every module of the package into one structure the
+interprocedural passes (:mod:`repro.devtools.flow.rngflow`,
+:mod:`~repro.devtools.flow.stationarity`,
+:mod:`~repro.devtools.flow.parity`) share:
+
+* :class:`ModuleInfo` — source, AST, and an import table resolving local
+  names to dotted targets (including ``TYPE_CHECKING``-guarded and
+  function-local imports, which matter for annotation resolution);
+* :class:`ClassInfo` — bases (resolved best-effort), methods, class
+  attributes, and *inferred instance-attribute types* from ``__init__``
+  assignments, parameter annotations, and class-body annotations;
+* :class:`FunctionInfo` — every function and method with resolved
+  parameter types;
+* :meth:`ProjectIndex.resolve_call` — call-graph edges covering direct
+  names, ``self.method()``, ``self.attr.method()`` through inferred
+  attribute types with subclass virtual dispatch, annotated-parameter
+  receivers, locally-constructed receivers, ``super()``, module-alias
+  calls, and class construction (edges to ``__init__``).
+
+Everything is best-effort static analysis: unresolvable calls yield no
+edge and the passes decide how conservatively to treat that.  Tests
+build tiny virtual projects with :meth:`ProjectIndex.from_sources`, the
+whole-program analogue of the ``virtual=`` path idiom in
+``tests/devtools``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "attr_chain",
+]
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner: Optional[str] = None  # owning class qname, None for functions
+    param_names: tuple[str, ...] = ()
+    #: parameter name -> resolved dotted type (best effort)
+    param_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, and inferred attribute types."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-body assignments (``name = <expr>`` / annotated), by name
+    class_attrs: dict[str, ast.expr] = field(default_factory=dict)
+    #: instance attribute -> resolved dotted type (best effort)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: instance attribute -> every ``self.attr = <expr>`` value seen
+    attr_assigns: dict[str, list[ast.expr]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its import table."""
+
+    name: str
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+    is_package: bool = False
+    #: local name -> dotted target ("np" -> "numpy", "ServingPolicy" ->
+    #: "repro.serving.policy.ServingPolicy")
+    imports: dict[str, str] = field(default_factory=dict)
+    #: top-level definitions (functions, classes, assignments)
+    defs: set[str] = field(default_factory=set)
+    #: top-level ``name = <expr>`` assignments, by name
+    module_assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+    def in_dir(self, *prefixes: str) -> bool:
+        return any(
+            self.relpath == p or self.relpath.startswith(p) for p in prefixes
+        )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside a function."""
+
+    node: ast.Call
+    chain: tuple[str, ...]
+    #: in-index callee qnames (several under virtual dispatch)
+    targets: tuple[str, ...]
+    #: dotted name outside the index ("numpy.random.default_rng"), when
+    #: the call resolved but not to project code
+    external: Optional[str] = None
+
+
+def _module_relpath(package: str, name: str, is_package: bool) -> str:
+    parts = name.split(".")
+    if parts[0] == package:
+        parts = parts[1:]
+    if not parts:
+        return "__init__.py"
+    if is_package:
+        return "/".join(parts) + "/__init__.py"
+    return "/".join(parts) + ".py"
+
+
+class ProjectIndex:
+    """Whole-package symbol table + call graph."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._direct_subclasses: dict[str, set[str]] = {}
+        self._local_types: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_package(cls, root: str | Path) -> "ProjectIndex":
+        """Index every ``*.py`` under the package directory ``root``."""
+        root_path = Path(root)
+        package = root_path.name
+        sources: dict[str, str] = {}
+        paths: dict[str, str] = {}
+        packages: set[str] = set()
+        for path in sorted(root_path.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(root_path)
+            parts = list(rel.parts)
+            if parts[-1] == "__init__.py":
+                parts = parts[:-1]
+                name = ".".join([package, *parts])
+                packages.add(name)
+            else:
+                parts[-1] = parts[-1][:-3]
+                name = ".".join([package, *parts])
+            sources[name] = path.read_text(encoding="utf-8")
+            paths[name] = str(path)
+        return cls._build(package, sources, paths, packages)
+
+    @classmethod
+    def from_sources(
+        cls, sources: Mapping[str, str], package: str = "repro"
+    ) -> "ProjectIndex":
+        """Index an in-memory project: ``{module name: source}``.
+
+        The whole-program analogue of linting fixture code under a
+        ``virtual=`` path — tests hand in small synthetic packages whose
+        module names place them in scoped directories (``repro.core.x``
+        lives at ``core/x.py``).
+        """
+        return cls._build(package, dict(sources), None, set())
+
+    @classmethod
+    def _build(
+        cls,
+        package: str,
+        sources: dict[str, str],
+        paths: Optional[dict[str, str]],
+        packages: set[str],
+    ) -> "ProjectIndex":
+        index = cls(package)
+        for name in sorted(sources):
+            source = sources[name]
+            try:
+                tree = ast.parse(source, filename=name)
+            except SyntaxError:
+                continue  # the shallow engine reports REPRO-P000
+            is_package = name in packages
+            relpath = _module_relpath(package, name, is_package)
+            module = ModuleInfo(
+                name=name,
+                path=paths[name] if paths else relpath,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                is_package=is_package,
+            )
+            index.modules[name] = module
+            index._collect_module(module)
+        index._resolve_second_phase()
+        return index
+
+    def _collect_module(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports.setdefault(local, f"{base}.{alias.name}")
+        for stmt in module.tree.body:
+            if isinstance(stmt, _FUNC_DEFS):
+                module.defs.add(stmt.name)
+                self._add_function(module, stmt, owner=None)
+            elif isinstance(stmt, ast.ClassDef):
+                module.defs.add(stmt.name)
+                self._add_class(module, stmt)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module.defs.add(target.id)
+                        module.module_assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                module.defs.add(stmt.target.id)
+                if stmt.value is not None:
+                    module.module_assigns[stmt.target.id] = stmt.value
+
+    @staticmethod
+    def _import_base(
+        module: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        parts = module.name.split(".")
+        if not module.is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            parts = parts[: len(parts) - drop] if drop <= len(parts) else []
+        if not parts:
+            return node.module
+        base = ".".join(parts)
+        return f"{base}.{node.module}" if node.module else base
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: Optional[str],
+    ) -> FunctionInfo:
+        qname = (
+            f"{owner}.{node.name}" if owner else f"{module.name}.{node.name}"
+        )
+        args = node.args
+        params = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        info = FunctionInfo(
+            qname=qname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            owner=owner,
+            param_names=tuple(a.arg for a in params),
+        )
+        self.functions[qname] = info
+        return info
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qname = f"{module.name}.{node.name}"
+        info = ClassInfo(
+            qname=qname, module=module.name, name=node.name, node=node
+        )
+        self.classes[qname] = info
+        for stmt in node.body:
+            if isinstance(stmt, _FUNC_DEFS):
+                info.methods[stmt.name] = self._add_function(
+                    module, stmt, owner=qname
+                )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.class_attrs[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.value is not None:
+                    info.class_attrs[stmt.target.id] = stmt.value
+                ann = self.resolve_annotation_late(module, stmt.annotation)
+                if ann:
+                    info.attr_types.setdefault(stmt.target.id, ann)
+
+    # Annotations in the class body are resolved before all imports are
+    # in: do it lazily via a tiny deferral (second phase re-resolves).
+    def resolve_annotation_late(
+        self, module: ModuleInfo, node: Optional[ast.expr]
+    ) -> Optional[str]:
+        return self.resolve_annotation(module, node)
+
+    def _resolve_second_phase(self) -> None:
+        for info in self.classes.values():
+            module = self.modules[info.module]
+            bases: list[str] = []
+            for base in info.node.bases:
+                chain = attr_chain(base)
+                if not chain:
+                    continue
+                resolved = self.resolve_name(module, chain)
+                bases.append(resolved or ".".join(chain))
+            info.bases = tuple(bases)
+            for base in bases:
+                self._direct_subclasses.setdefault(base, set()).add(
+                    info.qname
+                )
+        for fn in self.functions.values():
+            module = self.modules[fn.module]
+            args = fn.node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                resolved = self.resolve_annotation(module, arg.annotation)
+                if resolved:
+                    fn.param_types[arg.arg] = resolved
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        module = self.modules[info.module]
+        for method in info.methods.values():
+            for node in ast.walk(method.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        ann = self.resolve_annotation(module, node.annotation)
+                        if ann:
+                            info.attr_types.setdefault(target.attr, ann)
+                if (
+                    target is None
+                    or not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                if value is not None:
+                    info.attr_assigns.setdefault(target.attr, []).append(
+                        value
+                    )
+                    inferred = self._infer_value_type(module, method, value)
+                    if inferred:
+                        info.attr_types.setdefault(target.attr, inferred)
+
+    def _infer_value_type(
+        self, module: ModuleInfo, fn: FunctionInfo, value: ast.expr
+    ) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            chain = attr_chain(value.func)
+            if chain:
+                resolved = self.resolve_name(module, chain)
+                if resolved and resolved in self.classes:
+                    return resolved
+            return None
+        if isinstance(value, ast.Name):
+            return fn.param_types.get(value.id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Name / annotation resolution
+    # ------------------------------------------------------------------
+    def resolve_name(
+        self, module: ModuleInfo, chain: Sequence[str]
+    ) -> Optional[str]:
+        """Resolve a dotted name chain in ``module`` to a project or
+        external dotted qname (following package re-exports)."""
+        if not chain:
+            return None
+        head = chain[0]
+        if head in module.defs:
+            base = f"{module.name}.{head}"
+        elif head in module.imports:
+            base = module.imports[head]
+        else:
+            return None
+        full = ".".join([base, *chain[1:]])
+        return self._follow_reexports(full)
+
+    def _follow_reexports(self, qname: str) -> str:
+        for _ in range(4):
+            if (
+                qname in self.functions
+                or qname in self.classes
+                or qname in self.modules
+            ):
+                return qname
+            head, _, last = qname.rpartition(".")
+            owner = self.modules.get(head)
+            if owner is None or last not in owner.imports:
+                return qname
+            qname = owner.imports[last]
+        return qname
+
+    def resolve_annotation(
+        self, module: ModuleInfo, node: Optional[ast.expr]
+    ) -> Optional[str]:
+        """Dotted type named by an annotation (unwrapping ``Optional``/
+        ``Union``/``X | None`` and quoted forward references)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            base = attr_chain(node.value)
+            if base and base[-1] in ("Optional", "Union"):
+                elements = (
+                    list(node.slice.elts)
+                    if isinstance(node.slice, ast.Tuple)
+                    else [node.slice]
+                )
+                for element in elements:
+                    if isinstance(element, ast.Constant) and element.value is None:
+                        continue
+                    resolved = self.resolve_annotation(module, element)
+                    if resolved:
+                        return resolved
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            for side in (node.left, node.right):
+                if isinstance(side, ast.Constant) and side.value is None:
+                    continue
+                resolved = self.resolve_annotation(module, side)
+                if resolved:
+                    return resolved
+            return None
+        chain = attr_chain(node)
+        if not chain:
+            return None
+        resolved = self.resolve_name(module, chain)
+        return resolved or ".".join(chain)
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+    def mro(self, qname: str) -> list[ClassInfo]:
+        """Linearised ancestry within the index (approximate MRO)."""
+        out: list[ClassInfo] = []
+        queue, seen = [qname], set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            out.append(info)
+            queue.extend(info.bases)
+        return out
+
+    def transitive_subclasses(self, qname: str) -> set[str]:
+        out: set[str] = set()
+        queue = [qname]
+        while queue:
+            for sub in self._direct_subclasses.get(queue.pop(), ()):
+                if sub not in out:
+                    out.add(sub)
+                    queue.append(sub)
+        return out
+
+    def lookup_method(
+        self, cls_qname: str, name: str
+    ) -> Optional[FunctionInfo]:
+        for info in self.mro(cls_qname):
+            if name in info.methods:
+                return info.methods[name]
+        return None
+
+    def attr_type(self, cls_qname: str, attr: str) -> Optional[str]:
+        for info in self.mro(cls_qname):
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def attr_assignments(self, cls_qname: str, attr: str) -> list[ast.expr]:
+        out: list[ast.expr] = []
+        for info in self.mro(cls_qname):
+            out.extend(info.attr_assigns.get(attr, ()))
+        return out
+
+    def class_attr(
+        self, cls_qname: str, attr: str
+    ) -> Optional[ast.expr]:
+        for info in self.mro(cls_qname):
+            if attr in info.class_attrs:
+                return info.class_attrs[attr]
+        return None
+
+    def virtual_targets(
+        self, cls_qname: str, method: str
+    ) -> list[FunctionInfo]:
+        """``method`` resolved on ``cls_qname`` *and* every subclass —
+        the static over-approximation of virtual dispatch."""
+        out: list[FunctionInfo] = []
+        seen: set[str] = set()
+        for candidate in [cls_qname, *sorted(self.transitive_subclasses(cls_qname))]:
+            target = self.lookup_method(candidate, method)
+            if target is not None and target.qname not in seen:
+                seen.add(target.qname)
+                out.append(target)
+        return out
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+    def _function_local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Parameter types plus locally-constructed receiver types."""
+        cached = self._local_types.get(fn.qname)
+        if cached is not None:
+            return cached
+        module = self.modules[fn.module]
+        env = dict(fn.param_types)
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            inferred = self._infer_value_type(module, fn, node.value)
+            if inferred:
+                env.setdefault(target.id, inferred)
+        self._local_types[fn.qname] = env
+        return env
+
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call) -> CallSite:
+        """Resolve one call expression inside ``fn`` to callee(s)."""
+        chain = tuple(attr_chain(call.func))
+        # super().method(...)
+        if (
+            not chain
+            and isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Call)
+            and isinstance(call.func.value.func, ast.Name)
+            and call.func.value.func.id == "super"
+            and fn.owner is not None
+        ):
+            ancestry = self.mro(fn.owner)[1:]
+            for info in ancestry:
+                if call.func.attr in info.methods:
+                    target = info.methods[call.func.attr]
+                    return CallSite(
+                        node=call,
+                        chain=("super", call.func.attr),
+                        targets=(target.qname,),
+                    )
+            return CallSite(node=call, chain=("super", call.func.attr), targets=())
+        if not chain:
+            return CallSite(node=call, chain=(), targets=())
+        module = self.modules[fn.module]
+        if chain[0] == "self" and fn.owner is not None:
+            if len(chain) == 2:
+                target = self.lookup_method(fn.owner, chain[1])
+                return CallSite(
+                    node=call,
+                    chain=chain,
+                    targets=(target.qname,) if target else (),
+                )
+            if len(chain) == 3:
+                attr_cls = self.attr_type(fn.owner, chain[1])
+                if attr_cls and attr_cls in self.classes:
+                    targets = tuple(
+                        t.qname
+                        for t in self.virtual_targets(attr_cls, chain[2])
+                    )
+                    return CallSite(node=call, chain=chain, targets=targets)
+            return CallSite(node=call, chain=chain, targets=())
+        local_types = self._function_local_types(fn)
+        if len(chain) >= 2 and chain[0] in local_types:
+            receiver = local_types[chain[0]]
+            if receiver in self.classes:
+                if len(chain) == 2:
+                    targets = tuple(
+                        t.qname
+                        for t in self.virtual_targets(receiver, chain[1])
+                    )
+                    return CallSite(node=call, chain=chain, targets=targets)
+                if len(chain) == 3:
+                    attr_cls = self.attr_type(receiver, chain[1])
+                    if attr_cls and attr_cls in self.classes:
+                        targets = tuple(
+                            t.qname
+                            for t in self.virtual_targets(attr_cls, chain[2])
+                        )
+                        return CallSite(
+                            node=call, chain=chain, targets=targets
+                        )
+            return CallSite(node=call, chain=chain, targets=())
+        resolved = self.resolve_name(module, chain)
+        if resolved is None:
+            return CallSite(node=call, chain=chain, targets=())
+        if resolved in self.functions:
+            return CallSite(node=call, chain=chain, targets=(resolved,))
+        if resolved in self.classes:
+            init = self.lookup_method(resolved, "__init__")
+            return CallSite(
+                node=call,
+                chain=chain,
+                targets=(init.qname,) if init else (),
+                external=resolved,
+            )
+        return CallSite(node=call, chain=chain, targets=(), external=resolved)
+
+    def iter_calls(self, fn: FunctionInfo) -> Iterator[CallSite]:
+        """Every call expression in ``fn`` (nested defs included)."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                yield self.resolve_call(fn, node)
+
+    def reachable(
+        self,
+        entries: Sequence[str],
+        *,
+        exclude_dirs: tuple[str, ...] = (),
+    ) -> set[str]:
+        """Function qnames reachable from ``entries`` through resolved
+        call edges, never descending into ``exclude_dirs`` modules."""
+        seen: set[str] = set()
+        queue = [q for q in entries if q in self.functions]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            fn = self.functions.get(current)
+            if fn is None:
+                continue
+            if exclude_dirs and self.modules[fn.module].in_dir(*exclude_dirs):
+                continue
+            seen.add(current)
+            for site in self.iter_calls(fn):
+                queue.extend(t for t in site.targets if t not in seen)
+        return seen

@@ -1,0 +1,161 @@
+"""Pass registry, deep-marker suppression, and the ``--deep`` runner.
+
+``run_deep`` executes the interprocedural passes over a
+:class:`~repro.devtools.flow.project.ProjectIndex` and returns an
+ordinary :class:`~repro.devtools.lint.engine.LintReport`, so deep
+findings flow through the same rendering, budget, JSON, and baseline
+machinery as the per-file rules.
+
+Suppression interop: deep findings are silenced only by a
+``# repro: noqa[REPRO-Dxxx]: reason`` marker that names the deep id —
+a bare ``noqa`` never silences a whole-program finding (the finding
+often points at code far from its cause, and a blanket marker there
+would also eat future shallow findings).  The shallow engine skips its
+staleness check for deep-only markers; this runner performs it instead,
+and flags markers that mix deep and shallow ids (each layer must be
+able to account for its own markers).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.devtools.flow.base import deep_diag, deep_rule, is_deep_id
+from repro.devtools.flow.parity import RULES as PARITY_RULES, ParityPass
+from repro.devtools.flow.project import ProjectIndex
+from repro.devtools.flow.rngflow import RULES as RNG_RULES, RngFlowPass
+from repro.devtools.flow.stationarity import (
+    RULES as STATIONARITY_RULES,
+    StationarityPass,
+)
+from repro.devtools.lint.engine import (
+    UNUSED_SUPPRESSION_ID,
+    Diagnostic,
+    LintReport,
+    Rule,
+    scan_noqa_markers,
+)
+
+__all__ = ["ALL_DEEP_RULES", "PASS_NAMES", "make_passes", "run_deep"]
+
+MIXED_MARKER_RULE = deep_rule(
+    "REPRO-D000",
+    "mixed-suppression",
+    "A noqa marker mixing deep (REPRO-Dxxx) and shallow rule ids cannot "
+    "be staleness-checked by either layer alone.",
+    "split into one marker per layer",
+)
+
+_PASS_FACTORIES = {
+    "rng-taint": RngFlowPass,
+    "stationarity": StationarityPass,
+    "engine-parity": ParityPass,
+}
+
+#: Pass names in execution order (also the ``--pass`` vocabulary).
+PASS_NAMES: tuple[str, ...] = tuple(_PASS_FACTORIES)
+
+#: Every deep rule, for ``--format json`` rule descriptors.
+ALL_DEEP_RULES: tuple[Rule, ...] = (
+    MIXED_MARKER_RULE,
+    *RNG_RULES,
+    *STATIONARITY_RULES,
+    *PARITY_RULES,
+)
+
+
+def make_passes(names: Optional[Sequence[str]] = None) -> list:
+    """Instantiate the selected passes (all, in order, by default)."""
+    selected = list(names) if names else list(PASS_NAMES)
+    passes = []
+    for name in selected:
+        factory = _PASS_FACTORIES.get(name)
+        if factory is None:
+            known = ", ".join(PASS_NAMES)
+            raise KeyError(f"unknown flow pass {name!r}; known: {known}")
+        if factory not in [type(p) for p in passes]:
+            passes.append(factory())
+    return passes
+
+
+def run_deep(
+    index: ProjectIndex,
+    pass_names: Optional[Sequence[str]] = None,
+    *,
+    passes: Optional[Sequence] = None,
+) -> LintReport:
+    """Run the interprocedural passes and apply deep suppressions."""
+    active = list(passes) if passes is not None else make_passes(pass_names)
+    found: list[Diagnostic] = []
+    for flow_pass in active:
+        found.extend(flow_pass.run(index))
+    found = _apply_deep_suppressions(index, found)
+    report = LintReport(diagnostics=found, files_checked=len(index.modules))
+    report.sort()
+    return report
+
+
+def _apply_deep_suppressions(
+    index: ProjectIndex, found: list[Diagnostic]
+) -> list[Diagnostic]:
+    by_path: dict[str, list[Diagnostic]] = {}
+    for diagnostic in found:
+        by_path.setdefault(diagnostic.path, []).append(diagnostic)
+    modules_by_path = {m.path: m for m in index.modules.values()}
+    out: list[Diagnostic] = []
+    for module in index.modules.values():
+        markers = scan_noqa_markers(module.source)
+        deep_markers = {
+            lineno: ids
+            for lineno, (ids, _) in markers.items()
+            if ids is not None and any(is_deep_id(i) for i in ids)
+        }
+        used: set[int] = set()
+        for diagnostic in by_path.get(module.path, ()):
+            ids = deep_markers.get(diagnostic.line)
+            if ids is not None and diagnostic.rule in ids:
+                used.add(diagnostic.line)
+                out.append(replace(diagnostic, suppressed=True))
+            else:
+                out.append(diagnostic)
+        for lineno, ids in sorted(deep_markers.items()):
+            if not all(is_deep_id(i) for i in ids):
+                out.append(
+                    deep_diag(
+                        MIXED_MARKER_RULE,
+                        module,
+                        _line_anchor(lineno),
+                        f"suppression mixes deep and shallow rule ids "
+                        f"({', '.join(sorted(ids))}) — split into one "
+                        f"marker per layer",
+                    )
+                )
+                continue
+            if lineno not in used:
+                out.append(
+                    Diagnostic(
+                        rule=UNUSED_SUPPRESSION_ID,
+                        path=module.path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"suppression of {','.join(sorted(ids))} "
+                            f"matches no deep diagnostic"
+                        ),
+                        fix_hint="delete the stale '# repro: noqa' marker",
+                    )
+                )
+    # diagnostics whose path is outside the index (none today) pass through
+    for path, diagnostics in by_path.items():
+        if path not in modules_by_path:
+            out.extend(diagnostics)
+    return out
+
+
+def _line_anchor(lineno: int) -> ast.AST:
+    anchor = ast.Pass()
+    anchor.lineno = lineno
+    anchor.col_offset = 0
+    return anchor

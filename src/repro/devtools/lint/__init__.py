@@ -19,6 +19,12 @@ Public surface:
   :func:`~repro.devtools.lint.engine.lint_paths` — entry points;
 * :data:`~repro.devtools.lint.rules.ALL_RULES` — the default rule pack;
 * :func:`~repro.devtools.lint.cli.run` — the ``repro lint`` command.
+
+The whole-program layer — ``repro lint --deep``, which checks the
+*interprocedural* contracts (RNG-stream taint, policy stationarity,
+engine write-surface parity) over a package call graph — lives in
+:mod:`repro.devtools.flow` and reuses this package's ``Diagnostic`` /
+``LintReport`` / baseline machinery.
 """
 
 from repro.devtools.lint.engine import (

@@ -71,6 +71,21 @@ def add_lint_args(parser: argparse.ArgumentParser) -> None:
         help="lint only files changed vs git HEAD (plus untracked)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural flow passes (whole-program "
+        "RNG-taint, stationarity, and engine-parity analysis)",
+    )
+    parser.add_argument(
+        "--pass",
+        action="append",
+        default=None,
+        dest="deep_pass",
+        metavar="NAME",
+        help="with --deep: run only this flow pass (repeatable; one of "
+        "rng-taint, stationarity, engine-parity)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule pack and exit",
@@ -116,7 +131,26 @@ def run(args: argparse.Namespace) -> int:
         except KeyError as exc:
             raise SystemExit(str(exc.args[0]))
 
+    if args.deep_pass and not args.deep:
+        raise SystemExit("--pass requires --deep")
+    if args.deep:
+        # Flow passes analyse the whole program; a file subset would
+        # silently hide cross-module findings.
+        if args.paths:
+            raise SystemExit("--deep analyses the whole package; drop paths")
+        if args.changed:
+            raise SystemExit("--deep cannot be combined with --changed")
+        if args.rule:
+            raise SystemExit(
+                "--deep cannot be combined with --rule; use --pass to "
+                "select flow passes"
+            )
+
     if args.list_rules:
+        if args.deep:
+            from repro.devtools.flow import ALL_DEEP_RULES
+
+            rules = (*rules, *ALL_DEEP_RULES)
         for rule in rules:
             print(f"{rule.id}  {rule.name}")
             print(f"    {rule.rationale}")
@@ -147,6 +181,31 @@ def run(args: argparse.Namespace) -> int:
     if args.rule:
         report = report.filter_rules([rule.id for rule in rules])
 
+    deep_extra = None
+    if args.deep:
+        from repro.devtools.flow import (
+            ALL_DEEP_RULES,
+            ProjectIndex,
+            run_deep,
+        )
+
+        index = ProjectIndex.from_package(default_target())
+        try:
+            deep_report = run_deep(index, args.deep_pass)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        # Merge diagnostics only: both reports walked the same package,
+        # so LintReport.extend would double-count files_checked.
+        report.diagnostics.extend(deep_report.diagnostics)
+        report.sort()
+        rules = (*rules, *ALL_DEEP_RULES)
+        deep_extra = {
+            "deep": {
+                "passes": sorted(args.deep_pass or _all_pass_names()),
+                "modules_indexed": len(index.modules),
+            }
+        }
+
     if args.baseline:
         baseline_path = Path(args.baseline)
         if baseline_path.exists():
@@ -162,7 +221,15 @@ def run(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return render_report(report, rules, args.format, args.budget)
+    return render_report(
+        report, rules, args.format, args.budget, extra=deep_extra
+    )
+
+
+def _all_pass_names() -> list[str]:
+    from repro.devtools.flow import PASS_NAMES
+
+    return list(PASS_NAMES)
 
 
 def render_report(
@@ -170,10 +237,11 @@ def render_report(
     rules: Sequence,
     fmt: str,
     budget: int,
+    extra: Optional[dict] = None,
 ) -> int:
     unsuppressed = report.unsuppressed
     if fmt == "json":
-        print(report.to_json(rules=rules))
+        print(report.to_json(rules=rules, extra=extra))
     else:
         for diagnostic in unsuppressed:
             print(diagnostic.render())

@@ -40,6 +40,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "scan_noqa_markers",
 ]
 
 #: The suppression marker (bare or with a bracketed rule-id list, plus
@@ -52,6 +53,11 @@ _NOQA_RE = re.compile(
 PARSE_ERROR_ID = "REPRO-P000"
 BARE_SUPPRESSION_ID = "REPRO-N000"
 UNUSED_SUPPRESSION_ID = "REPRO-N001"
+
+#: Interprocedural (``repro lint --deep``) rule ids.  Markers naming
+#: only deep ids are staleness-checked by the flow runner, not here —
+#: the per-file engine cannot see whole-program findings.
+_DEEP_ID_PREFIX = "REPRO-D"
 
 META_RULES: dict[str, str] = {
     PARSE_ERROR_ID: "file does not parse",
@@ -201,10 +207,18 @@ class LintReport:
         ]
         return LintReport(diagnostics=out, files_checked=self.files_checked)
 
-    def to_json(self, *, rules: Sequence[Rule] = ()) -> str:
+    def to_json(
+        self,
+        *,
+        rules: Sequence[Rule] = (),
+        extra: Optional[dict] = None,
+    ) -> str:
         """Deterministic machine-readable form (stable key order, stable
-        diagnostic order) — the contract ``--format json`` tests pin."""
-        payload = {
+        diagnostic order) — the contract ``--format json`` tests pin.
+        ``extra`` merges additional top-level keys (``--deep`` adds a
+        ``deep`` section); without it the payload is byte-identical to
+        the pre-deep format."""
+        payload: dict = {
             "version": 1,
             "files_checked": self.files_checked,
             "counts": {
@@ -223,6 +237,8 @@ class LintReport:
                 )
             ],
         }
+        if extra:
+            payload.update(extra)
         return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -268,23 +284,38 @@ def _comment_lines(source: str) -> dict[int, str]:
     return comments
 
 
-def _apply_suppressions(
-    found: list[Diagnostic], ctx: FileContext
-) -> list[Diagnostic]:
-    """Resolve ``# repro: noqa`` markers and lint the markers themselves."""
-    markers: dict[int, tuple[Optional[set[str]], bool]] = {}
-    for lineno, line in sorted(_comment_lines(ctx.source).items()):
+def scan_noqa_markers(
+    source: str,
+) -> dict[int, tuple[Optional[frozenset[str]], bool]]:
+    """Parse every ``# repro: noqa`` marker in ``source``.
+
+    Returns ``{lineno: (rule ids or None for a bare marker, justified)}``
+    — shared by the per-file suppression pass here and the deep-marker
+    pass in :mod:`repro.devtools.flow.runner`.
+    """
+    markers: dict[int, tuple[Optional[frozenset[str]], bool]] = {}
+    for lineno, line in sorted(_comment_lines(source).items()):
         match = _NOQA_RE.search(line)
         if match is None:
             continue
         ids_raw = match.group("ids")
         ids = (
-            {part.strip() for part in ids_raw.split(",") if part.strip()}
+            frozenset(
+                part.strip() for part in ids_raw.split(",") if part.strip()
+            )
             if ids_raw is not None
             else None
         )
         justification = match.group("rest").strip().lstrip(":-—– ").strip()
         markers[lineno] = (ids, bool(justification))
+    return markers
+
+
+def _apply_suppressions(
+    found: list[Diagnostic], ctx: FileContext
+) -> list[Diagnostic]:
+    """Resolve ``# repro: noqa`` markers and lint the markers themselves."""
+    markers = scan_noqa_markers(ctx.source)
 
     used: set[int] = set()
     out: list[Diagnostic] = []
@@ -314,6 +345,12 @@ def _apply_suppressions(
                 )
             )
         if lineno not in used:
+            if ids is not None and any(
+                i.startswith(_DEEP_ID_PREFIX) for i in ids
+            ):
+                # Deep-rule markers: staleness belongs to the flow
+                # runner, which can actually match them.
+                continue
             label = ",".join(sorted(ids)) if ids else "all rules"
             out.append(
                 Diagnostic(

@@ -38,7 +38,16 @@ __all__ = ["ALL_RULES", "rules_by_id"]
 #: code whose outputs are cached and compared across runs, plus the
 #: telemetry layer (metric aggregation must never perturb or depend on
 #: global RNG state).
-SEEDED_DIRS = ("core/", "sim/", "baselines/", "experiments/", "chaos/", "telemetry/")
+SEEDED_DIRS = (
+    "core/",
+    "sim/",
+    "baselines/",
+    "experiments/",
+    "chaos/",
+    "telemetry/",
+    "serving/",
+    "workloads/",
+)
 
 #: ``numpy.random`` module-level convenience functions: all of them
 #: draw from the hidden global RNG.

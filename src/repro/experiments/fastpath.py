@@ -285,7 +285,7 @@ def run_fastpath(
         # 1. Preemptions from capacity - count row math; victim subsets
         # drawn by the identical partial Fisher–Yates procedure (and
         # the identical whole-zone wipe shortcut) as the oracle.
-        for zi in range(n_zones):
+        for zi in range(n_zones):  # repro: draw-parity[victim-sampling]: oracle (replay.py) must draw the identical victim skeleton
             count = sizes[zi]
             if count == 0:
                 continue

@@ -364,7 +364,7 @@ class TraceReplayer:
                 t_mark = t_now
 
             # 1. Inject preemptions: per zone, capacity below placements.
-            for zone, caps, in_zone in zone_state:
+            for zone, caps, in_zone in zone_state:  # repro: draw-parity[victim-sampling]: fastpath must draw the identical victim skeleton
                 count = zone_count[zone]
                 if count == 0:
                     continue

@@ -102,6 +102,17 @@ class ServingPolicy(abc.ABC):
     #: (e.g. MArk's sliding prediction window) must leave it ``False``.
     stationary_decisions: bool = False
 
+    #: Instance attributes a stationary policy (or its helpers) may
+    #: mutate inside :meth:`target_mix` without breaking the
+    #: ``stationary_decisions`` contract — caches and interning tables
+    #: whose mutation is idempotent under repeated identical
+    #: observations.  Unioned across the MRO; verified statically by
+    #: ``repro lint --deep`` (pass ``stationarity``): any other write
+    #: reachable from the decision surface of a stationary policy is a
+    #: ``REPRO-D201`` finding, and entries that no reachable method
+    #: writes are flagged stale (``REPRO-D203``).
+    stationary_state: frozenset = frozenset()
+
     def attach_audit(self, audit: PolicyAuditLog) -> None:
         """Start recording this policy's decisions into ``audit``.
 

@@ -1,0 +1,176 @@
+"""Engine-parity pass (``REPRO-D301``/``D302``) on fixture engine pairs.
+
+Fixture modules are named ``repro.experiments.replay`` /
+``repro.experiments.fastpath`` so the default surfaces pick them up
+exactly as they pick up the real engines.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.flow import ParityPass, ProjectIndex
+
+
+def _findings(**modules: str) -> list:
+    index = ProjectIndex.from_sources(
+        {name: textwrap.dedent(source) for name, source in modules.items()}
+    )
+    return ParityPass().run(index)
+
+
+def _rules(found: list) -> list[str]:
+    return [d.rule for d in found]
+
+
+def test_engine_divergent_result_field_is_flagged() -> None:
+    """Acceptance fixture: the discrete path writes ``preemptions``,
+    the fastpath forgets it."""
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            from repro.experiments.results import ReplayResult
+
+            def run():
+                return ReplayResult(availability=1.0, preemptions=3)
+            """,
+            "repro.experiments.fastpath": """
+            from repro.experiments.results import ReplayResult
+
+            def run_fast():
+                return ReplayResult(availability=1.0)
+            """,
+        }
+    )
+    assert _rules(found) == ["REPRO-D301"]
+    diagnostic = found[0]
+    assert "'preemptions'" in diagnostic.message
+    assert "discrete" in diagnostic.message
+    assert "fastpath" in diagnostic.message
+    assert diagnostic.path == "experiments/fastpath.py"
+
+
+def test_matching_result_fields_are_clean() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            from repro.experiments.results import ReplayResult
+
+            def run():
+                return ReplayResult(availability=1.0, preemptions=3)
+            """,
+            "repro.experiments.fastpath": """
+            from repro.experiments.results import ReplayResult
+
+            def run_fast():
+                return ReplayResult(availability=0.5, preemptions=0)
+            """,
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_single_surface_writer_is_not_compared() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            from repro.experiments.results import ReplayResult
+
+            def run():
+                return ReplayResult(availability=1.0)
+            """,
+            "repro.experiments.fastpath": """
+            def run_fast():
+                return None
+            """,
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_event_emitted_by_one_path_only_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            from repro.telemetry.events import Preempted, Promoted
+
+            def run(bus):
+                bus.emit(Preempted(zone="a"))
+                bus.emit(Promoted(zone="a"))
+            """,
+            "repro.experiments.fastpath": """
+            from repro.telemetry.events import Preempted
+
+            def run_fast(bus):
+                bus.emit(Preempted(zone="a"))
+            """,
+        }
+    )
+    assert _rules(found) == ["REPRO-D301"]
+    assert "'Promoted'" in found[0].message
+    assert found[0].path == "experiments/fastpath.py"
+
+
+def test_cross_function_unordered_iteration_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            def active_zones(fleet):
+                return {inst.zone for inst in fleet}
+
+            def run(fleet, out):
+                for zone in active_zones(fleet):
+                    out.append(zone)
+            """,
+            "repro.experiments.fastpath": """
+            def run_fast():
+                return None
+            """,
+        }
+    )
+    assert _rules(found) == ["REPRO-D302"]
+    assert "active_zones" in found[0].message
+
+
+def test_unordered_return_propagates_through_wrappers() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            def raw_zones(fleet):
+                return set(fleet)
+
+            def zones(fleet):
+                return raw_zones(fleet)
+
+            def run(fleet, out):
+                for zone in zones(fleet):
+                    out.append(zone)
+            """,
+            "repro.experiments.fastpath": """
+            def run_fast():
+                return None
+            """,
+        }
+    )
+    assert _rules(found) == ["REPRO-D302"]
+    assert "raw_zones" in found[0].message
+
+
+def test_sorted_iteration_over_set_return_is_clean() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.replay": """
+            def active_zones(fleet):
+                return {inst.zone for inst in fleet}
+
+            def run(fleet, out):
+                for zone in sorted(active_zones(fleet)):
+                    out.append(zone)
+            """,
+            "repro.experiments.fastpath": """
+            def run_fast():
+                return None
+            """,
+        }
+    )
+    assert _rules(found) == []

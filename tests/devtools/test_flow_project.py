@@ -1,0 +1,247 @@
+"""Symbol table + call graph builder (``repro.devtools.flow.project``).
+
+Synthetic in-memory packages via ``ProjectIndex.from_sources`` — the
+whole-program analogue of linting fixtures under a ``virtual=`` path:
+module names place the code in scoped directories (``repro.core.x``
+lives at ``core/x.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.flow import ProjectIndex
+
+
+def _index(**modules: str) -> ProjectIndex:
+    return ProjectIndex.from_sources(
+        {name: textwrap.dedent(source) for name, source in modules.items()}
+    )
+
+
+def test_modules_classes_functions_are_indexed() -> None:
+    index = _index(
+        **{
+            "repro.core.alpha": """
+            class Widget:
+                def spin(self) -> int:
+                    return 1
+
+            def helper() -> int:
+                return 2
+            """
+        }
+    )
+    module = index.modules["repro.core.alpha"]
+    assert module.relpath == "core/alpha.py"
+    assert module.in_dir("core/") and not module.in_dir("sim/")
+    assert "repro.core.alpha.Widget" in index.classes
+    assert "repro.core.alpha.Widget.spin" in index.functions
+    assert "repro.core.alpha.helper" in index.functions
+    spin = index.functions["repro.core.alpha.Widget.spin"]
+    assert spin.owner == "repro.core.alpha.Widget"
+
+
+def test_import_resolution_follows_reexports() -> None:
+    index = _index(
+        **{
+            "repro.core.impl": """
+            def work() -> int:
+                return 1
+            """,
+            "repro.core": """
+            from repro.core.impl import work
+            """,
+            "repro.sim.user": """
+            from repro.core import work
+
+            def caller() -> int:
+                return work()
+            """,
+        }
+    )
+    user = index.modules["repro.sim.user"]
+    resolved = index.resolve_name(user, ["work"])
+    assert resolved == "repro.core.impl.work"
+    caller = index.functions["repro.sim.user.caller"]
+    sites = list(index.iter_calls(caller))
+    assert any("repro.core.impl.work" in s.targets for s in sites)
+
+
+def test_relative_imports_resolve() -> None:
+    index = _index(
+        **{
+            "repro.core.a": """
+            def shared() -> int:
+                return 3
+            """,
+            "repro.core.b": """
+            from .a import shared
+
+            def use() -> int:
+                return shared()
+            """,
+        }
+    )
+    use = index.functions["repro.core.b.use"]
+    sites = list(index.iter_calls(use))
+    assert any("repro.core.a.shared" in s.targets for s in sites)
+
+
+def test_mro_and_virtual_dispatch() -> None:
+    index = _index(
+        **{
+            "repro.core.shapes": """
+            class Base:
+                def area(self) -> int:
+                    return 0
+
+            class Square(Base):
+                def area(self) -> int:
+                    return 4
+
+            class Cube(Square):
+                pass
+            """
+        }
+    )
+    mro = [c.qname for c in index.mro("repro.core.shapes.Cube")]
+    assert mro == [
+        "repro.core.shapes.Cube",
+        "repro.core.shapes.Square",
+        "repro.core.shapes.Base",
+    ]
+    assert index.transitive_subclasses("repro.core.shapes.Base") == {
+        "repro.core.shapes.Square",
+        "repro.core.shapes.Cube",
+    }
+    targets = index.virtual_targets("repro.core.shapes.Base", "area")
+    assert {t.qname for t in targets} == {
+        "repro.core.shapes.Base.area",
+        "repro.core.shapes.Square.area",
+    }
+
+
+def test_attr_types_inferred_from_init() -> None:
+    index = _index(
+        **{
+            "repro.core.engine": """
+            class Gearbox:
+                def shift(self) -> None:
+                    pass
+
+            class Engine:
+                def __init__(self) -> None:
+                    self.gearbox = Gearbox()
+
+                def drive(self) -> None:
+                    self.gearbox.shift()
+            """
+        }
+    )
+    assert (
+        index.attr_type("repro.core.engine.Engine", "gearbox")
+        == "repro.core.engine.Gearbox"
+    )
+    drive = index.functions["repro.core.engine.Engine.drive"]
+    sites = list(index.iter_calls(drive))
+    assert any(
+        "repro.core.engine.Gearbox.shift" in s.targets for s in sites
+    )
+
+
+def test_annotated_parameter_dispatch_and_quoted_annotation() -> None:
+    index = _index(
+        **{
+            "repro.core.defs": """
+            class Runner:
+                def go(self) -> int:
+                    return 1
+            """,
+            "repro.core.use": """
+            from repro.core.defs import Runner
+
+            def drive(runner: "Runner") -> int:
+                return runner.go()
+            """,
+        }
+    )
+    drive = index.functions["repro.core.use.drive"]
+    assert drive.param_types["runner"] == "repro.core.defs.Runner"
+    sites = list(index.iter_calls(drive))
+    assert any("repro.core.defs.Runner.go" in s.targets for s in sites)
+
+
+def test_construction_edges_to_init() -> None:
+    index = _index(
+        **{
+            "repro.core.build": """
+            class Thing:
+                def __init__(self, n: int) -> None:
+                    self.n = n
+
+            def make() -> Thing:
+                return Thing(3)
+            """
+        }
+    )
+    make = index.functions["repro.core.build.make"]
+    sites = list(index.iter_calls(make))
+    assert any(
+        "repro.core.build.Thing.__init__" in s.targets for s in sites
+    )
+
+
+def test_reachable_walks_call_graph() -> None:
+    index = _index(
+        **{
+            "repro.core.graph": """
+            def leaf() -> int:
+                return 1
+
+            def mid() -> int:
+                return leaf()
+
+            def entry() -> int:
+                return mid()
+
+            def island() -> int:
+                return 9
+            """
+        }
+    )
+    reached = index.reachable(["repro.core.graph.entry"])
+    assert "repro.core.graph.leaf" in reached
+    assert "repro.core.graph.mid" in reached
+    assert "repro.core.graph.island" not in reached
+
+
+def test_syntax_error_module_is_skipped_not_fatal() -> None:
+    index = _index(
+        **{
+            "repro.core.bad": "def broken(:\n",
+            "repro.core.good": """
+            def fine() -> int:
+                return 1
+            """,
+        }
+    )
+    assert "repro.core.bad" not in index.modules
+    assert "repro.core.good.fine" in index.functions
+
+
+def test_class_attr_lookup_through_mro() -> None:
+    index = _index(
+        **{
+            "repro.core.flags": """
+            class Base:
+                flag = True
+
+            class Child(Base):
+                pass
+            """
+        }
+    )
+    expr = index.class_attr("repro.core.flags.Child", "flag")
+    assert isinstance(expr, ast.Constant) and expr.value is True

@@ -1,0 +1,318 @@
+"""RNG-stream taint pass (``REPRO-D100``–``D103``) on fixture packages.
+
+Each fixture is an in-memory package whose module names place the code
+inside (or outside) the seeded directories, mirroring the ``virtual=``
+idiom of the per-file rule tests.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.flow import ProjectIndex, RngFlowPass
+
+
+def _findings(**modules: str) -> list:
+    index = ProjectIndex.from_sources(
+        {name: textwrap.dedent(source) for name, source in modules.items()}
+    )
+    return RngFlowPass().run(index)
+
+
+def _rules(found: list) -> list[str]:
+    return [d.rule for d in found]
+
+
+# ----------------------------------------------------------------------
+# D101: taint
+# ----------------------------------------------------------------------
+def test_unseeded_rng_leak_is_flagged() -> None:
+    """Acceptance fixture: a Generator born from ``default_rng()`` with
+    OS entropy, drawn from two functions away in a seeded dir."""
+    found = _findings(
+        **{
+            "repro.core.leak": """
+            import numpy as np
+
+            def make_stream():
+                return np.random.default_rng()
+
+            def sample(n):
+                rng = np.random.default_rng()
+                return rng.random(n)
+            """
+        }
+    )
+    assert "REPRO-D101" in _rules(found)
+    assert any("unseeded" in d.message for d in found)
+
+
+def test_seeded_parameter_and_derive_seed_are_clean() -> None:
+    found = _findings(
+        **{
+            "repro.core.clean": """
+            import numpy as np
+            from repro.sim.rng import derive_seed
+
+            def sample(rng, n):
+                return rng.random(n)
+
+            def local(seed, n):
+                rng = np.random.default_rng(derive_seed(seed, "x"))
+                return rng.random(n)
+            """
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_module_global_generator_draw_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.shared": """
+            import numpy as np
+
+            _RNG = np.random.default_rng(7)
+
+            def sample(n):
+                return _RNG.random(n)
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D101"]
+    assert "module-global" in found[0].message
+
+
+def test_untraceable_rng_like_receiver_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.chaos.mystery": """
+            def sample(ctx, n):
+                rng = ctx.randomness
+                return rng.random(n)
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D101"]
+    assert "cannot be traced" in found[0].message
+
+
+def test_seeded_instance_attribute_traces_across_functions() -> None:
+    """The TraceReplayer idiom: ``self._rng`` assigned from
+    ``RngRegistry(seed).stream(...)``, read via a typed parameter in
+    another module."""
+    found = _findings(
+        **{
+            "repro.experiments.replayer": """
+            from repro.sim.rng import RngRegistry
+
+            class Replayer:
+                def __init__(self, seed):
+                    self._rng = RngRegistry(seed).stream("replay")
+
+                def run(self, n):
+                    rng = self._rng
+                    return rng.random(n)
+            """,
+            "repro.experiments.fast": """
+            from repro.experiments.replayer import Replayer
+
+            def run_fast(replayer: "Replayer", n):
+                rng = replayer._rng
+                return rng.random(n)
+            """,
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_outside_seeded_dirs_untraceable_draws_are_ignored() -> None:
+    found = _findings(
+        **{
+            "repro.devsupport.tool": """
+            import numpy as np
+
+            def sample(n):
+                rng = np.random.default_rng()
+                return rng.random(n)
+            """
+        }
+    )
+    assert _rules(found) == []
+
+
+# ----------------------------------------------------------------------
+# D102: escapes
+# ----------------------------------------------------------------------
+def test_closure_capturing_generator_returned_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.core.closure": """
+            import numpy as np
+            from repro.sim.rng import derive_seed
+
+            def make_sampler(seed):
+                rng = np.random.default_rng(derive_seed(seed, "s"))
+
+                def draw(n):
+                    return rng.random(n)
+
+                return draw
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D102"]
+    assert "returned" in found[0].message
+
+
+def test_generator_across_process_boundary_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.pooluse": """
+            def fan_out(pool, rng, items):
+                return pool.map(work, [(rng, i) for i in items])
+
+            def work(arg):
+                return arg
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D102"]
+    assert "process boundary" in found[0].message
+
+
+def test_seed_across_boundary_is_clean() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.seedpass": """
+            def fan_out(pool, seed, items):
+                return pool.map(work, [(seed, i) for i in items])
+
+            def work(arg):
+                return arg
+            """
+        }
+    )
+    assert _rules(found) == []
+
+
+# ----------------------------------------------------------------------
+# D100/D103: directives
+# ----------------------------------------------------------------------
+def test_fixed_draws_conditional_draw_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.chaos.pulse": """
+            def pulses(rng, spec):
+                t = 0
+                while t < spec.end:  # repro: fixed-draws: pulse contract
+                    u = rng.random()
+                    if u < spec.p:
+                        extra = rng.random()
+                    t += 1
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D103"]
+    assert "data-dependent control flow" in found[0].message
+
+
+def test_fixed_draws_conditional_early_exit_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.chaos.earlyexit": """
+            def pulses(rng, spec):
+                t = 0
+                while t < spec.end:  # repro: fixed-draws: pulse contract
+                    if spec.done(t):
+                        break
+                    u = rng.random()
+                    t += 1
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D103"]
+    assert "early exit" in found[0].message
+
+
+def test_fixed_draws_unconditional_region_is_clean() -> None:
+    found = _findings(
+        **{
+            "repro.chaos.cleanpulse": """
+            def pulses(rng, spec):
+                t = 0
+                while t < spec.end:  # repro: fixed-draws: pulse contract
+                    u = rng.random()
+                    v = rng.random(3)
+                    t += 1
+            """
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_draw_parity_mismatch_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.one": """
+            def victims(rng, zones):
+                for z in zones:  # repro: draw-parity[victims]: match oracle
+                    u = rng.random(3)
+            """,
+            "repro.experiments.two": """
+            def victims(rng, zones):
+                for z in zones:  # repro: draw-parity[victims]: match oracle
+                    if z:
+                        u = rng.random(3)
+            """,
+        }
+    )
+    assert _rules(found) == ["REPRO-D103"]
+    assert "mismatch" in found[0].message
+
+
+def test_draw_parity_matching_skeletons_are_clean() -> None:
+    found = _findings(
+        **{
+            "repro.experiments.one": """
+            def victims(rng, zones):
+                for z in zones:  # repro: draw-parity[victims]: match oracle
+                    u = rng.random(3)
+            """,
+            "repro.experiments.two": """
+            def victims(rng, zones):
+                for z in zones:  # repro: draw-parity[victims]: match oracle
+                    u = rng.random(3)
+            """,
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_directive_problems_are_d100() -> None:
+    found = _findings(
+        **{
+            "repro.chaos.directives": """
+            # repro: fixed-draws: floating, attached to nothing
+
+            def no_reason(rng, items):
+                for i in items:  # repro: fixed-draws
+                    u = rng.random()
+
+            def stale(items):
+                for i in items:  # repro: fixed-draws: no draws here
+                    pass
+
+            def lonely(rng, items):
+                for i in items:  # repro: draw-parity[solo]: one member
+                    u = rng.random()
+            """
+        }
+    )
+    rules = _rules(found)
+    assert rules == ["REPRO-D100"] * 4
+    messages = " | ".join(d.message for d in found)
+    assert "not attached" in messages
+    assert "without a reason" in messages
+    assert "stale" in messages
+    assert "single member" in messages

@@ -1,0 +1,314 @@
+"""Stationarity pass (``REPRO-D201``–``D203``) on fixture policy packages.
+
+Fixtures define a minimal ``ServingPolicy`` hierarchy under
+``repro.serving.policy`` so the pass discovers them exactly the way it
+discovers the real ones.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.flow import ProjectIndex, StationarityPass
+
+_POLICY_BASE = """
+class ServingPolicy:
+    stationary_decisions = False
+    stationary_state = frozenset()
+    audit = None
+
+    def target_mix(self, obs):
+        raise NotImplementedError
+
+    def select_spot_zone(self, obs, excluded=frozenset()):
+        raise NotImplementedError
+"""
+
+
+def _findings(**modules: str) -> list:
+    sources = {
+        "repro.serving.policy": textwrap.dedent(_POLICY_BASE),
+    }
+    sources.update(
+        {name: textwrap.dedent(source) for name, source in modules.items()}
+    )
+    index = ProjectIndex.from_sources(sources)
+    return StationarityPass().run(index)
+
+
+def _rules(found: list) -> list[str]:
+    return [d.rule for d in found]
+
+
+def test_falsely_declared_stationary_policy_is_flagged() -> None:
+    """Acceptance fixture: declares stationary, reads obs.now in a
+    helper reached from target_mix."""
+    found = _findings(
+        **{
+            "repro.core.liar": """
+            from repro.serving.policy import ServingPolicy
+
+            class LiarPolicy(ServingPolicy):
+                stationary_decisions = True
+
+                def target_mix(self, obs):
+                    return self._decide(obs)
+
+                def _decide(self, obs):
+                    if obs.now > 100.0:
+                        return 1
+                    return 0
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D201"]
+    assert "obs.now" in found[0].message
+    assert "LiarPolicy" in found[0].message
+
+
+def test_wall_clock_in_reachable_helper_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.core.clocky": """
+            import time
+
+            from repro.serving.policy import ServingPolicy
+
+            def stamp():
+                return time.monotonic()
+
+            class ClockPolicy(ServingPolicy):
+                stationary_decisions = True
+
+                def target_mix(self, obs):
+                    return stamp()
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D201"]
+    assert "wall clock" in found[0].message
+
+
+def test_non_whitelisted_mutation_is_flagged_and_whitelist_clears_it() -> None:
+    body = """
+    from repro.serving.policy import ServingPolicy
+
+    class CachedPolicy(ServingPolicy):
+        stationary_decisions = True
+        {whitelist}
+
+        def __init__(self):
+            self._cache = {{}}
+
+        def target_mix(self, obs):
+            self._cache[obs.n_tar] = obs.n_tar
+            return obs.n_tar
+
+        def select_spot_zone(self, obs, excluded=frozenset()):
+            return None
+    """
+    flagged = _findings(
+        **{"repro.core.cached": body.format(whitelist="")}
+    )
+    assert _rules(flagged) == ["REPRO-D201"]
+    assert "_cache" in flagged[0].message
+
+    clean = _findings(
+        **{
+            "repro.core.cached": body.format(
+                whitelist='stationary_state = frozenset({"_cache"})'
+            )
+        }
+    )
+    assert _rules(clean) == []
+
+
+def test_audit_guarded_block_is_exempt_but_else_branch_is_not() -> None:
+    found = _findings(
+        **{
+            "repro.core.audited": """
+            from repro.serving.policy import ServingPolicy
+
+            class AuditedPolicy(ServingPolicy):
+                stationary_decisions = True
+
+                def target_mix(self, obs):
+                    if self.audit is not None:
+                        self.audit.record("mix", now=obs.now)
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == []
+
+    flagged = _findings(
+        **{
+            "repro.core.audited": """
+            from repro.serving.policy import ServingPolicy
+
+            class AuditedPolicy(ServingPolicy):
+                stationary_decisions = True
+
+                def target_mix(self, obs):
+                    if self.audit is not None:
+                        pass
+                    else:
+                        self._last = obs.now
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert set(_rules(flagged)) == {"REPRO-D201"}
+
+
+def test_select_surface_mutation_is_exempt_but_temporal_is_not() -> None:
+    found = _findings(
+        **{
+            "repro.core.rrobin": """
+            from repro.serving.policy import ServingPolicy
+
+            class RoundRobinish(ServingPolicy):
+                stationary_decisions = True
+
+                def __init__(self):
+                    self._next = 0
+
+                def target_mix(self, obs):
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    self._next = self._next + 1
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == []
+
+    flagged = _findings(
+        **{
+            "repro.core.rrobin": """
+            from repro.serving.policy import ServingPolicy
+
+            class TemporalSelect(ServingPolicy):
+                stationary_decisions = True
+
+                def target_mix(self, obs):
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None if obs.now > 5.0 else "zone-a"
+            """
+        }
+    )
+    assert _rules(flagged) == ["REPRO-D201"]
+
+
+def test_helper_class_whitelist_via_mutating_method() -> None:
+    found = _findings(
+        **{
+            "repro.core.placers": """
+            class Placer:
+                stationary_state = frozenset({"_targets"})
+
+                def __init__(self):
+                    self._targets = []
+
+                def set_target(self, n):
+                    self._targets.append(n)
+            """,
+            "repro.core.mixture": """
+            from repro.core.placers import Placer
+            from repro.serving.policy import ServingPolicy
+
+            class MixPolicy(ServingPolicy):
+                stationary_decisions = True
+
+                def __init__(self):
+                    self.placer = Placer()
+
+                def target_mix(self, obs):
+                    self.placer.set_target(obs.n_tar)
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """,
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_underdeclared_stationary_policy_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.core.humble": """
+            from repro.serving.policy import ServingPolicy
+
+            class HumblePolicy(ServingPolicy):
+                stationary_decisions = False
+
+                def target_mix(self, obs):
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D202"]
+    assert "HumblePolicy" in found[0].message
+
+
+def test_genuinely_nonstationary_policy_is_not_underdeclared() -> None:
+    found = _findings(
+        **{
+            "repro.core.mark": """
+            from repro.serving.policy import ServingPolicy
+
+            class MarkLike(ServingPolicy):
+                stationary_decisions = False
+
+                def target_mix(self, obs):
+                    self._window = obs.now
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == []
+
+
+def test_stale_whitelist_entry_is_flagged() -> None:
+    found = _findings(
+        **{
+            "repro.core.stale": """
+            from repro.serving.policy import ServingPolicy
+
+            class StalePolicy(ServingPolicy):
+                stationary_decisions = True
+                stationary_state = frozenset({"_ghost"})
+
+                def target_mix(self, obs):
+                    return obs.n_tar
+
+                def select_spot_zone(self, obs, excluded=frozenset()):
+                    return None
+            """
+        }
+    )
+    assert _rules(found) == ["REPRO-D203"]
+    assert "_ghost" in found[0].message

@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 import repro
+from repro.devtools.flow import ProjectIndex, run_deep
 from repro.devtools.lint.engine import lint_paths
 from repro.devtools.lint.rules import ALL_RULES
 
@@ -19,5 +20,18 @@ def test_package_has_zero_unsuppressed_diagnostics() -> None:
     package_root = Path(repro.__file__).resolve().parent
     report = lint_paths([package_root], ALL_RULES)
     assert report.files_checked > 50  # the whole package, not a subset
+    offenders = [d.render() for d in report.unsuppressed]
+    assert offenders == []
+
+
+def test_package_is_deep_clean() -> None:
+    """The ``repro lint --deep`` gate: every interprocedural contract
+    (RNG-stream taint, stationarity declarations, engine write-surface
+    parity) holds over the whole package, and every deep suppression
+    and flow directive in the tree is live and justified."""
+    package_root = Path(repro.__file__).resolve().parent
+    index = ProjectIndex.from_package(package_root)
+    report = run_deep(index)
+    assert len(index.modules) > 50
     offenders = [d.render() for d in report.unsuppressed]
     assert offenders == []
