@@ -5,6 +5,14 @@ Subcommands:
 ``repro serve``
     Deploy a service (spec from a JSON file or defaults) on a trace and
     serve a generated workload; prints the Fig. 9-style report.
+``repro serve up``
+    Run a multi-tenant deployment spec (``repro.control``) — N services
+    sharing one simulated multi-cloud behind a capacity broker — and
+    print/write the per-tenant + fleet-wide cost/SLO report (see
+    docs/CONTROL_PLANE.md).
+``repro serve ablate``
+    The 1-vs-N contention ablation: each tenant alone vs all together
+    under fair-share and strict-priority admission.
 ``repro compare``
     Run the four §5.1 systems on one scenario and print the comparison.
 ``repro replay``
@@ -219,6 +227,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if prom_sink is not None:
         Path(args.metrics_out).write_text(prom_sink.render())
         print(f"wrote Prometheus metrics snapshot to {args.metrics_out}")
+    return 0
+
+
+def _cmd_serve_up(args: argparse.Namespace) -> int:
+    from repro.control import ControlPlane, load_deployment
+
+    try:
+        deployment = load_deployment(args.deployment)
+    except (OSError, ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    trace = _load_trace(args.trace)
+    duration = args.hours * HOUR if args.hours is not None else None
+    telemetry = None
+    jsonl_sink = None
+    if args.events:
+        try:
+            jsonl_sink = JsonlSink(args.events)
+        except OSError as exc:
+            raise SystemExit(f"cannot write event log {args.events}: {exc}")
+        telemetry = EventBus([jsonl_sink])
+    plane = ControlPlane(deployment, trace, seed=args.seed, telemetry=telemetry)
+    fleet = plane.run(duration)
+    if telemetry is not None:
+        telemetry.close()
+    print(f"deployment:  {deployment.name} "
+          f"({len(deployment.tenants)} tenant(s), "
+          f"admission={deployment.admission}, "
+          f"scenario={deployment.scenario or 'none'})")
+    print(f"fleet cost:  ${fleet.fleet_spot_cost + fleet.fleet_od_cost:.2f} "
+          f"(spot ${fleet.fleet_spot_cost:.2f} / od ${fleet.fleet_od_cost:.2f})")
+    print()
+    _print_table(
+        ["tenant", "policy", "prio", "requests", "failed", "avail",
+         "p99", "preempt", "rejected", "evicted", "cost"],
+        [
+            [
+                t.tenant,
+                t.policy,
+                t.priority,
+                t.total_requests,
+                t.failed,
+                f"{t.availability:.1%}",
+                f"{t.latency_p99:.1f}s",
+                t.preemptions,
+                t.rejected,
+                t.evictions_suffered,
+                f"${t.total_cost:.2f}",
+            ]
+            for t in fleet.tenants
+        ],
+    )
+    if jsonl_sink is not None:
+        print(f"\nwrote {jsonl_sink.count} events to {args.events} "
+              f"(summarise with: repro events {args.events})")
+    if args.report:
+        Path(args.report).write_text(fleet.to_json())
+        print(f"wrote fleet cost/SLO report to {args.report}")
+    return 0
+
+
+def _cmd_serve_ablate(args: argparse.Namespace) -> int:
+    from repro.control import load_deployment, run_contention_ablation
+
+    try:
+        deployment = load_deployment(args.deployment)
+    except (OSError, ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    trace = _load_trace(args.trace)
+    duration = args.hours * HOUR if args.hours is not None else None
+    result = run_contention_ablation(
+        deployment, trace, duration=duration, seed=args.seed
+    )
+    print(f"contention ablation: {deployment.name} "
+          f"({len(deployment.tenants)} tenant(s), "
+          f"scenario={deployment.scenario or 'none'}, seed={args.seed})")
+    print("availability (solo = tenant alone on the full cloud):")
+    print()
+    rows = []
+    for row in result.rows():
+        avail = row["availability"]
+        cost = row["cost"]
+        rows.append(
+            [
+                row["tenant"],
+                row["priority"],
+                f"{avail['solo']:.3f}",
+                f"{avail['fair_share']:.3f}",
+                f"{avail['strict_priority']:.3f}",
+                f"${cost['fair_share']:.2f}",
+                f"${cost['strict_priority']:.2f}",
+                row["rejected"]["fair_share"],
+                row["evictions_suffered"]["strict_priority"],
+            ]
+        )
+    _print_table(
+        ["tenant", "prio", "solo", "fair", "strict",
+         "cost(fair)", "cost(strict)", "rej(fair)", "evict(strict)"],
+        rows,
+    )
+    if args.report:
+        Path(args.report).write_text(result.to_json())
+        print(f"\nwrote ablation report to {args.report}")
     return 0
 
 
@@ -700,6 +810,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out",
                        help="write a Prometheus text-format snapshot here")
     serve.set_defaults(func=_cmd_serve)
+
+    serve_sub = serve.add_subparsers(
+        dest="serve_command", required=False, metavar="{up,ablate}",
+        help="multi-tenant control-plane commands (omit to serve one service)")
+    up = serve_sub.add_parser(
+        "up", help="run a multi-tenant deployment spec on a shared cloud")
+    up.add_argument("deployment", help="deployment spec (.json or .yaml)")
+    up.add_argument("--trace", default="aws1", help="canned name or trace file")
+    up.add_argument("--hours", type=float, default=None,
+                    help="override the spec's duration")
+    up.add_argument("--seed", type=int, default=0)
+    up.add_argument("--report",
+                    help="write the canonical fleet cost/SLO report JSON here")
+    up.add_argument("--events",
+                    help="write a JSONL telemetry event log to this path")
+    up.set_defaults(func=_cmd_serve_up)
+    ablate = serve_sub.add_parser(
+        "ablate", help="1-vs-N contention ablation (solo/fair-share/priority)")
+    ablate.add_argument("deployment", help="deployment spec (.json or .yaml)")
+    ablate.add_argument("--trace", default="aws1", help="canned name or trace file")
+    ablate.add_argument("--hours", type=float, default=None,
+                        help="override the spec's duration")
+    ablate.add_argument("--seed", type=int, default=0)
+    ablate.add_argument("--report", help="write the ablation JSON artifact here")
+    ablate.set_defaults(func=_cmd_serve_ablate)
 
     compare = sub.add_parser("compare", help="run the SS5.1 four-system comparison")
     compare.add_argument("scenario", choices=["available", "volatile"])

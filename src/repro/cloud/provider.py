@@ -342,3 +342,48 @@ class SimCloud:
         self._remove_alive(instance)
         self._doomed.discard(instance.id)
         instance.transition(InstanceState.TERMINATED, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Admission-control seams (repro.control.CapacityBroker)
+    # ------------------------------------------------------------------
+    def reclaim(self, instance: Instance) -> None:
+        """Provider-initiated eviction of a specific instance.
+
+        Used by multi-tenant admission control (strict-priority mode
+        evicting a lower-priority tenant's spot replica).  The victim
+        experiences an ordinary preemption — same callbacks, counters,
+        and billing as a capacity-drop reclaim — because from a tenant's
+        point of view losing capacity to another account *is* a
+        preemption.  Idempotent on dead instances.
+        """
+        self._kill(instance)
+
+    def reject_instance(
+        self,
+        zone_id: str,
+        instance_type_name: str,
+        *,
+        spot: bool,
+        callbacks: Optional[InstanceCallbacks] = None,
+    ) -> Instance:
+        """Deny a launch request: the admission-control analogue of the
+        no-capacity path of :meth:`request_instance`.
+
+        The caller gets a PROVISIONING instance whose launch fails after
+        ``failure_detect_delay`` — byte-for-byte the InsufficientCapacity
+        timing — so policies observe quota denials exactly like capacity
+        exhaustion and their Alg. 1 bookkeeping reacts identically.
+        """
+        itype = self.catalog.get(instance_type_name)
+        instance = Instance(
+            zone_id=zone_id,
+            instance_type=itype,
+            spot=spot,
+            launched_at=self.engine.now,
+            callbacks=callbacks or InstanceCallbacks(),
+        )
+        self.billing.track(instance)
+        self.engine.call_after(
+            self.config.failure_detect_delay, lambda: self._fail_launch(instance)
+        )
+        return instance

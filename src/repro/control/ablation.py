@@ -1,0 +1,146 @@
+"""Contention ablation: 1 tenant vs N tenants on the same capacity.
+
+The experiment behind the control plane: run each tenant *alone* on the
+full shared cloud (the regime every single-service result in the paper
+measures), then run all of them together under each admission mode, and
+compare per-tenant availability and cost.  The solo runs use identical
+workload seeds (``derive_seed(seed, "workload:<name>")`` is independent
+of the deployment around it), so every delta is attributable to
+tenant-on-tenant capacity contention and the broker's arbitration —
+not to workload noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.cloud.catalog import Catalog
+from repro.cloud.provider import CloudConfig
+from repro.cloud.topology import Topology
+from repro.cloud.traces import SpotTrace
+from repro.control.plane import ControlPlane, FleetReport, _round
+from repro.control.spec import DeploymentSpec
+
+__all__ = ["AblationResult", "run_contention_ablation"]
+
+ABLATION_SCHEMA = "repro.control.ablation/v1"
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Solo baselines plus both contended admission modes."""
+
+    deployment: str
+    seed: int
+    duration: float
+    solo: dict[str, FleetReport]
+    fair_share: FleetReport
+    strict_priority: FleetReport
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Per-tenant comparison rows (solo vs each admission mode)."""
+        rows = []
+        for name, solo_fleet in self.solo.items():
+            solo = solo_fleet.tenant(name)
+            fair = self.fair_share.tenant(name)
+            strict = self.strict_priority.tenant(name)
+            rows.append(
+                {
+                    "tenant": name,
+                    "priority": fair.priority,
+                    "qps_share": _round(fair.qps_share),
+                    "availability": {
+                        "solo": _round(solo.availability),
+                        "fair_share": _round(fair.availability),
+                        "strict_priority": _round(strict.availability),
+                    },
+                    "cost": {
+                        "solo": _round(solo.total_cost),
+                        "fair_share": _round(fair.total_cost),
+                        "strict_priority": _round(strict.total_cost),
+                    },
+                    "preemptions": {
+                        "solo": solo.preemptions,
+                        "fair_share": fair.preemptions,
+                        "strict_priority": strict.preemptions,
+                    },
+                    "rejected": {
+                        "fair_share": fair.rejected,
+                        "strict_priority": strict.rejected,
+                    },
+                    "evictions_suffered": {
+                        "fair_share": fair.evictions_suffered,
+                        "strict_priority": strict.evictions_suffered,
+                    },
+                }
+            )
+        return rows
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": ABLATION_SCHEMA,
+            "deployment": self.deployment,
+            "seed": self.seed,
+            "duration": _round(self.duration),
+            "tenants": self.rows(),
+            "fleet": {
+                "fair_share": self.fair_share.to_dict(),
+                "strict_priority": self.strict_priority.to_dict(),
+                "solo": {
+                    name: report.to_dict() for name, report in self.solo.items()
+                },
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON artifact."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def run_contention_ablation(
+    deployment: DeploymentSpec,
+    trace: SpotTrace,
+    *,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    topology: Optional[Topology] = None,
+    catalog: Optional[Catalog] = None,
+    cloud_config: Optional[CloudConfig] = None,
+) -> AblationResult:
+    """Run the 1-vs-N contention ablation for ``deployment``."""
+    if duration is None:
+        duration = deployment.hours * 3600.0
+
+    def run(spec: DeploymentSpec) -> FleetReport:
+        plane = ControlPlane(
+            spec,
+            trace,
+            topology=topology,
+            catalog=catalog,
+            cloud_config=cloud_config,
+            seed=seed,
+        )
+        return plane.run(duration)
+
+    solo = {}
+    for tenant in deployment.tenants:
+        solo_spec = dataclasses.replace(
+            deployment,
+            name=f"{deployment.name}:solo:{tenant.name}",
+            tenants=(tenant,),
+            admission="fair_share",
+        )
+        solo[tenant.name] = run(solo_spec)
+    fair = run(dataclasses.replace(deployment, admission="fair_share"))
+    strict = run(dataclasses.replace(deployment, admission="strict_priority"))
+    return AblationResult(
+        deployment=deployment.name,
+        seed=seed,
+        duration=duration,
+        solo=solo,
+        fair_share=fair,
+        strict_priority=strict,
+    )

@@ -1,0 +1,420 @@
+"""Shared-capacity admission control across tenants.
+
+The :class:`CapacityBroker` sits between every tenant's service
+controller and the one shared :class:`~repro.cloud.provider.SimCloud`.
+Controllers are handed a :class:`TenantCloudView` — an object with the
+same launch/terminate surface as the cloud — so they run completely
+unmodified; the broker meters per-zone spot capacity across tenants and
+decides, per launch request, between three outcomes:
+
+* **admit** — delegate to the cloud and record the capacity held;
+* **reject** — deny the request for quota reasons.  The denial uses
+  :meth:`SimCloud.reject_instance`, which fails after
+  ``failure_detect_delay`` exactly like InsufficientCapacity, so the
+  tenant's policy reacts with its ordinary Alg. 1 bookkeeping;
+* **passthrough** — the zone has no free room anyway; the cloud's own
+  no-capacity failure path answers.
+
+Two admission modes:
+
+* ``fair_share`` — per-zone quotas proportional to each tenant's
+  ``qps_share``, work-conserving: a tenant may exceed its quota
+  whenever the free room is larger than the unused quota reserved for
+  everyone else.  With one tenant this degenerates to "admit whenever
+  there is room" — bit-for-bit the broker-less behaviour.
+* ``strict_priority`` — higher-priority tenants always get room; when a
+  zone is full and a strictly-lower-priority tenant holds spot capacity
+  there, the broker evicts one victim via :meth:`SimCloud.reclaim`
+  (the victim experiences an ordinary preemption).
+
+All arbitration is deterministic: quota remainders and eviction
+tie-breaks follow a fixed tenant permutation drawn once from the
+``control-arbitration`` stream of the run's
+:class:`~repro.sim.rng.RngRegistry` (seeded via ``derive_seed``), never
+from container iteration order.
+
+On-demand capacity is not quota-metered (the paper treats it as
+plentiful); on-demand launches pass straight through, but are still
+billed to the requesting tenant through the :class:`SharedBillingMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.cloud.billing import BillingMeter, CostBreakdown
+from repro.cloud.instance import Instance, InstanceCallbacks
+from repro.cloud.provider import SimCloud
+from repro.control.spec import ADMISSION_MODES, TenantSpec
+from repro.sim.rng import RngRegistry
+from repro.telemetry.events import (
+    NULL_BUS,
+    EventBus,
+    TenantAdmission,
+    TenantEviction,
+)
+
+__all__ = ["CapacityBroker", "SharedBillingMeter", "TenantCloudView"]
+
+
+class SharedBillingMeter(BillingMeter):
+    """The fleet bill plus a per-tenant child meter for each tenant.
+
+    Installed as the shared cloud's ``billing`` so every instance is
+    tracked globally as before; while a tenant's launch request is in
+    flight the broker points ``charge_to`` at that tenant, and the
+    instance lands in the tenant's child meter too.  Chaos price
+    surcharges are forwarded to every child, so per-tenant costs sum to
+    the fleet total under :class:`~repro.chaos.spec.PriceSurge` as well.
+    """
+
+    def __init__(self, tenants: Sequence[str]) -> None:
+        super().__init__()
+        self.tenant_meters: dict[str, BillingMeter] = {
+            name: BillingMeter() for name in tenants
+        }
+        self._charge_to: Optional[str] = None
+
+    def charge_to(self, tenant: Optional[str]) -> None:
+        """Attribute subsequently-tracked instances to ``tenant``."""
+        if tenant is not None and tenant not in self.tenant_meters:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        self._charge_to = tenant
+
+    def track(self, instance: Instance) -> None:
+        super().track(instance)
+        if self._charge_to is not None:
+            self.tenant_meters[self._charge_to].track(instance)
+
+    def add_surcharge(
+        self,
+        start: float,
+        end: float,
+        zones,
+        multiplier: float,
+    ) -> None:
+        super().add_surcharge(start, end, zones, multiplier)
+        for meter in self.tenant_meters.values():
+            meter.add_surcharge(start, end, zones, multiplier)
+
+    def tenant_breakdown(self, tenant: str, now: float) -> CostBreakdown:
+        """One tenant's accrued cost split by market."""
+        return self.tenant_meters[tenant].breakdown(now)
+
+
+class TenantCloudView:
+    """The cloud as one tenant sees it.
+
+    Exposes exactly the surface :class:`ServiceController` uses —
+    ``topology``/``trace``/``catalog``/``config`` plus
+    ``request_instance``/``terminate`` — with launches routed through
+    the broker's admission control and terminations releasing the
+    tenant's capacity accounting.
+    """
+
+    def __init__(self, broker: "CapacityBroker", tenant: str) -> None:
+        self._broker = broker
+        self.tenant = tenant
+        cloud = broker.cloud
+        self.topology = cloud.topology
+        self.trace = cloud.trace
+        self.catalog = cloud.catalog
+        self.config = cloud.config
+        self.engine = cloud.engine
+
+    def request_instance(
+        self,
+        zone_id: str,
+        instance_type_name: str,
+        *,
+        spot: bool,
+        callbacks: Optional[InstanceCallbacks] = None,
+    ) -> Instance:
+        return self._broker.request(
+            self.tenant,
+            zone_id,
+            instance_type_name,
+            spot=spot,
+            callbacks=callbacks,
+        )
+
+    def terminate(self, instance: Instance) -> None:
+        self._broker.release(instance)
+        self._broker.cloud.terminate(instance)
+
+
+class CapacityBroker:
+    """Meters per-zone spot capacity across tenants."""
+
+    def __init__(
+        self,
+        cloud: SimCloud,
+        tenants: Sequence[TenantSpec],
+        *,
+        mode: str = "fair_share",
+        rng: RngRegistry,
+        bus: EventBus = NULL_BUS,
+    ) -> None:
+        if mode not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {mode!r}; expected one of {ADMISSION_MODES}"
+            )
+        if not tenants:
+            raise ValueError("broker needs at least one tenant")
+        self.cloud = cloud
+        self.mode = mode
+        self.bus = bus
+        self._tenants: dict[str, TenantSpec] = {t.name: t for t in tenants}
+        names = [t.name for t in tenants]
+        # Seeded arbitration order: one permutation of the tenant list
+        # drawn from a dedicated named stream.  Quota remainders and
+        # eviction tie-breaks follow it, so arbitration is a function of
+        # (seed, deployment) alone.
+        order = rng.stream("control-arbitration").permutation(len(names))
+        self.arbitration_rank: dict[str, int] = {
+            names[int(i)]: pos for pos, i in enumerate(order)
+        }
+        self._weight_total = sum(t.qps_share for t in tenants)
+        self.billing = SharedBillingMeter(names)
+        cloud.billing = self.billing
+        #: Per-tenant, per-zone spot instances currently holding capacity.
+        self._holdings: dict[str, dict[str, dict[int, Instance]]] = {
+            name: {zone: {} for zone in cloud.trace.zone_ids} for name in names
+        }
+        #: instance id -> (tenant, zone) for O(1) release on any exit path.
+        self._owner: dict[int, tuple[str, str]] = {}
+        self.admitted: dict[str, int] = {name: 0 for name in names}
+        self.rejected: dict[str, int] = {name: 0 for name in names}
+        self.evictions_won: dict[str, int] = {name: 0 for name in names}
+        self.evictions_suffered: dict[str, int] = {name: 0 for name in names}
+
+    def view(self, tenant: str) -> TenantCloudView:
+        """The cloud facade handed to ``tenant``'s controller."""
+        if tenant not in self._tenants:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        return TenantCloudView(self, tenant)
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    def spot_holdings(self, tenant: str, zone_id: str) -> int:
+        """Spot instances ``tenant`` currently holds in ``zone_id``."""
+        return len(self._holdings[tenant].get(zone_id, ()))
+
+    def release(self, instance: Instance) -> None:
+        """Drop the capacity accounting for ``instance`` (idempotent)."""
+        owner = self._owner.pop(instance.id, None)
+        if owner is not None:
+            tenant, zone = owner
+            self._holdings[tenant][zone].pop(instance.id, None)
+
+    def _hold(self, tenant: str, zone_id: str, instance: Instance) -> None:
+        self._holdings[tenant][zone_id][instance.id] = instance
+        self._owner[instance.id] = (tenant, zone_id)
+
+    def quotas(self, zone_id: str) -> dict[str, int]:
+        """Fair-share spot quotas for ``zone_id`` at the current time.
+
+        Floor of each tenant's proportional share of the zone's current
+        capacity; leftover slots go one each to tenants in arbitration
+        order.
+        """
+        capacity = int(
+            self.cloud.trace.capacity_at(zone_id, self.cloud.engine.now)
+        )
+        quotas: dict[str, int] = {}
+        for name, tenant in self._tenants.items():
+            quotas[name] = int(capacity * tenant.qps_share / self._weight_total)
+        remainder = capacity - sum(quotas.values())
+        if remainder > 0:
+            by_rank = sorted(quotas, key=lambda n: self.arbitration_rank[n])
+            for name in by_rank[:remainder]:
+                quotas[name] += 1
+        return quotas
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        tenant: str,
+        zone_id: str,
+        instance_type_name: str,
+        *,
+        spot: bool,
+        callbacks: Optional[InstanceCallbacks] = None,
+    ) -> Instance:
+        """Admission-controlled counterpart of ``request_instance``."""
+        callbacks = callbacks or InstanceCallbacks()
+        if not spot or zone_id not in self._holdings[tenant]:
+            # On-demand is not metered; unknown zones get the cloud's
+            # own KeyError.  Both still bill to the tenant.
+            return self._delegate(
+                tenant, zone_id, instance_type_name, spot=spot, callbacks=callbacks
+            )
+        room = self.cloud.spot_room(zone_id)
+        if room <= 0:
+            if self.mode == "strict_priority":
+                victim = self._find_victim(tenant, zone_id)
+                if victim is not None:
+                    self._evict(tenant, zone_id, victim)
+                    return self._admit(
+                        tenant,
+                        zone_id,
+                        instance_type_name,
+                        spot=spot,
+                        callbacks=callbacks,
+                    )
+            # No room and nobody to evict: the cloud's natural
+            # InsufficientCapacity path answers.
+            self._emit_admission(tenant, zone_id, "passthrough")
+            return self._delegate(
+                tenant, zone_id, instance_type_name, spot=spot, callbacks=callbacks
+            )
+        if self.mode == "fair_share" and not self._fair_share_admit(
+            tenant, zone_id, room
+        ):
+            self.rejected[tenant] += 1
+            self._emit_admission(tenant, zone_id, "rejected")
+            self.billing.charge_to(tenant)
+            try:
+                return self.cloud.reject_instance(
+                    zone_id, instance_type_name, spot=spot, callbacks=callbacks
+                )
+            finally:
+                self.billing.charge_to(None)
+        return self._admit(
+            tenant, zone_id, instance_type_name, spot=spot, callbacks=callbacks
+        )
+
+    def _fair_share_admit(self, tenant: str, zone_id: str, room: int) -> bool:
+        """Work-conserving fair share: under-quota tenants always get
+        in; over-quota tenants only take room nobody else has reserved."""
+        quotas = self.quotas(zone_id)
+        if self.spot_holdings(tenant, zone_id) < quotas[tenant]:
+            return True
+        reserved = sum(
+            max(0, quotas[other] - self.spot_holdings(other, zone_id))
+            for other in self._tenants
+            if other != tenant
+        )
+        return room > reserved
+
+    def _find_victim(
+        self, tenant: str, zone_id: str
+    ) -> Optional[tuple[str, Instance]]:
+        """Lowest-priority holder strictly below the requester, ties in
+        arbitration order; the victim instance is the oldest held."""
+        priority = self._tenants[tenant].priority
+        candidates = [
+            name
+            for name, spec in self._tenants.items()
+            if spec.priority < priority and self._holdings[name][zone_id]
+        ]
+        if not candidates:
+            return None
+        victim_tenant = min(
+            candidates,
+            key=lambda n: (self._tenants[n].priority, self.arbitration_rank[n]),
+        )
+        instance_id = min(self._holdings[victim_tenant][zone_id])
+        return victim_tenant, self._holdings[victim_tenant][zone_id][instance_id]
+
+    def _evict(
+        self, tenant: str, zone_id: str, victim: tuple[str, Instance]
+    ) -> None:
+        victim_tenant, instance = victim
+        self.evictions_won[tenant] += 1
+        self.evictions_suffered[victim_tenant] += 1
+        if self.bus.enabled:
+            self.bus.emit(
+                TenantEviction(
+                    time=self.cloud.engine.now,
+                    tenant=tenant,
+                    victim=victim_tenant,
+                    zone=zone_id,
+                    instance_id=instance.id,
+                )
+            )
+        # reclaim() runs the ordinary preemption path: the victim's
+        # wrapped callbacks release its accounting and notify its
+        # controller like any spot reclaim.
+        self.cloud.reclaim(instance)
+
+    def _admit(
+        self,
+        tenant: str,
+        zone_id: str,
+        instance_type_name: str,
+        *,
+        spot: bool,
+        callbacks: InstanceCallbacks,
+    ) -> Instance:
+        self.admitted[tenant] += 1
+        self._emit_admission(tenant, zone_id, "admitted")
+        return self._delegate(
+            tenant, zone_id, instance_type_name, spot=spot, callbacks=callbacks
+        )
+
+    def _delegate(
+        self,
+        tenant: str,
+        zone_id: str,
+        instance_type_name: str,
+        *,
+        spot: bool,
+        callbacks: InstanceCallbacks,
+    ) -> Instance:
+        wrapped = InstanceCallbacks(
+            on_ready=callbacks.on_ready,
+            on_preempted=self._releasing(callbacks.on_preempted),
+            on_failed=self._releasing(callbacks.on_failed),
+            on_preempt_warning=callbacks.on_preempt_warning,
+        )
+        before = self.cloud.spot_usage(zone_id) if spot else 0
+        self.billing.charge_to(tenant)
+        try:
+            instance = self.cloud.request_instance(
+                zone_id, instance_type_name, spot=spot, callbacks=wrapped
+            )
+        finally:
+            self.billing.charge_to(None)
+        if spot and self.cloud.spot_usage(zone_id) > before:
+            self._hold(tenant, zone_id, instance)
+        return instance
+
+    def _releasing(
+        self, chain: Optional[Callable[[Instance], None]]
+    ) -> Callable[[Instance], None]:
+        """Wrap a lifecycle callback to release accounting first."""
+
+        def callback(instance: Instance) -> None:
+            self.release(instance)
+            if chain is not None:
+                chain(instance)
+
+        return callback
+
+    def _emit_admission(self, tenant: str, zone_id: str, decision: str) -> None:
+        if self.bus.enabled:
+            self.bus.emit(
+                TenantAdmission(
+                    time=self.cloud.engine.now,
+                    tenant=tenant,
+                    zone=zone_id,
+                    decision=decision,
+                    mode=self.mode,
+                )
+            )
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Per-tenant admission counters (for the fleet report)."""
+        return {
+            name: {
+                "admitted": self.admitted[name],
+                "rejected": self.rejected[name],
+                "evictions_won": self.evictions_won[name],
+                "evictions_suffered": self.evictions_suffered[name],
+            }
+            for name in self._tenants
+        }

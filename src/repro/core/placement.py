@@ -313,12 +313,21 @@ def make_placer(
     zones: Sequence[str],
     zone_costs: Optional[Mapping[str, float]] = None,
 ) -> SpotPlacer:
-    """Instantiate a placer from a spec's ``spot_placer`` name."""
-    placers: dict[str, type[SpotPlacer]] = {
-        "dynamic": DynamicSpotPlacer,
-        "even_spread": EvenSpreadPlacer,
-        "round_robin": RoundRobinPlacer,
-    }
-    if kind not in placers:
-        raise ValueError(f"unknown placer {kind!r}; expected one of {sorted(placers)}")
-    return placers[kind](zones, zone_costs)
+    """Instantiate a placer from a spec's ``spot_placer`` name.
+
+    Resolution goes through :data:`repro.serving.registry.PLACERS`, so
+    third-party placers registered there are constructible by name too.
+    """
+    from repro.serving.registry import PLACERS
+
+    cls: type[SpotPlacer] = PLACERS.get(kind)
+    return cls(zones, zone_costs)
+
+
+# Registered at the bottom so the classes exist before the registry
+# import (which initialises the whole repro.serving package) runs.
+from repro.serving.registry import PLACERS as _PLACERS  # noqa: E402
+
+_PLACERS.register("dynamic", DynamicSpotPlacer)
+_PLACERS.register("even_spread", EvenSpreadPlacer)
+_PLACERS.register("round_robin", RoundRobinPlacer)

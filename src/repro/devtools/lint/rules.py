@@ -44,6 +44,7 @@ SEEDED_DIRS = (
     "baselines/",
     "experiments/",
     "chaos/",
+    "control/",
     "telemetry/",
     "serving/",
     "workloads/",

@@ -20,6 +20,13 @@ from repro.serving.load_balancer import (
     make_balancer,
 )
 from repro.serving.policy import MixTarget, Observation, ServingPolicy
+from repro.serving.registry import (
+    AUTOSCALE_MODES,
+    BALANCERS,
+    PLACERS,
+    PolicyRegistry,
+    load_entry_point_plugins,
+)
 from repro.serving.replica import Replica, ReplicaState
 from repro.serving.service import ServiceReport, SkyService
 from repro.serving.spec import (
@@ -30,6 +37,9 @@ from repro.serving.spec import (
 )
 
 __all__ = [
+    "AUTOSCALE_MODES",
+    "BALANCERS",
+    "PLACERS",
     "Autoscaler",
     "ClientStats",
     "DomainFilter",
@@ -41,6 +51,7 @@ __all__ = [
     "MixTarget",
     "ModelProfile",
     "Observation",
+    "PolicyRegistry",
     "Replica",
     "ReplicaPolicyConfig",
     "ReplicaState",
@@ -55,6 +66,7 @@ __all__ = [
     "ServingPolicy",
     "SkyService",
     "make_balancer",
+    "load_entry_point_plugins",
     "llama2_70b_profile",
     "opt_6_7b_profile",
     "vicuna_13b_profile",

@@ -102,19 +102,19 @@ class Autoscaler:
     def candidate_target(self, now: float) -> int:
         """N_Can = ceil(R_t / Q_Tar), clamped to the replica bounds.
 
-        In ``slo`` mode, when the recent violation rate exceeds the
-        configured threshold the candidate is raised to at least
-        ``N_Tar + ceil(rate * N_Tar)`` — proportional pressure: the
-        worse the attainment, the harder the push — before clamping.
+        The QPS-derived candidate is handed to the configured autoscale
+        mode (:data:`repro.serving.registry.AUTOSCALE_MODES`), which may
+        raise it; in ``slo`` mode, when the recent violation rate
+        exceeds the configured threshold the candidate is raised to at
+        least ``N_Tar + ceil(rate * N_Tar)`` — proportional pressure:
+        the worse the attainment, the harder the push — before clamping.
         """
+        from repro.serving.registry import AUTOSCALE_MODES
+
         rate = self.request_rate(now)
         candidate = math.ceil(rate / self.config.target_qps_per_replica)
-        if self.config.autoscale_mode == "slo":
-            violation = self.slo_violation_rate(now)
-            if violation > self.config.slo_violation_threshold:
-                bump = max(1, math.ceil(violation * self._n_tar))
-                candidate = max(candidate, self._n_tar + bump)
-        return self._clamp(candidate)
+        mode = AUTOSCALE_MODES.get(self.config.autoscale_mode)
+        return self._clamp(mode(self, now, candidate))
 
     def evaluate(self, now: float) -> int:
         """Update and return N_Tar; call once per controller tick."""
@@ -142,3 +142,29 @@ class Autoscaler:
             self._above_since = None
             self._below_since = None
         return self._n_tar
+
+
+# -- autoscale modes ------------------------------------------------------
+# A mode maps the QPS-derived candidate to the final (unclamped)
+# candidate: ``mode(autoscaler, now, qps_candidate) -> int``.  Registered
+# by name so specs can select third-party scaling signals.
+
+
+def _qps_mode(autoscaler: Autoscaler, now: float, candidate: int) -> int:
+    """Scale on request rate only (the paper's default)."""
+    return candidate
+
+
+def _slo_mode(autoscaler: Autoscaler, now: float, candidate: int) -> int:
+    """Additionally push the target up under TTFT/TPOT SLO violations."""
+    violation = autoscaler.slo_violation_rate(now)
+    if violation > autoscaler.config.slo_violation_threshold:
+        bump = max(1, math.ceil(violation * autoscaler.n_tar))
+        candidate = max(candidate, autoscaler.n_tar + bump)
+    return candidate
+
+
+from repro.serving.registry import AUTOSCALE_MODES as _AUTOSCALE_MODES  # noqa: E402
+
+_AUTOSCALE_MODES.register("qps", _qps_mode)
+_AUTOSCALE_MODES.register("slo", _slo_mode)

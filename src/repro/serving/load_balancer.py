@@ -164,16 +164,39 @@ def make_balancer(
     client_region: str = "aws:us-west-2",
     network: Optional[NetworkModel] = None,
 ) -> LoadBalancer:
-    """Instantiate a balancer from a service spec policy name."""
-    if policy == "round_robin":
-        return RoundRobinBalancer()
-    if policy == "least_load":
-        return LeastLoadBalancer()
-    if policy == "locality":
-        if network is None:
-            raise ValueError("locality balancer requires a network model")
-        return LocalityAwareBalancer(client_region, network)
-    raise ValueError(
-        f"unknown load balancing policy {policy!r}: "
-        "expected one of 'round_robin', 'least_load', 'locality'"
-    )
+    """Instantiate a balancer from a service spec policy name.
+
+    Resolution goes through :data:`repro.serving.registry.BALANCERS`;
+    registered factories take ``(client_region, network)`` and return a
+    :class:`LoadBalancer`.
+    """
+    from repro.serving.registry import BALANCERS
+
+    factory = BALANCERS.get(policy)
+    balancer: LoadBalancer = factory(client_region, network)
+    return balancer
+
+
+def _make_round_robin(
+    client_region: str, network: Optional[NetworkModel]
+) -> LoadBalancer:
+    return RoundRobinBalancer()
+
+
+def _make_least_load(
+    client_region: str, network: Optional[NetworkModel]
+) -> LoadBalancer:
+    return LeastLoadBalancer()
+
+
+def _make_locality(client_region: str, network: Optional[NetworkModel]) -> LoadBalancer:
+    if network is None:
+        raise ValueError("locality balancer requires a network model")
+    return LocalityAwareBalancer(client_region, network)
+
+
+from repro.serving.registry import BALANCERS as _BALANCERS  # noqa: E402
+
+_BALANCERS.register("round_robin", _make_round_robin)
+_BALANCERS.register("least_load", _make_least_load)
+_BALANCERS.register("locality", _make_locality)

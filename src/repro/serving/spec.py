@@ -14,12 +14,9 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.cloud.topology import Topology, Zone
+from repro.serving.registry import AUTOSCALE_MODES, BALANCERS, PLACERS
 
 __all__ = ["DomainFilter", "ReplicaPolicyConfig", "ResourceSpec", "ServiceSpec"]
-
-_VALID_PLACERS = ("dynamic", "even_spread", "round_robin")
-_VALID_BALANCERS = ("round_robin", "least_load", "locality")
-_VALID_AUTOSCALE_MODES = ("qps", "slo")
 
 
 @dataclass(frozen=True)
@@ -98,16 +95,17 @@ class ReplicaPolicyConfig:
             raise ValueError("negative replica counts")
         if self.fixed_target is not None and self.fixed_target < 1:
             raise ValueError("fixed_target must be >= 1 when set")
-        if self.spot_placer not in _VALID_PLACERS:
+        if self.spot_placer not in PLACERS:
             raise ValueError(
-                f"unknown spot_placer {self.spot_placer!r}; expected one of {_VALID_PLACERS}"
+                f"unknown spot_placer {self.spot_placer!r}; "
+                f"expected one of {PLACERS.names()}"
             )
         if min(self.qps_window, self.upscale_delay, self.downscale_delay) < 0:
             raise ValueError("negative autoscaler delays")
-        if self.autoscale_mode not in _VALID_AUTOSCALE_MODES:
+        if self.autoscale_mode not in AUTOSCALE_MODES:
             raise ValueError(
                 f"unknown autoscale_mode {self.autoscale_mode!r}; "
-                f"expected one of {_VALID_AUTOSCALE_MODES}"
+                f"expected one of {AUTOSCALE_MODES.names()}"
             )
         if self.ttft_slo is not None and self.ttft_slo <= 0:
             raise ValueError("ttft_slo must be positive when set")
@@ -165,6 +163,18 @@ class ResourceSpec:
     def __post_init__(self) -> None:
         if self.workers_per_replica < 1:
             raise ValueError("workers_per_replica must be >= 1")
+        # YAML/JSON round-trips hand us lists; normalise so specs stay
+        # hashable and comparable regardless of the input container.
+        if not isinstance(self.any_of, tuple):
+            object.__setattr__(self, "any_of", tuple(self.any_of))
+        seen: set[DomainFilter] = set()
+        for entry in self.any_of:
+            if entry in seen:
+                raise ValueError(
+                    f"duplicate any_of entry {entry.to_dict()}: each "
+                    "failure-domain filter may appear at most once"
+                )
+            seen.add(entry)
 
     def allowed_zones(self, topology: Topology) -> list[Zone]:
         """Resolve ``any_of`` into the concrete zone set Z of Alg. 1."""
@@ -216,10 +226,10 @@ class ServiceSpec:
             raise ValueError("request_timeout must be positive")
         if self.max_queue_per_replica is not None and self.max_queue_per_replica < 0:
             raise ValueError("max_queue_per_replica must be >= 0 when set")
-        if self.load_balancing_policy not in _VALID_BALANCERS:
+        if self.load_balancing_policy not in BALANCERS:
             raise ValueError(
                 f"unknown load_balancing_policy {self.load_balancing_policy!r}; "
-                f"expected one of {_VALID_BALANCERS}"
+                f"expected one of {BALANCERS.names()}"
             )
 
     def to_dict(self) -> dict[str, Any]:

@@ -61,6 +61,9 @@ __all__ = [
     "SloBurnAlert",
     "SweepProgress",
     "TelemetryEvent",
+    "TenantAdmission",
+    "TenantCostSnapshot",
+    "TenantEviction",
     "ZoneCapacity",
     "event_from_dict",
     "event_kinds",
@@ -472,6 +475,52 @@ class EventsDropped(TelemetryEvent):
 
     dropped_total: int
     capacity: int = 0
+
+
+@_register
+@dataclass(slots=True)
+class TenantAdmission(TelemetryEvent):
+    """The capacity broker decided one tenant spot launch request.
+
+    ``decision`` is ``admitted`` (delegated with capacity held),
+    ``rejected`` (quota denial — fails like InsufficientCapacity), or
+    ``passthrough`` (the zone had no room anyway; the cloud's natural
+    failure path answers).
+    """
+
+    kind: ClassVar[str] = "tenant.admission"
+
+    tenant: str
+    zone: str
+    decision: str  # admitted | rejected | passthrough
+    mode: str = "fair_share"
+
+
+@_register
+@dataclass(slots=True)
+class TenantEviction(TelemetryEvent):
+    """Strict-priority admission evicted a lower-priority tenant's spot
+    instance to make room for a higher-priority launch."""
+
+    kind: ClassVar[str] = "tenant.eviction"
+
+    tenant: str  # the tenant gaining capacity
+    victim: str  # the tenant losing an instance
+    zone: str
+    instance_id: int = -1
+
+
+@_register
+@dataclass(slots=True)
+class TenantCostSnapshot(TelemetryEvent):
+    """Accrued cost of one tenant at a point in time (fleet roll-up)."""
+
+    kind: ClassVar[str] = "tenant.cost"
+
+    tenant: str
+    spot: float
+    on_demand: float
+    total: float
 
 
 @dataclass(slots=True)

@@ -519,6 +519,20 @@ class MetricsSink:
             "telemetry_dropped_events", "Ring-buffer events dropped.", (),
             series=False,
         )
+        self._tenant_admissions = reg.counter(
+            "tenant_admissions_total",
+            "Capacity-broker admission decisions per tenant.",
+            ("tenant", "decision"),
+        )
+        self._tenant_evictions = reg.counter(
+            "tenant_evictions_total",
+            "Strict-priority evictions per tenant (won vs suffered).",
+            ("tenant", "role"),
+        )
+        self._tenant_cost = reg.gauge(
+            "tenant_cost_dollars", "Accrued cost by tenant and market.",
+            ("tenant", "market"),
+        )
         self._dispatch = {
             "replica.preempted": self._on_preempted,
             "replica.launch": self._on_launch,
@@ -534,6 +548,9 @@ class MetricsSink:
             "replica.load": self._on_load,
             "slo.burn_alert": self._on_burn_alert,
             "telemetry.dropped": self._on_dropped,
+            "tenant.admission": self._on_tenant_admission,
+            "tenant.eviction": self._on_tenant_eviction,
+            "tenant.cost": self._on_tenant_cost,
         }
 
     # -- sink protocol --------------------------------------------------
@@ -600,6 +617,19 @@ class MetricsSink:
 
     def _on_dropped(self, event: Any) -> None:
         self._dropped.labels().set(event.time, float(event.dropped_total))
+
+    def _on_tenant_admission(self, event: Any) -> None:
+        self._tenant_admissions.labels(event.tenant, event.decision).inc()
+
+    def _on_tenant_eviction(self, event: Any) -> None:
+        self._tenant_evictions.labels(event.tenant, "won").inc()
+        self._tenant_evictions.labels(event.victim, "suffered").inc()
+
+    def _on_tenant_cost(self, event: Any) -> None:
+        cost = self._tenant_cost
+        cost.labels(event.tenant, "spot").set(event.time, event.spot)
+        cost.labels(event.tenant, "on_demand").set(event.time, event.on_demand)
+        cost.labels(event.tenant, "total").set(event.time, event.total)
 
 
 def registry_from_events(

@@ -93,6 +93,12 @@ class EventLogSummary:
     chaos_injections: list[tuple[float, str, int, str]] = field(default_factory=list)
     chaos_injections_by_kind: Counter = field(default_factory=Counter)
     chaos_ended_at: Optional[float] = None
+    #: tenant -> decision counts (multi-tenant control-plane runs only).
+    tenant_admissions: dict[str, Counter] = field(default_factory=dict)
+    #: tenant -> {"won": n, "suffered": n} strict-priority evictions.
+    tenant_evictions: dict[str, Counter] = field(default_factory=dict)
+    #: tenant -> latest (spot, on_demand) cost snapshot.
+    tenant_cost: dict[str, tuple[float, float]] = field(default_factory=dict)
 
 
 def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
@@ -176,6 +182,17 @@ def summarize(events: Sequence[TelemetryEvent]) -> EventLogSummary:
             out.chaos_injections_by_kind[event.injection] += 1
         elif kind == "chaos.scenario_ended":
             out.chaos_ended_at = event.time
+        elif kind == "tenant.admission":
+            out.tenant_admissions.setdefault(event.tenant, Counter())[
+                event.decision
+            ] += 1
+        elif kind == "tenant.eviction":
+            out.tenant_evictions.setdefault(event.tenant, Counter())["won"] += 1
+            out.tenant_evictions.setdefault(event.victim, Counter())[
+                "suffered"
+            ] += 1
+        elif kind == "tenant.cost":
+            out.tenant_cost[event.tenant] = (event.spot, event.on_demand)
     out.span_legs = legs
     return out
 
@@ -366,6 +383,34 @@ def format_summary(
             lines.append(f"  t={_fmt_time(time)}: {kind} hit {scope}{suffix}")
         if len(s.chaos_injections) > 10:
             lines.append(f"  ... {len(s.chaos_injections) - 10} more injections")
+
+    tenant_names = sorted(
+        set(s.tenant_admissions) | set(s.tenant_evictions) | set(s.tenant_cost)
+    )
+    if tenant_names:
+        lines.append("")
+        lines.append("tenants:")
+        rows = []
+        for name in tenant_names:
+            admissions = s.tenant_admissions.get(name, Counter())
+            evictions = s.tenant_evictions.get(name, Counter())
+            cost = s.tenant_cost.get(name)
+            rows.append(
+                [
+                    name,
+                    admissions.get("admitted", 0),
+                    admissions.get("rejected", 0),
+                    evictions.get("won", 0),
+                    evictions.get("suffered", 0),
+                    "-" if cost is None else f"${cost[0] + cost[1]:.2f}",
+                ]
+            )
+        lines.extend(
+            _table(
+                ["tenant", "admitted", "rejected", "evict won", "evict lost", "cost"],
+                rows,
+            )
+        )
 
     if s.final_cost is not None:
         spot, od = s.final_cost

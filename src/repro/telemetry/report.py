@@ -193,6 +193,35 @@ class RunReport:
                 }
         return out
 
+    def tenants_section(self) -> dict[str, Any]:
+        """Per-tenant roll-up of the control-plane event kinds.
+
+        Empty for single-service logs — only multi-tenant runs
+        (``repro serve up``) emit ``tenant.*`` events.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        admissions = self.registry.get("tenant_admissions_total")
+        if admissions is not None:
+            for values, child in sorted(admissions.children().items()):
+                tenant, decision = values
+                entry = out.setdefault(tenant, {})
+                entry.setdefault("admissions", {})[decision] = int(child.value)
+        evictions = self.registry.get("tenant_evictions_total")
+        if evictions is not None:
+            for values, child in sorted(evictions.children().items()):
+                tenant, role = values
+                entry = out.setdefault(tenant, {})
+                entry.setdefault("evictions", {})[role] = int(child.value)
+        cost = self.registry.get("tenant_cost_dollars")
+        if cost is not None:
+            for values, child in sorted(cost.children().items()):
+                tenant, market = values
+                if math.isnan(child.last):
+                    continue
+                entry = out.setdefault(tenant, {})
+                entry.setdefault("cost", {})[market] = _round(child.last)
+        return out
+
     def profile_section(self) -> list[dict[str, Any]]:
         """Profiler phases recorded into the log (wall-clock — stable
         per log file, not across simulation re-runs)."""
@@ -221,6 +250,8 @@ class RunReport:
             "requests_routed_total",
             "requests_shed_total",
             "slo_burn_alerts_total",
+            "tenant_admissions_total",
+            "tenant_evictions_total",
         ):
             totals = self._counter_totals(name)
             if totals:
@@ -242,6 +273,7 @@ class RunReport:
                 "cost_total": [_round(v, 4) for v in self.cost_timeline()],
             },
             "latency": self.latency_summary(),
+            "tenants": self.tenants_section(),
             "slo": self.slo.snapshot(),
             "alerts": [
                 {
@@ -380,6 +412,24 @@ def render_dashboard(report: RunReport, *, top_k: int = 8) -> str:
                 f"    {name:<15}{stats['count']:>8}"
                 f"{stats['p50']:>9.3f}{stats['p90']:>9.3f}"
                 f"{stats['p99']:>9.3f}{stats['max']:>9.3f}"
+            )
+        lines.append("")
+
+    tenants = data["tenants"]
+    if tenants:
+        lines.append(
+            "  tenant           admitted  rejected  evict(won/lost)   cost ($)"
+        )
+        for name in sorted(tenants):
+            entry = tenants[name]
+            admissions = entry.get("admissions", {})
+            evictions = entry.get("evictions", {})
+            cost = entry.get("cost", {})
+            lines.append(
+                f"    {name:<15}{admissions.get('admitted', 0):>8}"
+                f"{admissions.get('rejected', 0):>10}"
+                f"{evictions.get('won', 0):>8}/{evictions.get('suffered', 0):<8}"
+                f"{cost.get('total', 0.0):>9.2f}"
             )
         lines.append("")
 

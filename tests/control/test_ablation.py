@@ -1,0 +1,97 @@
+"""The 1-vs-N contention ablation: structure and determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotTrace
+from repro.control import DeploymentSpec, TenantSpec, run_contention_ablation
+from repro.serving import ReplicaPolicyConfig, ServiceSpec
+
+STEP = 300.0
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+
+
+def tight_trace(capacity=3, n_steps=12):
+    """A deliberately capacity-starved trace so tenants contend."""
+    return SpotTrace(
+        "tight", ZONES, STEP, np.full((2, n_steps), capacity, dtype=np.int64)
+    )
+
+
+def deployment():
+    def tenant(name, prio, share):
+        return TenantSpec(
+            service=ServiceSpec(
+                name=name, replica_policy=ReplicaPolicyConfig(fixed_target=3)
+            ),
+            priority=prio,
+            qps_share=share,
+            workload="poisson",
+            rate=0.2,
+        )
+
+    return DeploymentSpec(
+        name="contend",
+        tenants=(tenant("gold", 1, 2.0), tenant("bronze", 0, 1.0)),
+        hours=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_contention_ablation(deployment(), tight_trace(), seed=3)
+
+
+class TestAblationStructure:
+    def test_covers_all_tenants_and_modes(self, result):
+        assert set(result.solo) == {"gold", "bronze"}
+        assert result.fair_share.admission == "fair_share"
+        assert result.strict_priority.admission == "strict_priority"
+        rows = result.rows()
+        assert [r["tenant"] for r in rows] == ["gold", "bronze"]
+        for row in rows:
+            assert set(row["availability"]) == {
+                "solo", "fair_share", "strict_priority"
+            }
+            for value in row["availability"].values():
+                assert 0.0 <= value <= 1.0
+
+    def test_contention_is_measurable(self, result):
+        """On a starved trace, sharing must cost somebody something:
+        the broker rejects or evicts, and at least one tenant's
+        availability drops below its solo baseline."""
+        fleets = (result.fair_share, result.strict_priority)
+        pressure = sum(
+            r.rejected + r.evictions_won for f in fleets for r in f.tenants
+        )
+        assert pressure > 0
+        degraded = [
+            row["tenant"]
+            for row in result.rows()
+            if min(
+                row["availability"]["fair_share"],
+                row["availability"]["strict_priority"],
+            )
+            < row["availability"]["solo"]
+        ]
+        assert degraded, "no tenant lost availability under contention"
+
+    def test_solo_runs_are_single_tenant(self, result):
+        for name, fleet in result.solo.items():
+            assert [r.tenant for r in fleet.tenants] == [name]
+            assert fleet.tenant(name).rejected == 0
+
+    def test_json_artifact_canonical(self, result):
+        text = result.to_json()
+        data = json.loads(text)
+        assert data["schema"] == "repro.control.ablation/v1"
+        assert data["seed"] == 3
+        assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+
+class TestAblationDeterminism:
+    def test_repeat_is_byte_identical(self, result):
+        again = run_contention_ablation(deployment(), tight_trace(), seed=3)
+        assert again.to_json() == result.to_json()

@@ -1,0 +1,229 @@
+"""CapacityBroker admission: quotas, fair share, priority eviction."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudConfig, SimCloud, SpotTrace
+from repro.cloud.instance import InstanceCallbacks, InstanceState
+from repro.control import CapacityBroker, TenantSpec
+from repro.serving import ServiceSpec
+from repro.sim import SimulationEngine
+from repro.sim.rng import RngRegistry
+
+STEP = 300.0
+ZONES = ["aws:us-west-2:us-west-2a", "aws:us-west-2:us-west-2b"]
+ZONE = ZONES[0]
+ITYPE = "g5.48xlarge"
+
+
+def tenant(name, prio=0, share=1.0):
+    return TenantSpec(
+        service=ServiceSpec(name=name),
+        priority=prio,
+        qps_share=share,
+        workload="poisson",
+        rate=0.1,
+    )
+
+
+def make_broker(tenants, capacity=4, mode="fair_share", seed=0):
+    trace = SpotTrace(
+        "broker-test",
+        ZONES,
+        STEP,
+        np.full((len(ZONES), 48), capacity, dtype=np.int64),
+    )
+    rng = RngRegistry(seed)
+    engine = SimulationEngine()
+    cloud = SimCloud(engine, trace, rng=rng, config=CloudConfig())
+    broker = CapacityBroker(cloud, tenants, mode=mode, rng=rng)
+    return engine, cloud, broker
+
+
+class TestQuotas:
+    def test_even_split(self):
+        _, _, broker = make_broker([tenant("a"), tenant("b")], capacity=4)
+        assert broker.quotas(ZONE) == {"a": 2, "b": 2}
+
+    def test_weighted_split(self):
+        _, _, broker = make_broker(
+            [tenant("a", share=1.0), tenant("b", share=3.0)], capacity=4
+        )
+        assert broker.quotas(ZONE) == {"a": 1, "b": 3}
+
+    def test_remainder_follows_arbitration_order(self):
+        _, _, broker = make_broker([tenant("a"), tenant("b")], capacity=5)
+        quotas = broker.quotas(ZONE)
+        assert sum(quotas.values()) == 5
+        assert sorted(quotas.values()) == [2, 3]
+        winner = min(quotas, key=lambda n: broker.arbitration_rank[n])
+        assert quotas[winner] == 3
+
+    def test_arbitration_is_seed_deterministic(self):
+        ranks = [
+            make_broker([tenant("a"), tenant("b"), tenant("c")], seed=7)[
+                2
+            ].arbitration_rank
+            for _ in range(2)
+        ]
+        assert ranks[0] == ranks[1]
+
+
+class TestFairShare:
+    def test_under_quota_requests_admitted(self):
+        engine, cloud, broker = make_broker([tenant("a"), tenant("b")], capacity=4)
+        view = broker.view("a")
+        for _ in range(2):
+            view.request_instance(ZONE, ITYPE, spot=True)
+        assert broker.admitted["a"] == 2
+        assert broker.rejected["a"] == 0
+        assert broker.spot_holdings("a", ZONE) == 2
+
+    def test_over_quota_rejected_while_peer_quota_reserved(self):
+        engine, cloud, broker = make_broker([tenant("a"), tenant("b")], capacity=4)
+        view = broker.view("a")
+        failed = []
+        for _ in range(2):
+            view.request_instance(ZONE, ITYPE, spot=True)
+        third = view.request_instance(
+            ZONE, ITYPE, spot=True,
+            callbacks=InstanceCallbacks(on_failed=failed.append),
+        )
+        assert broker.rejected["a"] == 1
+        assert broker.spot_holdings("a", ZONE) == 2
+        # The denial surfaces exactly like InsufficientCapacity: the
+        # instance dies after failure_detect_delay, not instantly.
+        assert not failed
+        engine.run_until(cloud.config.failure_detect_delay + 1.0)
+        assert failed == [third]
+        assert third.state is InstanceState.FAILED
+
+    def test_single_tenant_never_quota_rejected(self):
+        engine, cloud, broker = make_broker([tenant("a")], capacity=2)
+        view = broker.view("a")
+        for _ in range(3):
+            view.request_instance(ZONE, ITYPE, spot=True)
+        # Third request hits the cloud's own no-room path (passthrough),
+        # never the broker's quota rejection — the N=1 equivalence.
+        assert broker.rejected["a"] == 0
+        assert broker.spot_holdings("a", ZONE) == 2
+
+    def test_terminate_releases_holdings(self):
+        engine, cloud, broker = make_broker([tenant("a"), tenant("b")], capacity=4)
+        view = broker.view("a")
+        instance = view.request_instance(ZONE, ITYPE, spot=True)
+        assert broker.spot_holdings("a", ZONE) == 1
+        view.terminate(instance)
+        assert broker.spot_holdings("a", ZONE) == 0
+
+    def test_on_demand_not_metered_but_billed(self):
+        engine, cloud, broker = make_broker([tenant("a"), tenant("b")], capacity=0)
+        view = broker.view("a")
+        view.request_instance(ZONE, ITYPE, spot=False)
+        assert broker.rejected["a"] == 0
+        engine.run_until(3600.0)
+        bill = broker.billing.tenant_breakdown("a", engine.now)
+        assert bill.on_demand > 0
+        assert broker.billing.tenant_breakdown("b", engine.now).total == 0.0
+
+
+class TestStrictPriority:
+    def test_high_priority_evicts_lowest(self):
+        engine, cloud, broker = make_broker(
+            [tenant("lo", prio=0), tenant("hi", prio=1)],
+            capacity=2,
+            mode="strict_priority",
+        )
+        preempted = []
+        lo = broker.view("lo")
+        victims = [
+            lo.request_instance(
+                ZONE, ITYPE, spot=True,
+                callbacks=InstanceCallbacks(on_preempted=preempted.append),
+            )
+            for _ in range(2)
+        ]
+        # Let the victims reach READY: evicting a ready VM is a real
+        # preemption, evicting a provisioning one is a launch failure.
+        engine.run_until(600.0)
+        assert all(i.state is InstanceState.READY for i in victims)
+        assert cloud.spot_room(ZONE) == 0
+        hi = broker.view("hi")
+        hi.request_instance(ZONE, ITYPE, spot=True)
+        assert broker.evictions_won["hi"] == 1
+        assert broker.evictions_suffered["lo"] == 1
+        assert len(preempted) == 1
+        assert preempted[0].state is InstanceState.PREEMPTED
+        assert broker.spot_holdings("lo", ZONE) == 1
+        assert broker.spot_holdings("hi", ZONE) == 1
+
+    def test_low_priority_cannot_evict_upward(self):
+        engine, cloud, broker = make_broker(
+            [tenant("lo", prio=0), tenant("hi", prio=1)],
+            capacity=1,
+            mode="strict_priority",
+        )
+        broker.view("hi").request_instance(ZONE, ITYPE, spot=True)
+        broker.view("lo").request_instance(ZONE, ITYPE, spot=True)
+        assert broker.evictions_won["lo"] == 0
+        assert broker.evictions_suffered["hi"] == 0
+        assert broker.spot_holdings("hi", ZONE) == 1
+
+    def test_equal_priority_never_evicts(self):
+        engine, cloud, broker = make_broker(
+            [tenant("a", prio=1), tenant("b", prio=1)],
+            capacity=1,
+            mode="strict_priority",
+        )
+        broker.view("a").request_instance(ZONE, ITYPE, spot=True)
+        broker.view("b").request_instance(ZONE, ITYPE, spot=True)
+        assert broker.evictions_won == {"a": 0, "b": 0}
+
+    def test_victim_is_oldest_instance_of_lowest_priority(self):
+        engine, cloud, broker = make_broker(
+            [tenant("lo", prio=0), tenant("mid", prio=1), tenant("hi", prio=2)],
+            capacity=2,
+            mode="strict_priority",
+        )
+        first = broker.view("lo").request_instance(ZONE, ITYPE, spot=True)
+        broker.view("mid").request_instance(ZONE, ITYPE, spot=True)
+        engine.run_until(600.0)
+        assert first.state is InstanceState.READY
+        broker.view("hi").request_instance(ZONE, ITYPE, spot=True)
+        assert broker.evictions_suffered["lo"] == 1
+        assert broker.evictions_suffered["mid"] == 0
+        assert first.state is InstanceState.PREEMPTED
+
+
+class TestSharedBilling:
+    def test_tenant_bills_sum_to_fleet_bill(self):
+        engine, cloud, broker = make_broker([tenant("a"), tenant("b")], capacity=4)
+        broker.view("a").request_instance(ZONE, ITYPE, spot=True)
+        broker.view("b").request_instance(ZONE, ITYPE, spot=True)
+        broker.view("b").request_instance(ZONE, ITYPE, spot=False)
+        engine.run_until(3600.0)
+        now = engine.now
+        fleet = broker.billing.breakdown(now)
+        parts = [
+            broker.billing.tenant_breakdown(name, now) for name in ("a", "b")
+        ]
+        assert fleet.spot == pytest.approx(sum(p.spot for p in parts))
+        assert fleet.on_demand == pytest.approx(sum(p.on_demand for p in parts))
+        assert fleet.total > 0
+
+    def test_unknown_tenant_rejected(self):
+        _, _, broker = make_broker([tenant("a")])
+        with pytest.raises(KeyError):
+            broker.view("nope")
+        with pytest.raises(KeyError):
+            broker.billing.charge_to("nope")
+
+
+class TestBrokerValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown admission mode"):
+            make_broker([tenant("a")], mode="lottery")
+
+    def test_no_tenants(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            make_broker([])

@@ -1,0 +1,96 @@
+"""Byte-identical multi-tenant reports: repeats and PYTHONHASHSEED."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cloud import aws1
+from repro.control import ControlPlane, DeploymentSpec, TenantSpec
+from repro.serving import ReplicaPolicyConfig, ServiceSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SNIPPET = """
+from repro.cloud import aws1
+from repro.control import ControlPlane, DeploymentSpec, TenantSpec
+from repro.serving import ReplicaPolicyConfig, ServiceSpec
+
+def tenant(name, **kwargs):
+    return TenantSpec(
+        service=ServiceSpec(
+            name=name, replica_policy=ReplicaPolicyConfig(fixed_target=2)
+        ),
+        workload="poisson", rate=0.2, **kwargs,
+    )
+
+deployment = DeploymentSpec(
+    name="hash-check",
+    tenants=(tenant("a", qps_share=2.0, priority=1), tenant("b")),
+    admission="strict_priority",
+    hours=0.25,
+)
+fleet = ControlPlane(deployment, aws1(), seed=13).run()
+import sys
+sys.stdout.write(fleet.to_json())
+"""
+
+
+def small_deployment(admission="fair_share"):
+    def tenant(name, **kwargs):
+        return TenantSpec(
+            service=ServiceSpec(
+                name=name, replica_policy=ReplicaPolicyConfig(fixed_target=2)
+            ),
+            workload="poisson",
+            rate=0.2,
+            **kwargs,
+        )
+
+    return DeploymentSpec(
+        name="repeat-check",
+        tenants=(tenant("a", qps_share=2.0), tenant("b")),
+        admission=admission,
+        hours=0.25,
+    )
+
+
+def run_json(deployment, seed=13):
+    return ControlPlane(deployment, aws1(), seed=seed).run().to_json()
+
+
+class TestRepeatedInvocations:
+    def test_fair_share_reports_byte_identical(self):
+        dep = small_deployment()
+        assert run_json(dep) == run_json(dep)
+
+    def test_strict_priority_reports_byte_identical(self):
+        dep = small_deployment(admission="strict_priority")
+        assert run_json(dep) == run_json(dep)
+
+    def test_seed_changes_the_run(self):
+        dep = small_deployment()
+        assert run_json(dep, seed=13) != run_json(dep, seed=14)
+
+
+class TestHashSeedIndependence:
+    def test_report_bytes_survive_hash_randomisation(self):
+        """The fleet artifact must not depend on dict/set iteration
+        order: two interpreters with different PYTHONHASHSEED values
+        produce the same bytes."""
+        outputs = []
+        for hash_seed in ("0", "4242"):
+            result = subprocess.run(
+                [sys.executable, "-c", _SNIPPET],
+                capture_output=True,
+                text=True,
+                cwd=REPO_ROOT,
+                env={
+                    "PYTHONPATH": str(REPO_ROOT / "src"),
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        assert '"schema": "repro.control/v1"' in outputs[0]

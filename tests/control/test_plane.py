@@ -1,0 +1,125 @@
+"""ControlPlane fleet runs and the canonical FleetReport artifact."""
+
+import json
+
+import pytest
+
+from repro.cloud import HOUR, aws1
+from repro.control import ControlPlane, DeploymentSpec, FleetReport, TenantSpec
+from repro.serving import ReplicaPolicyConfig, ServiceSpec
+
+
+def tenant(name, target=2, **kwargs):
+    kwargs.setdefault("workload", "poisson")
+    kwargs.setdefault("rate", 0.2)
+    return TenantSpec(
+        service=ServiceSpec(
+            name=name,
+            replica_policy=ReplicaPolicyConfig(fixed_target=target),
+        ),
+        **kwargs,
+    )
+
+
+def two_tenant_deployment(**kwargs):
+    kwargs.setdefault("hours", 0.5)
+    return DeploymentSpec(
+        name="pair",
+        tenants=(
+            tenant("a", priority=1, qps_share=2.0),
+            tenant("b", policy="EvenSpread", profile="opt-6.7b"),
+        ),
+        **kwargs,
+    )
+
+
+class TestControlPlane:
+    def test_fleet_run_produces_complete_report(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        fleet = plane.run()
+        assert fleet.deployment == "pair"
+        assert fleet.admission == "fair_share"
+        assert fleet.seed == 5
+        assert fleet.duration == pytest.approx(0.5 * HOUR)
+        assert {r.tenant for r in fleet.tenants} == {"a", "b"}
+        for report in fleet.tenants:
+            assert report.total_requests > 0
+            assert report.completed + report.failed <= report.total_requests
+            assert 0.0 <= report.availability <= 1.0
+            assert report.total_cost > 0
+        assert fleet.tenant("b").policy == "EvenSpread"
+        with pytest.raises(KeyError):
+            fleet.tenant("z")
+
+    def test_tenant_costs_sum_to_fleet_cost(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        fleet = plane.run()
+        assert fleet.fleet_spot_cost == pytest.approx(
+            sum(r.spot_cost for r in fleet.tenants)
+        )
+        assert fleet.fleet_od_cost == pytest.approx(
+            sum(r.od_cost for r in fleet.tenants)
+        )
+        assert fleet.fleet_total_cost > 0
+
+    def test_report_json_is_canonical(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        text = plane.run().to_json()
+        data = json.loads(text)
+        assert data["schema"] == "repro.control/v1"
+        assert set(data["tenants"]) == {"a", "b"}
+        # Canonical form: sorted keys, 2-space indent, trailing newline.
+        assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+    def test_status_covers_every_tenant(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        plane.run(600.0)
+        status = plane.status()
+        assert set(status) == {"a", "b"}
+
+    def test_report_before_run_raises(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        with pytest.raises(RuntimeError, match="run\\(\\)"):
+            plane.report()
+
+    def test_scenario_arms_against_shared_cloud(self):
+        dep = two_tenant_deployment(scenario="capacity-blackout", hours=0.5)
+        plane = ControlPlane(dep, aws1(), seed=5)
+        fleet = plane.run()
+        assert fleet.scenario == "capacity-blackout"
+        assert plane.injector is not None
+
+    def test_unknown_profile_or_policy_guarded_by_spec(self):
+        with pytest.raises(ValueError):
+            tenant("a", policy="Mystery")
+        with pytest.raises(ValueError):
+            tenant("a", profile="mystery-model")
+
+
+class TestFleetReportShape:
+    def test_fleet_section_aggregates(self):
+        plane = ControlPlane(two_tenant_deployment(), aws1(), seed=5)
+        fleet = plane.run()
+        data = fleet.to_dict()
+        assert data["fleet"]["preemptions"] == sum(
+            r.preemptions for r in fleet.tenants
+        )
+        assert data["fleet"]["cost"]["total"] == pytest.approx(
+            data["fleet"]["cost"]["spot"] + data["fleet"]["cost"]["on_demand"],
+            abs=1e-5,
+        )
+
+    def test_round_trip_fields(self):
+        report = FleetReport(
+            deployment="d",
+            admission="fair_share",
+            trace="t",
+            scenario=None,
+            seed=0,
+            duration=60.0,
+            tenants=(),
+            fleet_spot_cost=1.0,
+            fleet_od_cost=2.0,
+        )
+        assert report.fleet_total_cost == 3.0
+        assert json.loads(report.to_json())["duration"] == 60.0
