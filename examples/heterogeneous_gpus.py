@@ -1,13 +1,14 @@
-"""Heterogeneous accelerators: fall back to a cheaper GPU tier (§6).
+"""Heterogeneous accelerators: tier fallback (§6) + fleet mixing.
 
-The paper's future-work extension, implemented: when the spot market
-for the preferred GPU (A100) dries up, HeterogeneousPolicy launches on
-a cheaper, lower-end tier (V100) instead of waiting or paying for
-on-demand, and drifts back once the A100 market recovers.
+Two extensions beyond the paper's homogeneous experiments:
 
-This example builds a trace where A100 zones black out for a stretch,
-replays both plain SpotHedge (A100-only) and the heterogeneous policy,
-and shows the availability difference.
+1. **Tier fallback** — when the spot market for the preferred GPU
+   (A100) dries up, HeterogeneousPolicy launches on a cheaper,
+   lower-end tier (V100) instead of waiting or paying for on-demand,
+   and drifts back once the A100 market recovers.
+2. **Capacity-weighted fleets** — hetero_spothedge co-optimises zone ×
+   instance type over "zone@itype" pools, targeting N_Tar *effective*
+   A10G units at minimum cost per unit (docs/HETEROGENEOUS.md).
 
 Run:  python examples/heterogeneous_gpus.py
 """
@@ -71,6 +72,55 @@ def main() -> None:
     print(f"  on-demand spend: {plain.od_cost:.1f} -> {mixed.od_cost:.1f} "
           f"replica-hour units "
           f"({1 - mixed.od_cost / max(plain.od_cost, 1e-9):.0%} less)")
+
+    fleet_mix_demo()
+
+
+def fleet_mix_demo() -> None:
+    """The co-optimised fleet: SpotHedge over (zone x type) pools."""
+    from repro.cloud import (
+        PriceBook,
+        aws1,
+        hetero_catalog,
+        make_hetero_trace,
+        pool_capacity_weights,
+        pool_price_multipliers,
+        pool_spot_costs,
+    )
+    from repro.core import hetero_spothedge
+
+    catalog = hetero_catalog()
+    types = ["g5.48xlarge", "p4d.24xlarge"]  # 8xA10G and 8xA100 shapes
+    trace = make_hetero_trace(
+        aws1().window(0, 24 * HOUR), types, catalog, seed=0
+    )
+    book = PriceBook(catalog)
+    ref = catalog.get("g5.48xlarge")
+    pools = trace.zone_ids
+
+    config = ReplayConfig(
+        n_tar=4,  # effective A10G units, not replica counts
+        k=ref.on_demand_hourly / ref.spot_hourly,
+        zone_price_multipliers=pool_price_multipliers(
+            pools, book, reference_price=ref.spot_hourly
+        ),
+        zone_capacity_weights=pool_capacity_weights(pools, catalog),
+    )
+    policy = hetero_spothedge(
+        pools,
+        pool_costs=pool_spot_costs(pools, book),
+        pool_weights=config.zone_capacity_weights,
+    )
+    result = TraceReplayer(trace, config, engine="discrete").run(policy)
+
+    print("\nCapacity-weighted A10G+A100 fleet over one aws1 day:")
+    print(f"  effective availability: {result.eff_availability:.1%} "
+          f"(>= {config.n_tar} A10G-units ready)")
+    print(f"  cost vs {config.n_tar} on-demand reference replicas: "
+          f"{result.relative_cost:.1%}")
+    print("  (one A100 replica counts as ~2.7 A10G units, so the fleet")
+    print("   covers the goal with fewer, cheaper-per-unit instances;")
+    print("   the full frontier: `repro hetero frontier`)")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,12 @@ Subcommands:
     Aggregate an event log (or a seeded in-memory replay) into a run
     report: terminal dashboard with fleet/cost/SLO timelines and hot
     profiler phases, plus a canonical byte-stable JSON artifact.
+``repro hetero``
+    Heterogeneous GPU fleet experiments (``repro.experiments.hetero``):
+    ``repro hetero frontier`` replays the homogeneous single-type
+    fleets and the mixed zone × instance-type fleet over one base
+    trace and prints the cost/availability frontier (byte-stable JSON
+    with ``--json``; see docs/HETEROGENEOUS.md).
 ``repro chaos``
     Fault-injection tooling (``repro.chaos``): list/show the bundled
     scenarios and run the policy × scenario robustness matrix, emitting
@@ -66,12 +72,16 @@ from repro.core import (
 )
 from repro.experiments import (
     ENGINES,
+    FLEETS,
     ReplayCache,
     ReplayConfig,
     ResultStore,
     TraceReplayer,
+    frontier_to_json,
     grid_sweep,
+    pareto_fleets,
     run_comparison,
+    run_frontier,
 )
 from repro.serving import (
     ServiceSpec,
@@ -547,6 +557,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hetero_frontier(args: argparse.Namespace) -> int:
+    fleets = _parse_axis(args.fleets, str, "--fleets") if args.fleets else None
+    if fleets:
+        for name in fleets:
+            if name not in FLEETS:
+                raise SystemExit(
+                    f"unknown fleet {name!r}: expected one of {list(FLEETS)}"
+                )
+    duration = args.duration * HOUR if args.duration is not None else None
+    points = run_frontier(
+        fleets,
+        n_tar=args.target,
+        seed=args.seed,
+        duration=duration,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    pareto = pareto_fleets(points)
+    rows = []
+    for point in points:
+        name = point.params["fleet"]
+        if not point.ok:
+            rows.append([name, "error", point.error, "-", "-"])
+            continue
+        r = point.result
+        rows.append(
+            [
+                name + (" *" if name in pareto else ""),
+                f"{r.eff_availability:.1%}",
+                f"{r.relative_cost:.1%}",
+                r.preemptions,
+                ",".join(FLEETS[name]),
+            ]
+        )
+    print(
+        f"heterogeneous frontier: N_Tar={args.target} reference units "
+        f"(A10G replicas), seed={args.seed}"
+    )
+    _print_table(
+        ["fleet", "eff availability", "cost vs OD", "preemptions", "instance types"],
+        rows,
+    )
+    print("\n* = on the cost/availability Pareto frontier")
+    if args.json:
+        text = frontier_to_json(points, n_tar=args.target, seed=args.seed)
+        Path(args.json).write_text(text)
+        print(f"wrote frontier JSON to {args.json}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace = _load_trace(args.name)
     if args.out:
@@ -895,6 +955,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay engine for every grid point; results are "
                             "byte-identical across engines (default: hybrid)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    hetero = sub.add_parser(
+        "hetero", help="heterogeneous GPU fleet experiments"
+    )
+    hetero_sub = hetero.add_subparsers(dest="hetero_cmd", required=True)
+    frontier = hetero_sub.add_parser(
+        "frontier",
+        help="homogeneous-vs-heterogeneous cost/availability frontier",
+    )
+    frontier.add_argument(
+        "--fleets",
+        default="",
+        help=f"comma-separated fleet names (default: all of {list(FLEETS)})",
+    )
+    frontier.add_argument("--target", type=int, default=4,
+                          help="N_Tar in reference-replica units (default 4)")
+    frontier.add_argument("--seed", type=int, default=0)
+    frontier.add_argument("--duration", type=float, default=None,
+                          help="window the base trace to this many hours")
+    frontier.add_argument("--workers", type=int, default=1)
+    frontier.add_argument("--no-cache", action="store_true",
+                          help="bypass the replay cache")
+    frontier.add_argument("--json", help="write the byte-stable frontier JSON here")
+    frontier.set_defaults(func=_cmd_hetero_frontier)
 
     trace = sub.add_parser("trace", help="inspect or export a trace")
     trace.add_argument("name", help="canned name or trace file")

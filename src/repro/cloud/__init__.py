@@ -12,6 +12,19 @@ from repro.cloud.catalog import (
     Catalog,
     InstanceType,
     default_catalog,
+    hetero_catalog,
+)
+from repro.cloud.gpus import (
+    GPU_PROFILES,
+    GpuServingProfile,
+    capacity_weight,
+    gpu_profile,
+    make_hetero_trace,
+    pool_capacity_weights,
+    pool_id,
+    pool_price_multipliers,
+    pool_spot_costs,
+    split_pool,
 )
 from repro.cloud.instance import Instance, InstanceCallbacks, InstanceState
 from repro.cloud.network import NetworkModel, default_network
@@ -42,6 +55,8 @@ from repro.cloud.traces import (
 __all__ = [
     "BillingMeter",
     "Catalog",
+    "GPU_PROFILES",
+    "GpuServingProfile",
     "CloudConfig",
     "CloudDesc",
     "CostBreakdown",
@@ -65,6 +80,7 @@ __all__ = [
     "aws1",
     "aws2",
     "aws3",
+    "capacity_weight",
     "cpu_trace",
     "default_catalog",
     "default_network",
@@ -73,7 +89,15 @@ __all__ = [
     "from_capacity_events",
     "from_preemption_log",
     "gcp1",
+    "gpu_profile",
+    "hetero_catalog",
     "load_capacity_csv",
     "make_correlated_trace",
+    "make_hetero_trace",
+    "pool_capacity_weights",
+    "pool_id",
+    "pool_price_multipliers",
+    "pool_spot_costs",
     "save_capacity_csv",
+    "split_pool",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "InstanceType",
     "SPOT_DISCOUNT_TABLE",
     "default_catalog",
+    "hetero_catalog",
 ]
 
 
@@ -223,3 +224,66 @@ def default_catalog() -> Catalog:
             ),
         ]
     )
+
+
+def hetero_catalog() -> Catalog:
+    """The default catalog plus the heterogeneous-fleet GPU generations.
+
+    Adds L4, AWS A100, and H100 shapes so a serving fleet can mix GPU
+    classes with genuinely different price/throughput/preemption
+    profiles (see :mod:`repro.cloud.gpus`).  The default catalog is a
+    strict subset, so anything resolved against it resolves identically
+    here.  These generations post-date the paper's Table 1 snapshot, so
+    their spot ratios live here (following the same public-price
+    pattern: AWS discounts scarce GPUs less deeply, GCP holds ~1/3)
+    rather than in :data:`SPOT_DISCOUNT_TABLE`, which stays pinned to
+    the paper's 12 cells.
+    """
+    extra = [
+        InstanceType(
+            name="g6.48xlarge",
+            cloud="aws",
+            accelerator="L4",
+            accelerator_count=8,
+            vcpus=192,
+            on_demand_hourly=13.35,
+            spot_ratio=0.32,
+        ),
+        InstanceType(
+            name="g2-standard-48",
+            cloud="gcp",
+            accelerator="L4",
+            accelerator_count=4,
+            vcpus=48,
+            on_demand_hourly=4.21,
+            spot_ratio=0.35,
+        ),
+        InstanceType(
+            name="p4d.24xlarge",
+            cloud="aws",
+            accelerator="A100",
+            accelerator_count=8,
+            vcpus=96,
+            on_demand_hourly=32.77,
+            spot_ratio=0.10,
+        ),
+        InstanceType(
+            name="p5.48xlarge",
+            cloud="aws",
+            accelerator="H100",
+            accelerator_count=8,
+            vcpus=192,
+            on_demand_hourly=98.32,
+            spot_ratio=0.26,
+        ),
+        InstanceType(
+            name="a3-highgpu-8g",
+            cloud="gcp",
+            accelerator="H100",
+            accelerator_count=8,
+            vcpus=208,
+            on_demand_hourly=88.25,
+            spot_ratio=0.33,
+        ),
+    ]
+    return Catalog(list(default_catalog()) + extra)

@@ -72,20 +72,41 @@ class PriceBook:
         itype = self.catalog.get(instance_type_name)
         return itype.on_demand_hourly * self.region_multiplier(zone_id)
 
-    def cheapest_spot_for_accelerator(
-        self, zone_id: str, accelerator: str
+    def _cheapest_for_accelerator(
+        self, zone_id: str, accelerator: str, *, spot: bool
     ) -> Optional[tuple[str, float]]:
-        """(instance type, spot $/h) of the cheapest matching type that
-        the zone's cloud offers, or ``None`` if the cloud has none."""
         cloud = zone_id.split(":")[0]
         best: Optional[tuple[str, float]] = None
         for itype in self.catalog.with_accelerator(accelerator):
             if itype.cloud != cloud:
                 continue
-            price = self.spot_hourly(zone_id, itype.name)
+            if spot:
+                price = self.spot_hourly(zone_id, itype.name)
+            else:
+                price = self.on_demand_hourly(zone_id, itype.name)
             if best is None or price < best[1]:
                 best = (itype.name, price)
         return best
+
+    def cheapest_spot_for_accelerator(
+        self, zone_id: str, accelerator: str
+    ) -> Optional[tuple[str, float]]:
+        """(instance type, spot $/h) of the cheapest matching type that
+        the zone's cloud offers, or ``None`` if the cloud has none."""
+        return self._cheapest_for_accelerator(zone_id, accelerator, spot=True)
+
+    def cheapest_on_demand_for_accelerator(
+        self, zone_id: str, accelerator: str
+    ) -> Optional[tuple[str, float]]:
+        """(instance type, on-demand $/h) of the cheapest matching type
+        that the zone's cloud offers, or ``None`` if the cloud has none.
+
+        The spot and on-demand orderings genuinely differ: spot prices
+        are ``on_demand * spot_ratio`` and Table 1 ratios vary per type,
+        so the cheapest-by-spot instance is not in general the
+        cheapest-by-on-demand one.
+        """
+        return self._cheapest_for_accelerator(zone_id, accelerator, spot=False)
 
     def zone_costs(
         self, zones: Sequence[str], accelerator: str, *, spot: bool = True
@@ -95,14 +116,10 @@ class PriceBook:
         the accelerator are omitted."""
         costs: dict[str, float] = {}
         for zone in zones:
-            best = self.cheapest_spot_for_accelerator(zone, accelerator)
+            best = self._cheapest_for_accelerator(zone, accelerator, spot=spot)
             if best is None:
                 continue
-            name, spot_price = best
-            if spot:
-                costs[zone] = spot_price
-            else:
-                costs[zone] = self.on_demand_hourly(zone, name)
+            costs[zone] = best[1]
         return costs
 
 

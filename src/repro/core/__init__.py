@@ -5,6 +5,7 @@ Dynamic Placement (Alg. 1), overprovisioning and Dynamic Fallback
 accelerator extension (§6).
 """
 
+from repro.core.fleet import FleetMixturePolicy, hetero_spothedge
 from repro.core.heterogeneous import AcceleratorTier, HeterogeneousPolicy
 from repro.core.omniscient import (
     OmniscientResult,
@@ -31,12 +32,14 @@ __all__ = [
     "DynamicSpotPlacer",
     "HeterogeneousPolicy",
     "EvenSpreadPlacer",
+    "FleetMixturePolicy",
     "MixturePolicy",
     "OmniscientResult",
     "OnDemandOnlyPolicy",
     "RoundRobinPlacer",
     "SpotPlacer",
     "even_spread_policy",
+    "hetero_spothedge",
     "make_placer",
     "round_robin_policy",
     "solve_omniscient",

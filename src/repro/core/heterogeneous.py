@@ -36,6 +36,10 @@ class AcceleratorTier:
     zones: tuple[str, ...]
     performance: float = 1.0
     zone_costs: Optional[Mapping[str, float]] = None
+    #: Per-zone on-demand $/h, for Dynamic Fallback's MIN-COST pick.
+    #: Falls back to ``zone_costs`` (spot prices track on-demand prices
+    #: within a tier) and then to declaration order when neither is set.
+    od_zone_costs: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if not self.zones:
@@ -122,13 +126,40 @@ class HeterogeneousPolicy(ServingPolicy):
                 return zone
         return None
 
+    def _tier_od_zone(
+        self, tier: AcceleratorTier, excluded: AbstractSet[str]
+    ) -> Optional[str]:
+        candidates = [z for z in tier.zones if z not in excluded]
+        if not candidates:
+            return None
+        costs = tier.od_zone_costs if tier.od_zone_costs is not None else tier.zone_costs
+        if costs is None:
+            return candidates[0]
+        return min(
+            candidates,
+            key=lambda z: (costs.get(z, float("inf")), tier.zones.index(z)),
+        )
+
     def select_od_zone(
         self, obs: Observation, excluded: AbstractSet[str] = frozenset()
     ) -> Optional[str]:
+        """On-demand fallback lands on the best *usable* tier, in the
+        tier's cheapest on-demand zone — mirroring select_spot_zone's
+        tier walk instead of blindly taking declaration order."""
+        self._now = obs.now
+        for index, tier in enumerate(self.tiers):
+            if not self._tier_usable(index):
+                continue
+            zone = self._tier_od_zone(tier, excluded)
+            if zone is not None:
+                return zone
+        # Every tier is cooling down: on-demand capacity is generally
+        # obtainable even where spot is not (§5.1), so fall back to the
+        # plain best-first walk rather than launching nothing.
         for tier in self.tiers:
-            for zone in tier.zones:
-                if zone not in excluded:
-                    return zone
+            zone = self._tier_od_zone(tier, excluded)
+            if zone is not None:
+                return zone
         return None
 
     def on_spot_ready(self, zone_id: str) -> None:

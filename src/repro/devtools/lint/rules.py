@@ -39,6 +39,7 @@ __all__ = ["ALL_RULES", "rules_by_id"]
 #: telemetry layer (metric aggregation must never perturb or depend on
 #: global RNG state).
 SEEDED_DIRS = (
+    "cloud/",
     "core/",
     "sim/",
     "baselines/",

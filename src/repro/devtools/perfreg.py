@@ -74,6 +74,7 @@ REGRESSION_TOLERANCE = 0.20
 #: Benchmark entry -> its throughput field (higher is better).
 THROUGHPUT_FIELDS: dict[str, str] = {
     "replay": "steps_per_second",
+    "replay_hetero": "steps_per_second",
     "replay_vectorized": "steps_per_second",
     "hybrid_sweep": "points_per_second",
     "batched_inference": "requests_per_second",

@@ -11,6 +11,13 @@ from repro.experiments.endtoend import (
     standard_policies,
 )
 from repro.experiments.fastpath import run_fastpath, supports_fluid
+from repro.experiments.hetero import (
+    FLEETS,
+    frontier_to_json,
+    pareto_fleets,
+    run_fleet,
+    run_frontier,
+)
 from repro.experiments.replay import (
     ENGINES,
     ReplayConfig,
@@ -31,6 +38,7 @@ from repro.experiments.sweep import SweepPoint, grid_sweep
 __all__ = [
     "ENGINES",
     "EndToEndResult",
+    "FLEETS",
     "ReplayCache",
     "ReplayConfig",
     "ReplayResult",
@@ -42,10 +50,14 @@ __all__ = [
     "e2e_trace",
     "erlang_c_wait",
     "estimate_latency",
+    "frontier_to_json",
+    "pareto_fleets",
     "replay_result_from_dict",
     "replay_result_to_dict",
     "run_comparison",
     "run_fastpath",
+    "run_fleet",
+    "run_frontier",
     "run_system",
     "service_report_to_dict",
     "spot_zone_costs",

@@ -552,4 +552,9 @@ def run_fastpath(
         ready_series=ready_series,
         step=step,
         od_series=od_series,
+        # The fastpath rejects zone_capacity_weights up front (run()
+        # raises before dispatching here), so the effective-capacity
+        # fields are always untracked on this engine path.
+        eff_ready_series=None,
+        eff_availability=None,
     )

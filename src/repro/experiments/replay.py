@@ -105,6 +105,15 @@ class ReplayConfig:
     #: unit price).  Models the regional price spread MIN-COST exploits;
     #: zones absent from the mapping cost 1.0.
     zone_price_multipliers: Optional[Mapping[str, float]] = None
+    #: Optional per-zone (or per-pool, for ``zone@itype`` heterogeneous
+    #: traces) serving-capacity weights in reference-replica units.
+    #: When set, the replay additionally tracks *effective* readiness —
+    #: weighted ready capacity per step — and reports
+    #: ``eff_availability``/``eff_ready_series``; zones absent from the
+    #: mapping weigh 1.0.  ``None`` (the default) leaves the replay
+    #: loop byte-identical to the unweighted code.  Only the discrete
+    #: engine supports weights.
+    zone_capacity_weights: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.n_tar < 1:
@@ -119,6 +128,10 @@ class ReplayConfig:
             for zone, multiplier in self.zone_price_multipliers.items():
                 if multiplier <= 0:
                     raise ValueError(f"non-positive price multiplier for {zone}")
+        if self.zone_capacity_weights is not None:
+            for zone, weight in self.zone_capacity_weights.items():
+                if weight <= 0:
+                    raise ValueError(f"non-positive capacity weight for {zone}")
 
 
 def _ready_order(inst: "_ReplayInstance") -> tuple[float, int]:
@@ -155,6 +168,12 @@ class ReplayResult:
     #: footprint); ``None`` for results deserialised from entries that
     #: predate the field.
     od_series: Optional[np.ndarray] = None
+    #: Weighted (effective) ready capacity per step, in reference-
+    #: replica units, and the fraction of steps it covers ``n_tar``.
+    #: Only populated when ``ReplayConfig.zone_capacity_weights`` is
+    #: set — heterogeneous fleets; ``None`` otherwise.
+    eff_ready_series: Optional[np.ndarray] = None
+    eff_availability: Optional[float] = None
 
     def summary_row(self) -> str:  # pragma: no cover - formatting helper
         return (
@@ -232,6 +251,12 @@ class TraceReplayer:
         self._rng = RngRegistry(self._seed).stream("replay")
         self._next_id = 0
         if self.engine != "discrete":
+            if self.config.zone_capacity_weights is not None:
+                raise ValueError(
+                    f"engine {self.engine!r} does not support "
+                    "zone_capacity_weights; heterogeneous replays run on "
+                    "the discrete engine"
+                )
             from repro.experiments.fastpath import run_fastpath
 
             return run_fastpath(self, policy, spot_zones=spot_zones)
@@ -315,6 +340,20 @@ class TraceReplayer:
         od_cost = 0.0
         ready_list: list[int] = []
         od_list: list[int] = []
+        # Heterogeneous capacity accounting: per-zone *ready* counts
+        # (exact integers) are only maintained when weights are set, so
+        # the homogeneous path stays byte-identical; the weighted sum is
+        # recomputed per step in fixed zone order from those integers —
+        # no incremental float accumulation, no dict-order dependence.
+        weights = cfg.zone_capacity_weights
+        track_eff = weights is not None
+        zone_weight: dict[str, float] = (
+            {zone: float(weights.get(zone, 1.0)) for zone in zones}
+            if weights is not None
+            else {}
+        )
+        zone_ready: dict[str, int] = {zone: 0 for zone in zones}
+        eff_list: list[float] = []
         # Pre-bound callables: attribute lookups on ``policy``/``cfg``
         # inside the step loop are measurable at trace scale.
         on_preempted = policy.on_spot_preempted
@@ -353,6 +392,8 @@ class TraceReplayer:
                 if inst.alive:
                     inst.ready = True
                     spot_ready += 1
+                    if track_eff:
+                        zone_ready[inst.zone] += 1
             while pending_od and pending_od[0].ready_at <= now:
                 inst = pop_od()
                 if inst.alive:
@@ -391,6 +432,8 @@ class TraceReplayer:
                     victim.alive = False
                     if victim.ready:
                         spot_ready -= 1
+                        if track_eff:
+                            zone_ready[zone] -= 1
                     preemptions += 1
                     if bus_enabled:
                         # Positional construction: kwargs cost ~2x
@@ -467,6 +510,8 @@ class TraceReplayer:
                     if d <= 0:
                         inst.ready = True
                         spot_ready += 1
+                        if track_eff:
+                            zone_ready[zone] += 1
                     else:
                         push_spot(inst)
                     if bus_enabled:
@@ -500,6 +545,8 @@ class TraceReplayer:
                 victim.alive = False
                 if victim.ready:
                     spot_ready -= 1
+                    if track_eff:
+                        zone_ready[victim.zone] -= 1
                 zone_count[victim.zone] -= 1
                 spot_total -= 1
                 if bus_enabled:
@@ -549,6 +596,15 @@ class TraceReplayer:
                 bus.emit(FleetSample(now, total_ready, n_tar))
             ready_list.append(total_ready)
             od_list.append(len(od))
+            if track_eff:
+                # On-demand replicas are reference instances (weight 1);
+                # spot capacity is summed in fixed zone order.
+                eff = float(od_ready)
+                for zone in zones:
+                    count = zone_ready[zone]
+                    if count:
+                        eff += zone_weight[zone] * count
+                eff_list.append(eff)
             if do_profile:
                 prof_acc("replay.accrue", prof_clock() - t_mark)
 
@@ -559,6 +615,11 @@ class TraceReplayer:
             bus.emit(CostSnapshot(end, spot_cost, od_cost, spot_cost + od_cost))
         ready_series = np.asarray(ready_list, dtype=int)
         baseline = cfg.k * cfg.n_tar * (n_steps * step / 3600.0)
+        eff_series: Optional[np.ndarray] = None
+        eff_availability: Optional[float] = None
+        if track_eff:
+            eff_series = np.asarray(eff_list, dtype=float)
+            eff_availability = float((eff_series >= cfg.n_tar).mean())
         return ReplayResult(
             policy=policy.name,
             trace=trace.name,
@@ -572,6 +633,8 @@ class TraceReplayer:
             ready_series=ready_series,
             step=step,
             od_series=np.asarray(od_list, dtype=int),
+            eff_ready_series=eff_series,
+            eff_availability=eff_availability,
         )
 
 

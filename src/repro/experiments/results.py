@@ -88,10 +88,16 @@ def replay_result_to_dict(
         "launch_failures": result.launch_failures,
         "step": result.step,
     }
+    # Heterogeneous-fleet fields only appear when the replay tracked
+    # them, so homogeneous documents keep their exact historic shape.
+    if result.eff_availability is not None:
+        out["eff_availability"] = result.eff_availability
     if include_series:
         out["ready_series"] = result.ready_series.tolist()
         if result.od_series is not None:
             out["od_series"] = result.od_series.tolist()
+        if result.eff_ready_series is not None:
+            out["eff_ready_series"] = result.eff_ready_series.tolist()
     return out
 
 
@@ -119,6 +125,16 @@ def replay_result_from_dict(data: Mapping[str, Any]) -> ReplayResult:
         od_series=(
             np.asarray(data["od_series"], dtype=int)
             if data.get("od_series") is not None
+            else None
+        ),
+        eff_ready_series=(
+            np.asarray(data["eff_ready_series"], dtype=float)
+            if data.get("eff_ready_series") is not None
+            else None
+        ),
+        eff_availability=(
+            float(data["eff_availability"])
+            if data.get("eff_availability") is not None
             else None
         ),
     )
@@ -169,6 +185,10 @@ class ReplayCache:
         if cfg_dict.get("zone_price_multipliers") is not None:
             cfg_dict["zone_price_multipliers"] = dict(
                 sorted(cfg_dict["zone_price_multipliers"].items())
+            )
+        if cfg_dict.get("zone_capacity_weights") is not None:
+            cfg_dict["zone_capacity_weights"] = dict(
+                sorted(cfg_dict["zone_capacity_weights"].items())
             )
         material = json.dumps(
             {

@@ -21,11 +21,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.cloud.gpus import capacity_weight, is_pool, pool_zone, split_pool
 from repro.cloud.instance import Instance, InstanceCallbacks
 from repro.cloud.network import NetworkModel, default_network
 from repro.cloud.provider import SimCloud
 from repro.serving.autoscaler import Autoscaler
-from repro.serving.inference import ModelProfile
+from repro.serving.inference import ModelProfile, scale_profile_for_accelerator
 from repro.serving.load_balancer import LoadBalancer, make_balancer
 from repro.serving.policy import MixTarget, Observation, ServingPolicy
 from repro.serving.replica import Replica, ReplicaState
@@ -105,9 +106,20 @@ class ServiceController:
         allowed = spec.resources.allowed_zones(cloud.topology)
         self.spot_zones = [z.id for z in allowed if z.id in cloud.trace.zone_ids]
         self.od_zones = [z.id for z in allowed]
+        # Heterogeneous traces carry (zone, instance-type) pool rows
+        # ("zone@itype", repro.cloud.gpus): a pool is usable for spot
+        # when its base zone is allowed.  Pool order follows the trace
+        # so placement sees a deterministic pool list.
+        allowed_ids = {z.id for z in allowed}
+        self.spot_zones += [
+            trace_id
+            for trace_id in cloud.trace.zone_ids
+            if is_pool(trace_id) and pool_zone(trace_id) in allowed_ids
+        ]
         if not self.od_zones:
             raise ValueError("service spec allows no zones in this topology")
         self._zone_itype = self._resolve_instance_types()
+        self._zone_profile, self._zone_weight = self._resolve_serving_profiles()
 
         # Metrics (Fig. 10 ready-replica timelines, Fig. 12 provisioning
         # counts, availability windows).
@@ -141,7 +153,8 @@ class ServiceController:
     # ------------------------------------------------------------------
     def _resolve_instance_types(self) -> dict[str, str]:
         """Pick, per zone, the cheapest instance type (by spot price)
-        carrying the requested accelerator in that zone's cloud."""
+        carrying the requested accelerator in that zone's cloud.  Pool
+        ids carry their instance type explicitly and resolve to it."""
         accelerator = self.spec.resources.accelerator
         by_cloud: dict[str, str] = {}
         for itype in self.cloud.catalog.with_accelerator(accelerator):
@@ -153,6 +166,17 @@ class ServiceController:
             cloud_name = zone_id.split(":")[0]
             if cloud_name in by_cloud:
                 mapping[zone_id] = by_cloud[cloud_name]
+        for zone_id in self.spot_zones:
+            _base, itype_name = split_pool(zone_id)
+            if itype_name is None:
+                continue
+            itype = self.cloud.catalog.get(itype_name)
+            if itype.accelerator is None:
+                raise ValueError(
+                    f"pool {zone_id!r}: instance type {itype_name!r} "
+                    "carries no accelerator"
+                )
+            mapping[zone_id] = itype_name
         if not mapping:
             raise ValueError(
                 f"no instance type with accelerator {accelerator!r} "
@@ -162,6 +186,31 @@ class ServiceController:
         self.spot_zones = [z for z in self.spot_zones if z in mapping]
         self.od_zones = [z for z in self.od_zones if z in mapping]
         return mapping
+
+    def _resolve_serving_profiles(
+        self,
+    ) -> tuple[dict[str, ModelProfile], dict[str, float]]:
+        """Per-zone model profile and capacity weight.
+
+        Zones running the service's reference accelerator share the
+        *same* profile object and weight 1.0 (the homogeneous path is
+        untouched); pools on other GPU classes get decode timing scaled
+        by the class throughput ratio and a matching capacity weight for
+        the balancers (repro.cloud.gpus)."""
+        reference = self.spec.resources.accelerator
+        profiles: dict[str, ModelProfile] = {}
+        weights: dict[str, float] = {}
+        for zone_id, itype_name in self._zone_itype.items():
+            accelerator = self.cloud.catalog.get(itype_name).accelerator
+            if accelerator is None or accelerator == reference:
+                profiles[zone_id] = self.profile
+                weights[zone_id] = 1.0
+            else:
+                profiles[zone_id] = scale_profile_for_accelerator(
+                    self.profile, accelerator, reference=reference
+                )
+                weights[zone_id] = capacity_weight(accelerator, reference)
+        return profiles, weights
 
     def start(self) -> None:
         """Begin the reconciliation loop.  Call once, before running."""
@@ -454,13 +503,14 @@ class ServiceController:
             raise ValueError(f"zone {zone_id!r} not enabled for launches")
         replica = Replica(
             self.engine,
-            self.profile,
+            self._zone_profile.get(zone_id, self.profile),
             zone_id=zone_id,
             spot=spot,
             rng=self._rng,
             adaptive_parallelism=self._adaptive_parallelism,
             replica_id=next(self._replica_ids),
             max_queue=self.spec.max_queue_per_replica,
+            capacity_weight=self._zone_weight.get(zone_id, 1.0),
         )
         self.replicas.append(replica)
         itype = self._zone_itype[zone_id]

@@ -38,6 +38,7 @@ Vicuna-13B (the Fig. 6a breakdown).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -53,6 +54,7 @@ __all__ = [
     "ModelProfile",
     "llama2_70b_profile",
     "opt_6_7b_profile",
+    "scale_profile_for_accelerator",
     "vicuna_13b_profile",
 ]
 
@@ -177,6 +179,40 @@ def vicuna_13b_profile(*, decode_batch_slope: float = 0.0) -> ModelProfile:
         decode_per_token=0.042,
         max_concurrency=8,
         decode_batch_slope=decode_batch_slope,
+    )
+
+
+def scale_profile_for_accelerator(
+    base: ModelProfile, accelerator: str, *, reference: str = "A10G"
+) -> ModelProfile:
+    """``base`` retimed for a replica on a different GPU class.
+
+    Prefill and decode coefficients scale by the reference-to-target
+    throughput ratio from :data:`repro.cloud.gpus.GPU_PROFILES`; when the
+    base profile models continuous batching (positive slope) the slope
+    is replaced by the target class's, while slope-0 profiles stay
+    fixed-rate (scaling never switches execution models).  Returns
+    ``base`` unchanged — the same object — when ``accelerator`` equals
+    ``reference``, so homogeneous fleets keep bit-identical timing.
+    """
+    if accelerator == reference:
+        return base
+    from repro.cloud.gpus import gpu_profile
+
+    ratio = (
+        gpu_profile(reference).tokens_per_second
+        / gpu_profile(accelerator).tokens_per_second
+    )
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}+{accelerator}",
+        prefill_per_token=base.prefill_per_token * ratio,
+        decode_per_token=base.decode_per_token * ratio,
+        decode_batch_slope=(
+            gpu_profile(accelerator).decode_batch_slope
+            if base.decode_batch_slope > 0
+            else 0.0
+        ),
     )
 
 

@@ -77,14 +77,24 @@ class RoundRobinBalancer(LoadBalancer):
 
 class LeastLoadBalancer(LoadBalancer):
     """Route to the replica with the fewest ongoing requests (§4's
-    "least number of ongoing requests" option, the SkyServe default)."""
+    "least number of ongoing requests" option, the SkyServe default).
+
+    Load is normalised by each replica's ``capacity_weight``, so in a
+    heterogeneous fleet an H100 replica (high weight) absorbs
+    proportionally more concurrent requests than an L4 one.  In a
+    homogeneous fleet every weight is exactly 1.0 and the division is
+    exact, so picks are identical to the unweighted balancer.
+    """
 
     name = "least_load"
 
     def pick(self, replicas: Sequence[Replica], request: Request) -> Optional[Replica]:
         if not replicas:
             return None
-        return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
+        return min(
+            replicas,
+            key=lambda r: (r.ongoing_requests / r.capacity_weight, r.id),
+        )
 
 
 class LocalityAwareBalancer(LoadBalancer):
@@ -134,15 +144,20 @@ class LocalityAwareBalancer(LoadBalancer):
             return None
         # Nearest RTT bucket containing a non-overloaded replica, then
         # least-loaded within that bucket (ties broken by id).  One pass:
-        # min over non-overloaded replicas of (rtt, ongoing, id).
+        # min over non-overloaded replicas of (rtt, normalised load, id).
+        # Both the overload cutoff and the load key are capacity-
+        # weighted: a weight-2 replica overloads at twice the threshold
+        # and counts half the load per request.  At weight 1.0 the
+        # arithmetic is exact and matches the unweighted balancer.
         self.last_pick_fallback = False
         best: Optional[Replica] = None
-        best_key: tuple[float, int, int] = (float("inf"), 0, 0)
+        best_key: tuple[float, float, int] = (float("inf"), 0.0, 0)
         for replica in replicas:
             load = replica.ongoing_requests
-            if load >= self.overload_threshold:
+            weight = replica.capacity_weight
+            if load >= self.overload_threshold * weight:
                 continue
-            key = (self._rtt_to(replica), load, replica.id)
+            key = (self._rtt_to(replica), load / weight, replica.id)
             if best is None or key < best_key:
                 best, best_key = replica, key
         if best is not None:
@@ -155,7 +170,10 @@ class LocalityAwareBalancer(LoadBalancer):
         )
         self.fallbacks_total += 1
         self.last_pick_fallback = True
-        return min(replicas, key=lambda r: (r.ongoing_requests, r.id))
+        return min(
+            replicas,
+            key=lambda r: (r.ongoing_requests / r.capacity_weight, r.id),
+        )
 
 
 def make_balancer(

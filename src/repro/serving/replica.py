@@ -57,16 +57,24 @@ class Replica:
         migration_pause: float = 30.0,
         replica_id: Optional[int] = None,
         max_queue: Optional[int] = None,
+        capacity_weight: float = 1.0,
     ) -> None:
         # The controller passes its own per-service counter so replica
         # ids (and hence telemetry event streams) are reproducible
         # run-to-run within one process; the module-global counter only
         # backs directly constructed replicas.
+        if capacity_weight <= 0:
+            raise ValueError("capacity_weight must be positive")
         self.id = replica_id if replica_id is not None else next(_replica_ids)
         self.engine = engine
         self.profile = profile
         self.zone_id = zone_id
         self.spot = spot
+        #: Serving capacity in reference-replica units (1.0 = the
+        #: service's reference GPU).  Capacity-weighted balancers
+        #: normalise ongoing load by this, so an H100 replica absorbs
+        #: proportionally more traffic than an L4 one.
+        self.capacity_weight = capacity_weight
         self.adaptive_parallelism = adaptive_parallelism
         self.migration_pause = migration_pause
         self.workers: list[Instance] = []

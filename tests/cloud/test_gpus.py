@@ -1,0 +1,187 @@
+"""Tests for GPU serving profiles and (zone × instance-type) pools."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    GPU_PROFILES,
+    GpuServingProfile,
+    PriceBook,
+    capacity_weight,
+    gpu_profile,
+    hetero_catalog,
+    make_hetero_trace,
+    pool_capacity_weights,
+    pool_id,
+    pool_price_multipliers,
+    pool_spot_costs,
+    split_pool,
+)
+from repro.cloud.gpus import is_pool, pool_zone
+from repro.cloud.traces import aws1
+
+
+class TestProfiles:
+    def test_known_generations_present(self):
+        for acc in ("T4", "V100", "A10G", "L4", "A100", "H100"):
+            assert gpu_profile(acc).accelerator == acc
+
+    def test_unknown_accelerator_raises(self):
+        with pytest.raises(KeyError, match="K80"):
+            gpu_profile("K80")
+
+    def test_profiles_validated(self):
+        with pytest.raises(ValueError):
+            GpuServingProfile("X", tokens_per_second=0.0, decode_batch_slope=0.1, preemption_scale=1.0)
+        with pytest.raises(ValueError):
+            GpuServingProfile("X", tokens_per_second=1.0, decode_batch_slope=-0.1, preemption_scale=1.0)
+        with pytest.raises(ValueError):
+            GpuServingProfile("X", tokens_per_second=1.0, decode_batch_slope=0.1, preemption_scale=0.0)
+
+    def test_reference_weight_is_exactly_one(self):
+        # No float division on the reference path: the homogeneous
+        # fleet must stay on the integer replay fast path.
+        assert capacity_weight("A10G") == 1.0
+        assert capacity_weight("H100", reference="H100") == 1.0
+
+    def test_weight_is_throughput_ratio(self):
+        expected = GPU_PROFILES["H100"].tokens_per_second / GPU_PROFILES["A10G"].tokens_per_second
+        assert capacity_weight("H100") == pytest.approx(expected)
+        assert capacity_weight("L4") < 1.0 < capacity_weight("A100")
+
+
+class TestPoolIds:
+    def test_round_trip(self):
+        pid = pool_id("aws:us-west-2:us-west-2a", "g5.48xlarge")
+        assert pid == "aws:us-west-2:us-west-2a@g5.48xlarge"
+        assert split_pool(pid) == ("aws:us-west-2:us-west-2a", "g5.48xlarge")
+        assert pool_zone(pid) == "aws:us-west-2:us-west-2a"
+        assert is_pool(pid) and not is_pool("aws:us-west-2:us-west-2a")
+
+    def test_plain_zone_splits_to_none(self):
+        assert split_pool("aws:us-west-2:us-west-2a") == ("aws:us-west-2:us-west-2a", None)
+
+    def test_double_tagging_rejected(self):
+        pid = pool_id("z1", "g5.48xlarge")
+        with pytest.raises(ValueError):
+            pool_id(pid, "g6.48xlarge")
+
+    def test_empty_instance_type_rejected(self):
+        with pytest.raises(ValueError):
+            pool_id("z1", "")
+
+
+class TestCostSignals:
+    ZONE = "aws:us-west-2:us-west-2a"
+
+    def _pools(self):
+        return [
+            pool_id(self.ZONE, "g5.48xlarge"),
+            pool_id(self.ZONE, "p4d.24xlarge"),
+        ]
+
+    def test_pool_spot_costs_divide_by_weight(self):
+        catalog = hetero_catalog()
+        book = PriceBook(catalog, region_multipliers={})
+        costs = pool_spot_costs(self._pools(), book)
+        g5 = catalog.get("g5.48xlarge")
+        p4d = catalog.get("p4d.24xlarge")
+        assert costs[self._pools()[0]] == pytest.approx(g5.spot_hourly)
+        assert costs[self._pools()[1]] == pytest.approx(
+            p4d.spot_hourly / capacity_weight("A100")
+        )
+
+    def test_pool_capacity_weights(self):
+        weights = pool_capacity_weights(self._pools(), hetero_catalog())
+        assert weights[self._pools()[0]] == 1.0
+        assert weights[self._pools()[1]] == capacity_weight("A100")
+
+    def test_plain_zone_weighs_one(self):
+        assert pool_capacity_weights(["z1"], hetero_catalog()) == {"z1": 1.0}
+
+    def test_pool_price_multipliers(self):
+        catalog = hetero_catalog()
+        book = PriceBook(catalog, region_multipliers={})
+        ref = catalog.get("g5.48xlarge").spot_hourly
+        mult = pool_price_multipliers(self._pools(), book, reference_price=ref)
+        assert mult[self._pools()[0]] == pytest.approx(1.0)
+        assert mult[self._pools()[1]] == pytest.approx(
+            catalog.get("p4d.24xlarge").spot_hourly / ref
+        )
+
+    def test_plain_zone_rejected_for_costs(self):
+        book = PriceBook(hetero_catalog(), region_multipliers={})
+        with pytest.raises(ValueError):
+            pool_spot_costs(["z1"], book)
+        with pytest.raises(ValueError):
+            pool_price_multipliers(["z1"], book, reference_price=1.0)
+
+
+class TestHeteroTrace:
+    def test_pools_expand_per_matching_cloud_type(self):
+        base = aws1().window(0, 3600)
+        trace = make_hetero_trace(
+            base, ["g5.48xlarge", "p4d.24xlarge"], hetero_catalog(), seed=0
+        )
+        assert len(trace.zone_ids) == 2 * len(base.zone_ids)
+        for pid in trace.zone_ids:
+            assert is_pool(pid)
+            assert pool_zone(pid) in base.zone_ids
+
+    def test_gcp_type_skipped_on_aws_trace(self):
+        base = aws1().window(0, 3600)
+        trace = make_hetero_trace(
+            base, ["g5.48xlarge", "g2-standard-48"], hetero_catalog(), seed=0
+        )
+        # g2-standard-48 is GCP-only; only the g5 pools survive.
+        assert all(split_pool(p)[1] == "g5.48xlarge" for p in trace.zone_ids)
+
+    def test_no_matching_cloud_raises(self):
+        base = aws1().window(0, 3600)
+        with pytest.raises(ValueError):
+            make_hetero_trace(base, ["g2-standard-48"], hetero_catalog(), seed=0)
+
+    def test_pool_capacity_gated_by_base_zone(self):
+        base = aws1().window(0, 6 * 3600)
+        trace = make_hetero_trace(base, ["g5.48xlarge"], hetero_catalog(), seed=0)
+        for pid in trace.zone_ids:
+            pool_row = trace.zone_row(pid)
+            zone_row = base.zone_row(pool_zone(pid))
+            # Pool capacity never exceeds the zone's and is zero
+            # wherever the zone is down.
+            assert np.all(pool_row <= zone_row)
+
+    def test_deterministic_per_seed(self):
+        base = aws1().window(0, 6 * 3600)
+        a = make_hetero_trace(base, ["g5.48xlarge", "p5.48xlarge"], hetero_catalog(), seed=7)
+        b = make_hetero_trace(base, ["g5.48xlarge", "p5.48xlarge"], hetero_catalog(), seed=7)
+        assert a.digest() == b.digest()
+        c = make_hetero_trace(base, ["g5.48xlarge", "p5.48xlarge"], hetero_catalog(), seed=8)
+        assert c.digest() != a.digest()
+
+    def test_pool_streams_independent_of_other_types(self):
+        # Adding a type must not perturb the existing pools' series:
+        # each pool draws from its own keyed RNG stream.
+        base = aws1().window(0, 6 * 3600)
+        alone = make_hetero_trace(base, ["g5.48xlarge"], hetero_catalog(), seed=0)
+        both = make_hetero_trace(
+            base, ["g5.48xlarge", "p4d.24xlarge"], hetero_catalog(), seed=0
+        )
+        for pid in alone.zone_ids:
+            assert np.array_equal(alone.zone_row(pid), both.zone_row(pid))
+
+    def test_scarcer_generation_flickers_more(self):
+        base = aws1().window(0, 14 * 24 * 3600)
+        trace = make_hetero_trace(
+            base, ["g5.48xlarge", "p5.48xlarge"], hetero_catalog(), seed=0
+        )
+        # H100 pools (preemption_scale 2.2) spend less time up than the
+        # A10G pools over the same base zones, summed over the fleet.
+        up = {"g5.48xlarge": 0, "p5.48xlarge": 0}
+        for pid in trace.zone_ids:
+            up[split_pool(pid)[1]] += int((trace.zone_row(pid) > 0).sum())
+        assert up["p5.48xlarge"] < up["g5.48xlarge"]
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError):
+            make_hetero_trace(aws1(), [], hetero_catalog())

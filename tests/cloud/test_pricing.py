@@ -3,11 +3,40 @@
 import pytest
 
 from repro.cloud import PriceBook, default_catalog, default_price_book
+from repro.cloud.catalog import Catalog, InstanceType
 
 
 @pytest.fixture()
 def book():
     return default_price_book()
+
+
+def _divergent_catalog() -> Catalog:
+    """Two V100 carriers whose spot and on-demand orderings differ:
+    the cheap-on-demand type is barely discounted on spot, the pricey
+    one is discounted steeply."""
+    return Catalog(
+        [
+            InstanceType(
+                name="od-cheap",
+                cloud="aws",
+                accelerator="V100",
+                accelerator_count=1,
+                vcpus=8,
+                on_demand_hourly=2.0,
+                spot_ratio=0.9,  # spot $1.80
+            ),
+            InstanceType(
+                name="spot-cheap",
+                cloud="aws",
+                accelerator="V100",
+                accelerator_count=1,
+                vcpus=8,
+                on_demand_hourly=3.0,
+                spot_ratio=0.2,  # spot $0.60
+            ),
+        ]
+    )
 
 
 class TestPriceBook:
@@ -76,6 +105,54 @@ class TestPriceBook:
         assert book.spot_hourly("aws:us-east-1:us-east-1a", "p3.2xlarge") == pytest.approx(2 * base)
         # Regions absent from the custom table fall back to 1.0.
         assert book.spot_hourly("aws:eu-central-1:x", "p3.2xlarge") == pytest.approx(base)
+
+
+class TestOnDemandMinCost:
+    """Regression: ``zone_costs(spot=False)`` must rank by *on-demand*
+    price, not return the on-demand price of the cheapest-spot type."""
+
+    ZONE = "aws:us-east-1:us-east-1a"
+
+    def test_spot_and_od_pick_different_types(self):
+        book = PriceBook(_divergent_catalog(), region_multipliers={})
+        spot = book.cheapest_spot_for_accelerator(self.ZONE, "V100")
+        od = book.cheapest_on_demand_for_accelerator(self.ZONE, "V100")
+        assert spot == ("spot-cheap", pytest.approx(0.6))
+        assert od == ("od-cheap", pytest.approx(2.0))
+
+    def test_zone_costs_spot_false_uses_od_ordering(self):
+        book = PriceBook(_divergent_catalog(), region_multipliers={})
+        od_costs = book.zone_costs([self.ZONE], "V100", spot=False)
+        # The old behaviour returned 3.0 — the on-demand price of the
+        # cheapest-*spot* carrier.
+        assert od_costs[self.ZONE] == pytest.approx(2.0)
+        spot_costs = book.zone_costs([self.ZONE], "V100", spot=True)
+        assert spot_costs[self.ZONE] == pytest.approx(0.6)
+
+    def test_cheapest_od_none_when_cloud_lacks_accelerator(self):
+        book = PriceBook(_divergent_catalog(), region_multipliers={})
+        assert book.cheapest_on_demand_for_accelerator(
+            "gcp:us-central1:us-central1-a", "V100"
+        ) is None
+
+
+class TestRegionMultiplierEdgeCases:
+    def test_three_part_zone_id_uses_region(self, book):
+        mult = book.region_multiplier("aws:eu-central-1:eu-central-1a")
+        assert mult == book.region_multiplier("aws:eu-central-1:eu-central-1b")
+        assert mult > book.region_multiplier("aws:us-east-1:us-east-1a")
+
+    def test_bare_synthetic_id_defaults_to_one(self, book):
+        # "z1" has no region part; the whole id is treated as a region
+        # and unlisted regions multiply by exactly 1.0.
+        assert book.region_multiplier("z1") == 1.0
+
+    def test_unlisted_region_defaults_to_one(self, book):
+        assert book.region_multiplier("aws:ap-south-1:ap-south-1a") == 1.0
+
+    def test_zone_costs_omits_zone_when_cloud_lacks_accelerator(self, book):
+        costs = book.zone_costs(["z1", "azure:eastus:eastus-1"], "A10G")
+        assert costs == {}
 
 
 class TestCostAwarePlacement:

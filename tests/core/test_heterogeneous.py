@@ -83,6 +83,57 @@ class TestMixture:
         assert policy.select_od_zone(obs()) in A100_ZONES
 
 
+class TestOnDemandTierWalk:
+    """Regression: ``select_od_zone`` used to take declaration order
+    blindly — it must walk usable tiers best-first and prefer the
+    cheapest on-demand zone within the chosen tier."""
+
+    def test_od_skips_cooling_top_tier(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        assert policy.select_od_zone(obs(now=10.0)) in V100_ZONES
+
+    def test_od_returns_to_top_tier_after_interval(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        assert policy.select_od_zone(obs(now=100.0)) in V100_ZONES
+        assert policy.select_od_zone(obs(now=700.0)) in A100_ZONES
+
+    def test_od_prefers_cheapest_od_zone(self):
+        tier = AcceleratorTier(
+            "A100",
+            A100_ZONES,
+            od_zone_costs={A100_ZONES[0]: 3.0, A100_ZONES[1]: 1.0},
+        )
+        policy = HeterogeneousPolicy([tier])
+        assert policy.select_od_zone(obs()) == A100_ZONES[1]
+
+    def test_od_falls_back_to_spot_zone_costs(self):
+        tier = AcceleratorTier(
+            "A100",
+            A100_ZONES,
+            zone_costs={A100_ZONES[0]: 2.0, A100_ZONES[1]: 0.5},
+        )
+        policy = HeterogeneousPolicy([tier])
+        assert policy.select_od_zone(obs()) == A100_ZONES[1]
+
+    def test_od_declaration_order_without_costs(self):
+        policy = HeterogeneousPolicy(tiers())
+        assert policy.select_od_zone(obs()) == A100_ZONES[0]
+
+    def test_od_all_tiers_cooling_walks_best_first(self):
+        policy = HeterogeneousPolicy(tiers(), tier_retry_interval=600.0)
+        for zone in A100_ZONES + V100_ZONES:
+            policy.on_spot_launch_failed(zone)
+        assert policy.select_od_zone(obs(now=10.0)) in A100_ZONES
+
+    def test_od_respects_exclusions(self):
+        policy = HeterogeneousPolicy(tiers())
+        assert policy.select_od_zone(obs(), excluded=set(A100_ZONES)) in V100_ZONES
+
+
 class TestValidation:
     def test_empty_tiers_rejected(self):
         with pytest.raises(ValueError):

@@ -160,3 +160,40 @@ class TestLatencyEstimate:
         workload = poisson_workload(100.0, rate=0.1, seed=5)
         with pytest.raises(ValueError):
             estimate_latency(result, workload, service_time=0.0)
+
+
+class TestCapacityWeights:
+    """Effective-capacity tracking for heterogeneous (zone × type) pools."""
+
+    def test_weights_require_discrete_engine(self):
+        config = ReplayConfig(n_tar=2, zone_capacity_weights={Z1: 2.0})
+        for engine in ("hybrid", "vectorized"):
+            replayer = TraceReplayer(trace_with(full()), config, engine=engine)
+            with pytest.raises(ValueError, match="zone_capacity_weights"):
+                replayer.run(spothedge([Z1, Z2, Z3]))
+
+    def test_eff_fields_none_without_weights(self):
+        replayer = TraceReplayer(trace_with(full()), ReplayConfig(n_tar=2))
+        result = replayer.run(spothedge([Z1, Z2, Z3]))
+        assert result.eff_ready_series is None
+        assert result.eff_availability is None
+
+    def test_eff_series_scales_spot_by_zone_weight(self):
+        # Pure-spot policy, zero cold start, every zone weighted 2.0:
+        # effective capacity is exactly twice the ready count.
+        config = ReplayConfig(
+            n_tar=2,
+            cold_start=0.0,
+            zone_capacity_weights={Z1: 2.0, Z2: 2.0, Z3: 2.0},
+        )
+        replayer = TraceReplayer(trace_with(full()), config)
+        result = replayer.run(even_spread_policy([Z1, Z2, Z3]))
+        assert result.eff_ready_series is not None
+        assert np.array_equal(
+            result.eff_ready_series, 2.0 * result.ready_series.astype(float)
+        )
+        assert result.eff_availability == 1.0
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(n_tar=2, zone_capacity_weights={Z1: 0.0})

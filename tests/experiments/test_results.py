@@ -212,3 +212,60 @@ class TestReplayCache:
         cache = ReplayCache(tmp_path / "never-created")
         assert len(cache) == 0
         assert cache.clear() == 0
+
+
+class TestEffectiveCapacityFields:
+    """Round-tripping the heterogeneous (capacity-weighted) fields."""
+
+    def _weighted_replay(self):
+        import numpy as np
+
+        from repro.experiments import replay_result_from_dict
+
+        trace = aws1()
+        config = ReplayConfig(
+            n_tar=2,
+            zone_capacity_weights={z: 2.0 for z in trace.zone_ids},
+        )
+        result = TraceReplayer(trace, config).run(spothedge(trace.zone_ids))
+        assert result.eff_availability is not None
+        return np, replay_result_from_dict, result
+
+    def test_eff_fields_round_trip(self):
+        np, from_dict, result = self._weighted_replay()
+        data = replay_result_to_dict(result, include_series=True)
+        assert data["eff_availability"] == result.eff_availability
+        restored = from_dict(json.loads(json.dumps(data)))
+        assert restored.eff_availability == result.eff_availability
+        np.testing.assert_array_equal(
+            restored.eff_ready_series, result.eff_ready_series
+        )
+
+    def test_eff_fields_omitted_when_untracked(self, sample_replay):
+        data = replay_result_to_dict(sample_replay, include_series=True)
+        assert "eff_availability" not in data
+        assert "eff_ready_series" not in data
+
+    def test_cache_key_sensitive_to_capacity_weights(self):
+        from repro.experiments import ReplayCache
+
+        trace = aws1()
+        base = ReplayCache.key(trace, "SpotHedge", None, ReplayConfig(n_tar=2), 0)
+        weighted = ReplayCache.key(
+            trace,
+            "SpotHedge",
+            None,
+            ReplayConfig(n_tar=2, zone_capacity_weights={trace.zone_ids[0]: 2.0}),
+            0,
+        )
+        assert base != weighted
+
+    def test_cache_key_ignores_weight_dict_order(self):
+        from repro.experiments import ReplayCache
+
+        trace = aws1()
+        z = list(trace.zone_ids[:2])
+        forward = ReplayConfig(n_tar=2, zone_capacity_weights={z[0]: 2.0, z[1]: 3.0})
+        reverse = ReplayConfig(n_tar=2, zone_capacity_weights={z[1]: 3.0, z[0]: 2.0})
+        assert ReplayCache.key(trace, "SpotHedge", None, forward, 0) == \
+            ReplayCache.key(trace, "SpotHedge", None, reverse, 0)

@@ -15,10 +15,11 @@ from repro.sim import SimulationEngine
 from repro.workloads import Request
 
 
-def make_ready_replica(engine, zone_id, ongoing=0):
+def make_ready_replica(engine, zone_id, ongoing=0, weight=1.0):
     profile = ModelProfile("m", overhead=100.0, prefill_per_token=0.0,
                            decode_per_token=0.0, max_concurrency=64)
-    replica = Replica(engine, profile, zone_id=zone_id, spot=True)
+    replica = Replica(engine, profile, zone_id=zone_id, spot=True,
+                      capacity_weight=weight)
     from repro.serving.replica import ReplicaState
 
     replica.state = ReplicaState.READY
@@ -174,6 +175,61 @@ class TestLocalityAware:
             "aws:us-west-2", default_network(), overload_threshold=8
         )
         assert balancer.pick([remote, local], request()) is local
+
+
+class TestCapacityWeighting:
+    """Heterogeneous fleets: load is normalised per effective capacity,
+    so a big GPU absorbs proportionally more concurrent requests."""
+
+    def test_least_load_normalises_by_weight(self):
+        engine = SimulationEngine()
+        zone = "aws:us-west-2:us-west-2a"
+        # 4/4.0 = 1.0 normalised load beats 2/1.0 = 2.0.
+        big = make_ready_replica(engine, zone, ongoing=4, weight=4.0)
+        small = make_ready_replica(engine, zone, ongoing=2, weight=1.0)
+        assert LeastLoadBalancer().pick([small, big], request()) is big
+
+    def test_unit_weight_matches_raw_ongoing(self):
+        engine = SimulationEngine()
+        zone = "aws:us-west-2:us-west-2a"
+        busy = make_ready_replica(engine, zone, ongoing=3, weight=1.0)
+        idle = make_ready_replica(engine, zone, ongoing=1, weight=1.0)
+        assert LeastLoadBalancer().pick([busy, idle], request()) is idle
+
+    def test_locality_overload_cutoff_scales_with_weight(self):
+        engine = SimulationEngine()
+        # 8 ongoing would overload a weight-1 local replica at
+        # threshold 8, but a weight-2 replica overloads at 16.
+        local = make_ready_replica(
+            engine, "aws:us-west-2:us-west-2a", ongoing=8, weight=2.0
+        )
+        remote = make_ready_replica(engine, "aws:eu-central-1:eu-central-1a")
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([local, remote], request()) is local
+        assert not balancer.last_pick_fallback
+
+    def test_locality_fallback_uses_weighted_load(self):
+        engine = SimulationEngine()
+        # All replicas overloaded (9 >= 8, 33 >= 8*4): the fallback
+        # compares normalised load, so 33/4.0 = 8.25 beats 9/1.0 = 9.0.
+        local = make_ready_replica(
+            engine, "aws:us-west-2:us-west-2a", ongoing=9, weight=1.0
+        )
+        remote = make_ready_replica(
+            engine, "aws:eu-central-1:eu-central-1a", ongoing=33, weight=4.0
+        )
+        balancer = LocalityAwareBalancer(
+            "aws:us-west-2", default_network(), overload_threshold=8
+        )
+        assert balancer.pick([local, remote], request()) is remote
+        assert balancer.last_pick_fallback
+
+    def test_non_positive_weight_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            make_ready_replica(engine, "aws:us-west-2:us-west-2a", weight=0.0)
 
 
 class TestFactory:
